@@ -1,0 +1,134 @@
+// Design-choice ablations (the CANPC'00 taxonomy the paper builds on,
+// its ref [5]): starting from one neutral hardware-VIA baseline, change a
+// single implementation decision and rerun the relevant VIBe probes.
+//
+//  A. address-translation placement: host-at-post / NIC-with-SRAM-tables /
+//     NIC-with-host-tables+cache — under 100% and 0% buffer reuse
+//  B. doorbell implementation: MMIO store vs kernel trap
+//  C. translation-cache size (for the host-table scheme)
+//  D. interrupt cost vs blocking latency/CPU trade
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "vibe/datatransfer.hpp"
+
+namespace {
+
+using namespace vibe;
+
+/// Neutral baseline: cLAN-like hardware engine with middle-of-the-road
+/// costs so a single change stands out.
+nic::NicProfile baseline() {
+  nic::NicProfile p = nic::clanProfile();
+  p.name = "ablation-baseline";
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vibe::bench;
+
+  printHeader("Design-choice ablations",
+              "CANPC'00 taxonomy (paper ref [5]): one decision changed at "
+              "a time against a neutral hardware-VIA baseline");
+
+  // --- A: translation placement --------------------------------------
+  nic::NicProfile hostXlate = baseline();
+  hostXlate.translation = nic::TranslationMode::NicSram;
+  hostXlate.translationPerPage = 0;
+  hostXlate.hostTranslationPerPage = sim::usec(0.15);
+
+  nic::NicProfile nicSram = baseline();  // translation in NIC SRAM
+
+  nic::NicProfile nicHostTbl = baseline();
+  nicHostTbl.translation = nic::TranslationMode::NicTlbHostTable;
+  nicHostTbl.tlbHitCost = sim::usec(0.15);
+  nicHostTbl.tlbMissCost = sim::usec(22);
+  nicHostTbl.tlbEntries = 64;
+
+  suite::ResultTable xlate(
+      "A. translation placement: one-way latency (us)",
+      {"bytes", "host_r100", "host_r0", "nicsram_r100", "nicsram_r0",
+       "nictlb_r100", "nictlb_r0"});
+  for (const std::uint64_t size : {4ull, 4096ull, 28672ull}) {
+    std::vector<double> row{static_cast<double>(size)};
+    for (const auto* prof : {&hostXlate, &nicSram, &nicHostTbl}) {
+      for (const int reuse : {100, 0}) {
+        suite::TransferConfig cfg;
+        cfg.msgBytes = size;
+        cfg.reusePercent = reuse;
+        cfg.bufferPool = reuse == 100 ? 1 : 160;
+        cfg.iterations = 150;
+        row.push_back(suite::runPingPong(clusterFor(*prof), cfg).latencyUsec);
+      }
+    }
+    xlate.addRow(row);
+  }
+  vibe::bench::emit(xlate);
+  std::printf(
+      "Host translation pays per page on EVERY post (CPU burn) but is\n"
+      "reuse-insensitive; NIC SRAM tables are both cheap and insensitive\n"
+      "(the cLAN design); NIC caching of host tables is cheap only while\n"
+      "the working set fits — the BVIA trap the paper's Fig. 5 exposes.\n\n");
+
+  // --- B: doorbell implementation -------------------------------------
+  nic::NicProfile trapBell = baseline();
+  trapBell.doorbellCost = sim::usec(2.5);  // int 0x80 instead of MMIO
+  suite::ResultTable bell("B. doorbell: one-way latency (us)",
+                          {"bytes", "mmio", "kernel_trap"});
+  for (const std::uint64_t size : {4ull, 1024ull, 28672ull}) {
+    suite::TransferConfig cfg;
+    cfg.msgBytes = size;
+    bell.addRow({static_cast<double>(size),
+                 suite::runPingPong(clusterFor(baseline()), cfg).latencyUsec,
+                 suite::runPingPong(clusterFor(trapBell), cfg).latencyUsec});
+  }
+  vibe::bench::emit(bell);
+  std::printf("Two doorbells ring per round trip (recv + send), so the trap\n"
+              "adds ~4.7 us to one-way latency at every size.\n\n");
+
+  // --- C: translation-cache size --------------------------------------
+  suite::ResultTable tlb(
+      "C. cache size (host-table scheme), 12 KB @ 0% reuse",
+      {"entries", "latency_us", "bandwidth_MBps"});
+  for (const std::size_t entries : {16u, 64u, 256u, 1024u}) {
+    nic::NicProfile p = nicHostTbl;
+    p.tlbEntries = entries;
+    suite::TransferConfig cfg;
+    cfg.msgBytes = 12288;
+    cfg.reusePercent = 0;
+    cfg.bufferPool = 160;
+    cfg.iterations = 400;  // several full pool cycles, so a cache that can
+    cfg.warmup = 170;      // hold the working set actually gets warm
+    const auto ping = suite::runPingPong(clusterFor(p), cfg);
+    suite::TransferConfig bcfg = cfg;
+    bcfg.burst = 100;
+    const auto bw = suite::runBandwidth(clusterFor(p), bcfg);
+    tlb.addRow({static_cast<double>(entries), ping.latencyUsec,
+                bw.bandwidthMBps});
+  }
+  vibe::bench::emit(tlb);
+  std::printf("A 160-buffer working set (480 pages at 12 KB) defeats any\n"
+              "cache smaller than the pool — capacity, not policy, decides.\n\n");
+
+  // --- D: interrupt cost vs blocking ----------------------------------
+  suite::ResultTable irq("D. interrupt cost: blocking 4 B reap",
+                         {"irq_us", "latency_us", "recv_cpu_pct"});
+  for (const double cost : {3.0, 7.0, 15.0, 30.0}) {
+    nic::NicProfile p = baseline();
+    p.interruptCost = sim::usec(cost);
+    suite::TransferConfig cfg;
+    cfg.msgBytes = 4;
+    cfg.reap = suite::ReapMode::Block;
+    const auto r = suite::runPingPong(clusterFor(p), cfg);
+    irq.addRow({cost, r.latencyUsec, r.receiverCpuPct});
+  }
+  vibe::bench::emit(irq);
+  std::printf(
+      "Each microsecond of interrupt cost lands 1:1 in the blocking round\n"
+      "trip (two reaps per round trip, one per direction); the measured\n"
+      "utilization falls only because the same busy work spreads over a\n"
+      "longer iteration.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared helpers for the VIBe bench binaries: the three paper profiles,
+// paper-reference printing, and result assembly.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "nic/profiles.hpp"
+#include "vibe/cluster.hpp"
+#include "vibe/results.hpp"
+
+namespace vibe::bench {
+
+struct NamedProfile {
+  std::string shortName;
+  nic::NicProfile profile;
+};
+
+inline std::vector<NamedProfile> paperProfiles() {
+  return {{"mvia", nic::mviaProfile()},
+          {"bvia", nic::bviaProfile()},
+          {"clan", nic::clanProfile()}};
+}
+
+inline suite::ClusterConfig clusterFor(const nic::NicProfile& p,
+                                       std::uint32_t nodes = 2) {
+  suite::ClusterConfig c;
+  c.profile = p;
+  c.nodes = nodes;
+  return c;
+}
+
+/// Prints a table; with VIBE_CSV=1 in the environment, also emits the
+/// machine-readable CSV block (for plotting scripts).
+inline void emit(const suite::ResultTable& table, int precision = 2) {
+  std::printf("%s\n", table.renderText(precision).c_str());
+  const char* csv = std::getenv("VIBE_CSV");
+  if (csv != nullptr && csv[0] == '1') {
+    std::printf("--- csv: %s ---\n%s--- end csv ---\n\n",
+                table.title().c_str(), table.renderCsv().c_str());
+  }
+}
+
+inline void printHeader(const std::string& what, const std::string& paperRef) {
+  std::printf("\n############################################################\n");
+  std::printf("# VIBe reproduction: %s\n", what.c_str());
+  std::printf("# Paper reference: %s\n", paperRef.c_str());
+  std::printf("############################################################\n");
+}
+
+}  // namespace vibe::bench

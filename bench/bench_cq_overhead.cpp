@@ -1,0 +1,50 @@
+// §4.3.3: impact of completion queues. Latency with receive completions
+// checked through a CQ versus directly on the work queue. Paper finding:
+// negligible for M-VIA and cLAN; 2-5 us of overhead for BVIA (the firmware
+// writes a second completion record into NIC-resident CQ memory).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "vibe/datatransfer.hpp"
+
+int main() {
+  using namespace vibe;
+  using namespace vibe::bench;
+
+  printHeader("Impact of completion queues",
+              "Section 4.3.3: CQ overhead negligible for M-VIA/cLAN, "
+              "2-5 us for BVIA");
+
+  suite::ResultTable t("CQ overhead on one-way latency (us)",
+                       {"bytes", "mvia_wq", "mvia_cq", "bvia_wq", "bvia_cq",
+                        "clan_wq", "clan_cq"});
+  for (const std::uint64_t size : {4ull, 256ull, 1024ull, 4096ull, 28672ull}) {
+    std::vector<double> row{static_cast<double>(size)};
+    for (const auto& np : paperProfiles()) {
+      suite::TransferConfig direct;
+      direct.msgBytes = size;
+      direct.reap = suite::ReapMode::Poll;
+      const auto wq = suite::runPingPong(clusterFor(np.profile), direct);
+      suite::TransferConfig viaCq = direct;
+      viaCq.reap = suite::ReapMode::PollCq;
+      const auto cq = suite::runPingPong(clusterFor(np.profile), viaCq);
+      row.push_back(wq.latencyUsec);
+      row.push_back(cq.latencyUsec);
+    }
+    t.addRow(row);
+  }
+  vibe::bench::emit(t);
+
+  std::printf("Per-implementation CQ overhead at 4 B (cq - wq):\n");
+  for (const auto& np : paperProfiles()) {
+    suite::TransferConfig direct;
+    direct.msgBytes = 4;
+    const auto wq = suite::runPingPong(clusterFor(np.profile), direct);
+    suite::TransferConfig viaCq = direct;
+    viaCq.reap = suite::ReapMode::PollCq;
+    const auto cq = suite::runPingPong(clusterFor(np.profile), viaCq);
+    std::printf("  %-6s %+0.2f us\n", np.shortName.c_str(),
+                cq.latencyUsec - wq.latencyUsec);
+  }
+  return 0;
+}

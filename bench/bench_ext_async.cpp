@@ -1,0 +1,37 @@
+// TR §3.2.5 extension: asynchronous message handling (L_async) — receive
+// completions delivered through the VipRecvNotify handler instead of
+// polling or blocking. The handler dispatch costs an interrupt, so async
+// latency sits between polling and blocking-with-wakeup.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "vibe/datatransfer.hpp"
+
+int main() {
+  using namespace vibe;
+  using namespace vibe::bench;
+
+  printHeader("Impact of asynchronous (notify) message handling",
+              "TR §3.2.5: notify adds interrupt-dispatch cost over polling");
+
+  suite::ResultTable t("One-way latency (us): poll vs notify vs block",
+                       {"bytes", "mvia_poll", "mvia_notify", "mvia_block",
+                        "bvia_poll", "bvia_notify", "bvia_block",
+                        "clan_poll", "clan_notify", "clan_block"});
+  for (const std::uint64_t size : {4ull, 256ull, 4096ull, 28672ull}) {
+    std::vector<double> row{static_cast<double>(size)};
+    for (const auto& np : paperProfiles()) {
+      for (const auto mode : {suite::ReapMode::Poll, suite::ReapMode::Notify,
+                              suite::ReapMode::Block}) {
+        suite::TransferConfig cfg;
+        cfg.msgBytes = size;
+        cfg.reap = mode;
+        const auto r = suite::runPingPong(clusterFor(np.profile), cfg);
+        row.push_back(r.latencyUsec);
+      }
+    }
+    t.addRow(row);
+  }
+  vibe::bench::emit(t);
+  return 0;
+}

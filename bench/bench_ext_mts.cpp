@@ -1,0 +1,39 @@
+// TR §3.2.5 extension: maximum transfer size (B_mts). A fixed amount of
+// data is moved in chunks of the negotiated MaxTransferSize: small MTS
+// forces many messages (per-message overhead dominates), large MTS
+// amortizes it. The per-message overhead ranking (BVIA > M-VIA > cLAN)
+// determines how much each implementation suffers at small MTS.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "vibe/datatransfer.hpp"
+
+int main() {
+  using namespace vibe;
+  using namespace vibe::bench;
+
+  printHeader("Impact of maximum transfer size",
+              "TR §3.2.5: small MTS multiplies per-message overhead; "
+              "bandwidth approaches the base curve as MTS grows");
+
+  constexpr std::uint64_t kTotalBytes = 512 * 1024;
+  const std::uint32_t mtsValues[] = {512, 1024, 2048, 4096, 8192, 16384,
+                                     32768, 65536};
+
+  suite::ResultTable t("Effective bandwidth (MB/s) moving 512 KiB",
+                       {"mts_bytes", "mvia", "bvia", "clan"});
+  for (const std::uint32_t mts : mtsValues) {
+    std::vector<double> row{static_cast<double>(mts)};
+    for (const auto& np : paperProfiles()) {
+      suite::TransferConfig cfg;
+      cfg.maxTransferSize = mts;
+      cfg.msgBytes = std::min<std::uint64_t>(mts, np.profile.maxTransferSize);
+      cfg.burst = static_cast<int>(kTotalBytes / cfg.msgBytes);
+      const auto r = suite::runBandwidth(clusterFor(np.profile), cfg);
+      row.push_back(r.bandwidthMBps);
+    }
+    t.addRow(row);
+  }
+  vibe::bench::emit(t);
+  return 0;
+}

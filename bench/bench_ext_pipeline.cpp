@@ -1,0 +1,38 @@
+// TR §3.2.5 extension: sender pipeline length (B_pipe) — streaming
+// bandwidth versus the number of outstanding send descriptors. One
+// outstanding send degenerates to half-round-trip pacing; a few outstanding
+// messages saturate the bottleneck stage.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "vibe/datatransfer.hpp"
+
+int main() {
+  using namespace vibe;
+  using namespace vibe::bench;
+
+  printHeader("Impact of sender pipeline length",
+              "TR §3.2.5: bandwidth climbs with pipeline depth and "
+              "saturates once the bottleneck stage stays busy");
+
+  const int depths[] = {1, 2, 4, 8, 16, 0 /* unlimited */};
+  for (const std::uint64_t size : {1024ull, 4096ull, 28672ull}) {
+    suite::ResultTable t(
+        "Bandwidth (MB/s), " + std::to_string(size) + " B messages",
+        {"depth", "mvia", "bvia", "clan"});
+    for (const int depth : depths) {
+      std::vector<double> row{depth == 0 ? 999.0 : static_cast<double>(depth)};
+      for (const auto& np : paperProfiles()) {
+        suite::TransferConfig cfg;
+        cfg.msgBytes = size;
+        cfg.pipelineDepth = depth;
+        const auto r = suite::runBandwidth(clusterFor(np.profile), cfg);
+        row.push_back(r.bandwidthMBps);
+      }
+      t.addRow(row);
+    }
+    vibe::bench::emit(t);
+    std::printf("(depth 999 = unlimited: the whole burst posted up front)\n\n");
+  }
+  return 0;
+}

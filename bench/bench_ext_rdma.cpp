@@ -1,0 +1,50 @@
+// TR §3.2.5 extension: RDMA operations (L_rdma / B_rdma). RDMA write with
+// immediate data versus the send/receive model. BVIA 2.2 does not
+// implement RDMA — its cells print as n/s, itself a VIBe insight.
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "bench_common.hpp"
+#include "vibe/datatransfer.hpp"
+
+int main() {
+  using namespace vibe;
+  using namespace vibe::bench;
+
+  printHeader("RDMA write vs send/receive",
+              "TR §3.2.5: RDMA write skips receive-descriptor matching; "
+              "BVIA lacks RDMA entirely (reported as n/s)");
+
+  suite::ResultTable lat("One-way latency (us): send/recv vs RDMA write",
+                         {"bytes", "mvia_sr", "mvia_rdma", "bvia_sr",
+                          "bvia_rdma", "clan_sr", "clan_rdma"});
+  suite::ResultTable bw("Bandwidth (MB/s): send/recv vs RDMA write",
+                        {"bytes", "mvia_sr", "mvia_rdma", "bvia_sr",
+                         "bvia_rdma", "clan_sr", "clan_rdma"});
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+
+  for (const std::uint64_t size : {4ull, 1024ull, 4096ull, 28672ull}) {
+    std::vector<double> latRow{static_cast<double>(size)};
+    std::vector<double> bwRow{static_cast<double>(size)};
+    for (const auto& np : paperProfiles()) {
+      suite::TransferConfig sr;
+      sr.msgBytes = size;
+      const auto pingSr = suite::runPingPong(clusterFor(np.profile), sr);
+      const auto bwSr = suite::runBandwidth(clusterFor(np.profile), sr);
+      suite::TransferConfig rd = sr;
+      rd.useRdmaWrite = true;
+      const auto pingRd = suite::runPingPong(clusterFor(np.profile), rd);
+      const auto bwRd = suite::runBandwidth(clusterFor(np.profile), rd);
+      latRow.push_back(pingSr.latencyUsec);
+      latRow.push_back(pingRd.supported ? pingRd.latencyUsec : nan);
+      bwRow.push_back(bwSr.bandwidthMBps);
+      bwRow.push_back(bwRd.supported ? bwRd.bandwidthMBps : nan);
+    }
+    lat.addRow(latRow);
+    bw.addRow(bwRow);
+  }
+  vibe::bench::emit(lat);
+  vibe::bench::emit(bw);
+  return 0;
+}

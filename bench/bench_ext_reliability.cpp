@@ -1,0 +1,88 @@
+// TR §3.2.5 extension: reliability levels (L_rel / B_rel). Unreliable
+// delivery completes sends locally; Reliable Delivery waits for the NIC
+// receipt ack; Reliable Reception waits for the memory-placement ack. The
+// benchmark also shows goodput under injected frame loss, where the
+// reliable levels pay retransmission while Unreliable silently loses data.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "vibe/datatransfer.hpp"
+
+int main() {
+  using namespace vibe;
+  using namespace vibe::bench;
+
+  printHeader("Impact of reliability level",
+              "TR §3.2.5: UD < RD < RR in send-completion cost; ping-pong "
+              "latency is similar (the reply already acknowledges), "
+              "bandwidth differs via ack/window pressure");
+
+  const nic::Reliability levels[] = {nic::Reliability::Unreliable,
+                                     nic::Reliability::ReliableDelivery,
+                                     nic::Reliability::ReliableReception};
+
+  suite::ResultTable lat("One-way latency (us) by reliability level",
+                         {"bytes", "mvia_ud", "mvia_rd", "mvia_rr",
+                          "bvia_ud", "bvia_rd", "bvia_rr", "clan_ud",
+                          "clan_rd", "clan_rr"});
+  suite::ResultTable bw("Bandwidth (MB/s) by reliability level",
+                        {"bytes", "mvia_ud", "mvia_rd", "mvia_rr",
+                         "bvia_ud", "bvia_rd", "bvia_rr", "clan_ud",
+                         "clan_rd", "clan_rr"});
+  for (const std::uint64_t size : {4ull, 1024ull, 4096ull, 28672ull}) {
+    std::vector<double> latRow{static_cast<double>(size)};
+    std::vector<double> bwRow{static_cast<double>(size)};
+    for (const auto& np : paperProfiles()) {
+      for (const auto level : levels) {
+        suite::TransferConfig cfg;
+        cfg.msgBytes = size;
+        cfg.reliability = level;
+        const auto ping = suite::runPingPong(clusterFor(np.profile), cfg);
+        latRow.push_back(ping.latencyUsec);
+        const auto stream = suite::runBandwidth(clusterFor(np.profile), cfg);
+        bwRow.push_back(stream.bandwidthMBps);
+      }
+    }
+    lat.addRow(latRow);
+    bw.addRow(bwRow);
+  }
+  vibe::bench::emit(lat);
+  vibe::bench::emit(bw);
+
+  // The level semantics show up in *send completion* time: UD completes at
+  // local transmit, RD at the remote NIC's receipt ack, RR only once the
+  // data has been placed in target memory.
+  suite::ResultTable sc("Send post-to-completion time (us), 4096 B",
+                        {"impl", "ud", "rd", "rr"});
+  int idx = 0;
+  for (const auto& np : paperProfiles()) {
+    std::vector<double> row{static_cast<double>(idx++)};
+    for (const auto level : levels) {
+      suite::TransferConfig cfg;
+      cfg.msgBytes = 4096;
+      cfg.reliability = level;
+      cfg.measureSendCompletion = true;
+      const auto r = suite::runPingPong(clusterFor(np.profile), cfg);
+      row.push_back(r.sendCompletionUsec);
+    }
+    sc.addRow(row);
+  }
+  vibe::bench::emit(sc);
+  std::printf("(impl: 0 = M-VIA, 1 = BVIA, 2 = cLAN)\n\n");
+
+  // Reliable goodput under loss: RD keeps delivering (slower), UD loses.
+  suite::ResultTable lossT(
+      "cLAN 4 KiB bandwidth (MB/s) under frame loss, RD",
+      {"loss_pct", "rd_bandwidth"});
+  for (const double loss : {0.0, 0.01, 0.05}) {
+    suite::ClusterConfig cc = clusterFor(nic::clanProfile());
+    cc.lossRate = loss;
+    suite::TransferConfig cfg;
+    cfg.msgBytes = 4096;
+    cfg.burst = 100;
+    const auto r = suite::runBandwidth(cc, cfg);
+    lossT.addRow({loss * 100.0, r.bandwidthMBps});
+  }
+  vibe::bench::emit(lossT);
+  return 0;
+}

@@ -1,0 +1,38 @@
+// TR §3.2.5 extension: impact of multiple data segments per descriptor
+// (L_seg / B_seg). Each implementation pays a per-segment cost at post time
+// and (for NIC-processed models) in the gather/scatter engine.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "vibe/datatransfer.hpp"
+
+int main() {
+  using namespace vibe;
+  using namespace vibe::bench;
+
+  printHeader("Impact of multiple data segments",
+              "TR OSU-CISRC-10/00-TR20 §3.2.5: latency grows with segment "
+              "count; steepest where segment handling is in slow firmware "
+              "(BVIA), shallowest on the host-copy path (M-VIA)");
+
+  const int segCounts[] = {1, 2, 4, 8, 16, 32};
+  for (const std::uint64_t size : {256ull, 4096ull, 28672ull}) {
+    suite::ResultTable t(
+        "One-way latency (us), " + std::to_string(size) + " B message",
+        {"segments", "mvia", "bvia", "clan"});
+    for (const int segs : segCounts) {
+      if (static_cast<std::uint64_t>(segs) > size) continue;
+      std::vector<double> row{static_cast<double>(segs)};
+      for (const auto& np : paperProfiles()) {
+        suite::TransferConfig cfg;
+        cfg.msgBytes = size;
+        cfg.dataSegments = segs;
+        const auto r = suite::runPingPong(clusterFor(np.profile), cfg);
+        row.push_back(r.latencyUsec);
+      }
+      t.addRow(row);
+    }
+    vibe::bench::emit(t);
+  }
+  return 0;
+}

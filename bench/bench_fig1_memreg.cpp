@@ -1,0 +1,34 @@
+// Fig. 1: memory registration cost vs buffer length for the three
+// implementations. Paper shape: registration is most expensive on BVIA for
+// buffers up to ~20 KB (host<->firmware dialog to install pages in the
+// NIC-visible tables); M-VIA's per-page pinning cost grows fastest, so the
+// curves cross above ~20 KB.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "vibe/nondata.hpp"
+
+int main() {
+  using namespace vibe;
+  using namespace vibe::bench;
+
+  printHeader("Memory registration cost",
+              "Fig. 1: BVIA most expensive up to ~20 KB; costs grow with "
+              "page count; all under ~35 us in the plotted range");
+
+  suite::ResultTable t("Registration cost (us) vs buffer length",
+                       {"bytes", "mvia", "bvia", "clan"});
+  std::vector<std::vector<suite::MemCostPoint>> sweeps;
+  for (const auto& np : paperProfiles()) {
+    sweeps.push_back(
+        suite::runMemCostSweep(clusterFor(np.profile, 1),
+                               suite::paperBufferSizes()));
+  }
+  for (std::size_t i = 0; i < sweeps[0].size(); ++i) {
+    t.addRow({static_cast<double>(sweeps[0][i].bytes),
+              sweeps[0][i].registerUs, sweeps[1][i].registerUs,
+              sweeps[2][i].registerUs});
+  }
+  vibe::bench::emit(t);
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 6: impact of the number of active VIs — latency and bandwidth for
+// BVIA, whose firmware polls a descriptor structure for every active VI
+// (discovery time grows linearly with VI count). M-VIA and cLAN controls
+// do not change, as the paper reports.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "vibe/datatransfer.hpp"
+
+int main() {
+  using namespace vibe;
+  using namespace vibe::bench;
+
+  printHeader("Impact of multiple active VIs",
+              "Fig. 6: BVIA latency rises and bandwidth falls with the "
+              "number of active VIs (firmware polls every VI); M-VIA and "
+              "cLAN unaffected");
+
+  const int viCounts[] = {1, 4, 8, 16, 32};
+  const std::uint64_t sizes[] = {4, 1024, 4096, 12288, 28672};
+
+  suite::ResultTable lat("BVIA one-way latency (us) vs #VIs",
+                         {"bytes", "v1", "v4", "v8", "v16", "v32"});
+  suite::ResultTable bw("BVIA bandwidth (MB/s) vs #VIs",
+                        {"bytes", "v1", "v4", "v8", "v16", "v32"});
+
+  const auto bvia = nic::bviaProfile();
+  for (const std::uint64_t size : sizes) {
+    std::vector<double> latRow{static_cast<double>(size)};
+    std::vector<double> bwRow{static_cast<double>(size)};
+    for (const int vis : viCounts) {
+      suite::TransferConfig cfg;
+      cfg.msgBytes = size;
+      cfg.extraVis = vis - 1;
+      const auto ping = suite::runPingPong(clusterFor(bvia), cfg);
+      latRow.push_back(ping.latencyUsec);
+      const auto stream = suite::runBandwidth(clusterFor(bvia), cfg);
+      bwRow.push_back(stream.bandwidthMBps);
+    }
+    lat.addRow(latRow);
+    bw.addRow(bwRow);
+  }
+  vibe::bench::emit(lat);
+  vibe::bench::emit(bw);
+
+  suite::ResultTable ctrl("Control: 4 B latency (us) with 1 vs 32 VIs",
+                          {"impl", "v1", "v32"});
+  int idx = 0;
+  for (const auto& np : paperProfiles()) {
+    suite::TransferConfig cfg;
+    cfg.msgBytes = 4;
+    const auto one = suite::runPingPong(clusterFor(np.profile), cfg);
+    cfg.extraVis = 31;
+    const auto many = suite::runPingPong(clusterFor(np.profile), cfg);
+    ctrl.addRow({static_cast<double>(idx++), one.latencyUsec,
+                 many.latencyUsec});
+  }
+  vibe::bench::emit(ctrl);
+  std::printf("(impl: 0 = M-VIA, 1 = BVIA, 2 = cLAN — only BVIA moves)\n");
+  return 0;
+}

@@ -1,0 +1,123 @@
+// LogP parameter extraction. The paper argues (§1) that the LogP model's
+// four parameters cannot answer the questions VIBe probes — but they are
+// still the common currency for communication-layer comparisons, so this
+// bench extracts them from each implementation model:
+//   o_s : sender overhead   (CPU time inside VipPostSend, incl. doorbell)
+//   o_r : receiver overhead (CPU time to reap an already-arrived message)
+//   g   : gap               (inverse small-message streaming rate)
+//   L   : latency           (one-way time minus the overheads)
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "vibe/datatransfer.hpp"
+#include "vipl/vipl.hpp"
+
+namespace {
+
+using namespace vibe;
+
+struct LogP {
+  double os = 0;
+  double orr = 0;
+  double g = 0;
+  double latency = 0;  // total one-way
+  double L = 0;        // latency - os - orr
+};
+
+LogP extract(const nic::NicProfile& profile) {
+  LogP result;
+
+  // Overheads: timed directly around the API calls on a live connection.
+  suite::ClusterConfig cc = bench::clusterFor(profile);
+  suite::Cluster cluster(cc);
+  constexpr int kIters = 50;
+  auto sender = [&](suite::NodeEnv& env) {
+    vipl::Provider& nic = env.nic;
+    auto ptag = vipl::VipCreatePtag(nic);
+    auto buf = nic.memory().alloc(4096, mem::kPageSize);
+    mem::MemHandle h = 0;
+    vipl::VipRegisterMem(nic, buf, 4096, {ptag, false, false}, h);
+    vipl::Vi* vi = nullptr;
+    vipl::VipViAttributes va;
+    va.ptag = ptag;
+    va.reliabilityLevel = nic::Reliability::ReliableDelivery;
+    vipl::VipCreateVi(nic, va, nullptr, nullptr, vi);
+    vipl::VipConnectRequest(nic, vi, {1, 3}, sim::kSecond);
+    double postTotal = 0;
+    for (int i = 0; i < kIters; ++i) {
+      vipl::VipDescriptor d = vipl::VipDescriptor::send(buf, h, 4);
+      const sim::SimTime t0 = env.now();
+      vipl::VipPostSend(nic, vi, &d);
+      postTotal += sim::toUsec(env.now() - t0);  // o_s: caller-blocked time
+      vipl::VipDescriptor* done = nullptr;
+      nic.pollSend(vi, done);
+      env.self.advance(sim::usec(200), sim::CpuUse::Idle);  // drain pipeline
+    }
+    result.os = postTotal / kIters;
+  };
+  auto receiver = [&](suite::NodeEnv& env) {
+    vipl::Provider& nic = env.nic;
+    auto ptag = vipl::VipCreatePtag(nic);
+    auto buf = nic.memory().alloc(4096, mem::kPageSize);
+    mem::MemHandle h = 0;
+    vipl::VipRegisterMem(nic, buf, 4096, {ptag, false, false}, h);
+    vipl::Vi* vi = nullptr;
+    vipl::VipViAttributes va;
+    va.ptag = ptag;
+    va.reliabilityLevel = nic::Reliability::ReliableDelivery;
+    vipl::VipCreateVi(nic, va, nullptr, nullptr, vi);
+    vipl::PendingConn conn;
+    vipl::VipConnectWait(nic, {1, 3}, sim::kSecond, conn);
+    vipl::VipConnectAccept(nic, conn, vi);
+    double reapTotal = 0;
+    for (int i = 0; i < kIters; ++i) {
+      vipl::VipDescriptor d = vipl::VipDescriptor::recv(buf, h, 4096);
+      vipl::VipPostRecv(nic, vi, &d);
+      // Let the message arrive and settle, then time only the reap.
+      env.self.advance(sim::usec(150), sim::CpuUse::Idle);
+      const sim::SimTime t0 = env.now();
+      vipl::VipDescriptor* done = nullptr;
+      nic.recvDone(vi, done);
+      reapTotal += sim::toUsec(env.now() - t0);  // o_r: completed reap
+    }
+    result.orr = reapTotal / kIters;
+  };
+  cluster.run({sender, receiver});
+
+  // Latency and gap from the standard suite probes.
+  suite::TransferConfig tiny;
+  tiny.msgBytes = 4;
+  result.latency = suite::runPingPong(bench::clusterFor(profile), tiny)
+                       .latencyUsec;
+  suite::TransferConfig stream = tiny;
+  stream.burst = 200;
+  const double mbps =
+      suite::runBandwidth(bench::clusterFor(profile), stream).bandwidthMBps;
+  result.g = 4.0 / mbps;  // us between 4-byte message injections
+  result.L = result.latency - result.os - result.orr;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  using namespace vibe::bench;
+  printHeader("LogP parameters of the three implementations",
+              "Section 1: 'the LogP model attempts to capture the major "
+              "characteristics with a few parameters' — extracted here for "
+              "reference, though VIBe exists because they do not suffice");
+
+  std::printf("%-8s %10s %10s %10s %12s %10s\n", "impl", "o_s (us)",
+              "o_r (us)", "g (us)", "lat 4B (us)", "L (us)");
+  for (const auto& np : paperProfiles()) {
+    const LogP p = extract(np.profile);
+    std::printf("%-8s %10.2f %10.2f %10.2f %12.2f %10.2f\n",
+                np.shortName.c_str(), p.os, p.orr, p.g, p.latency, p.L);
+  }
+  std::printf(
+      "\nWhat LogP hides (and VIBe shows): o_s/o_r say nothing about how\n"
+      "they scale with buffer reuse, active VIs, or segment counts; g is a\n"
+      "single number although the gap of firmware implementations grows\n"
+      "with every active VI; L mixes NIC processing with wire time.\n");
+  return 0;
+}

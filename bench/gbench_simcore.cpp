@@ -1,0 +1,87 @@
+// Wall-clock microbenchmarks of the simulation substrate itself
+// (google-benchmark): event throughput, process context-switch cost,
+// resource pipeline arithmetic, and PRNG speed. These bound how fast the
+// VIBe suite itself runs — useful when extending the workloads.
+#include <benchmark/benchmark.h>
+
+#include "simcore/engine.hpp"
+#include "simcore/process.hpp"
+#include "simcore/prng.hpp"
+#include "simcore/resource.hpp"
+
+namespace {
+
+using namespace vibe::sim;
+
+void BM_EventDispatch(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine eng;
+    for (int i = 0; i < batch; ++i) {
+      eng.post(i, [] {});
+    }
+    eng.run();
+    benchmark::DoNotOptimize(eng.executedEvents());
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_EventDispatch)->Arg(1000)->Arg(10000);
+
+void BM_SelfRescheduling(benchmark::State& state) {
+  // A single event chain of depth N: stresses push/pop interleaving.
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine eng;
+    int remaining = depth;
+    std::function<void()> step = [&] {
+      if (--remaining > 0) eng.post(1, step);
+    };
+    eng.post(1, step);
+    eng.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * depth);
+}
+BENCHMARK(BM_SelfRescheduling)->Arg(10000);
+
+void BM_ProcessContextSwitch(benchmark::State& state) {
+  // Each advance() is two OS-level handoffs (engine->proc->engine).
+  const int hops = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Engine eng;
+    Process p(eng, "hopper", [&] {
+      for (int i = 0; i < hops; ++i) {
+        eng.currentProcess()->advance(10);
+      }
+    });
+    eng.run();
+  }
+  state.SetItemsProcessed(state.iterations() * hops);
+}
+BENCHMARK(BM_ProcessContextSwitch)->Arg(200);
+
+void BM_ResourceAcquire(benchmark::State& state) {
+  Resource r("bench");
+  SimTime t = 0;
+  for (auto _ : state) {
+    t = r.acquire(t, 3);
+    benchmark::DoNotOptimize(t);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ResourceAcquire);
+
+void BM_PrngUniform(benchmark::State& state) {
+  Xoshiro256 rng(42);
+  double acc = 0;
+  for (auto _ : state) {
+    acc += rng.uniform();
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PrngUniform);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Wall-clock microbenchmarks of the VIPL/NIC stack (google-benchmark):
+// how many simulated ping-pongs and registrations per second the harness
+// executes. These are simulator-performance numbers, not VIA-performance
+// numbers — the virtual-time results live in the bench_* binaries.
+#include <benchmark/benchmark.h>
+
+#include "nic/profiles.hpp"
+#include "vibe/clientserver.hpp"
+#include "vibe/datatransfer.hpp"
+#include "upper/dsm/dsm.hpp"
+#include "upper/msg/communicator.hpp"
+#include "vibe/nondata.hpp"
+
+namespace {
+
+using namespace vibe;
+
+suite::ClusterConfig clanCluster() {
+  suite::ClusterConfig c;
+  c.profile = nic::clanProfile();
+  return c;
+}
+
+void BM_SimulatedPingPong(benchmark::State& state) {
+  const int iters = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    suite::TransferConfig cfg;
+    cfg.msgBytes = 64;
+    cfg.iterations = iters;
+    cfg.warmup = 4;
+    const auto r = suite::runPingPong(clanCluster(), cfg);
+    benchmark::DoNotOptimize(r.latencyUsec);
+  }
+  state.SetItemsProcessed(state.iterations() * iters);
+  state.SetLabel("simulated round trips");
+}
+BENCHMARK(BM_SimulatedPingPong)->Arg(50)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedBandwidthBurst(benchmark::State& state) {
+  for (auto _ : state) {
+    suite::TransferConfig cfg;
+    cfg.msgBytes = 8192;
+    cfg.burst = 100;
+    const auto r = suite::runBandwidth(clanCluster(), cfg);
+    benchmark::DoNotOptimize(r.bandwidthMBps);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+  state.SetLabel("simulated messages");
+}
+BENCHMARK(BM_SimulatedBandwidthBurst)->Unit(benchmark::kMillisecond);
+
+void BM_MemRegistrationSweep(benchmark::State& state) {
+  for (auto _ : state) {
+    const auto pts = suite::runMemCostSweep(clanCluster(), {4096, 65536}, 4);
+    benchmark::DoNotOptimize(pts.size());
+  }
+  state.SetLabel("register/deregister pairs");
+}
+BENCHMARK(BM_MemRegistrationSweep)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatedTransactions(benchmark::State& state) {
+  for (auto _ : state) {
+    suite::ClientServerConfig cfg;
+    cfg.transactions = 50;
+    cfg.warmup = 5;
+    const auto r = suite::runClientServer(clanCluster(), cfg);
+    benchmark::DoNotOptimize(r.transactionsPerSec);
+  }
+  state.SetItemsProcessed(state.iterations() * 50);
+  state.SetLabel("simulated transactions");
+}
+BENCHMARK(BM_SimulatedTransactions)->Unit(benchmark::kMillisecond);
+
+void BM_MsgLayerExchange(benchmark::State& state) {
+  // Wall cost of a 4-rank allreduce + barrier through the message layer.
+  for (auto _ : state) {
+    suite::ClusterConfig cc;
+    cc.profile = nic::clanProfile();
+    cc.nodes = 4;
+    suite::Cluster cluster(cc);
+    std::vector<std::function<void(suite::NodeEnv&)>> programs;
+    for (std::uint32_t r = 0; r < 4; ++r) {
+      programs.push_back([r](suite::NodeEnv& env) {
+        auto comm = upper::msg::Communicator::create(env, r, 4, {});
+        double v = r + 1.0;
+        for (int i = 0; i < 10; ++i) v = comm->allreduceSum(v) / 4.0;
+        comm->barrier();
+        benchmark::DoNotOptimize(v);
+      });
+    }
+    cluster.run(std::move(programs));
+  }
+  state.SetItemsProcessed(state.iterations() * 10);
+  state.SetLabel("simulated 4-rank allreduces");
+}
+BENCHMARK(BM_MsgLayerExchange)->Unit(benchmark::kMillisecond);
+
+void BM_DsmSharedCounter(benchmark::State& state) {
+  for (auto _ : state) {
+    suite::ClusterConfig cc;
+    cc.profile = nic::clanProfile();
+    cc.nodes = 2;
+    suite::Cluster cluster(cc);
+    std::vector<std::function<void(suite::NodeEnv&)>> programs;
+    for (std::uint32_t r = 0; r < 2; ++r) {
+      programs.push_back([r](suite::NodeEnv& env) {
+        auto comm = upper::msg::Communicator::create(env, r, 2, {});
+        auto dsm = upper::dsm::DsmRegion::create(*comm, 4096, {});
+        for (int round = 0; round < 8; ++round) {
+          if (static_cast<int>(r) == round % 2) {
+            dsm->writeDouble(0, round);
+          }
+          dsm->barrier();
+        }
+      });
+    }
+    cluster.run(std::move(programs));
+  }
+  state.SetItemsProcessed(state.iterations() * 8);
+  state.SetLabel("simulated DSM rounds");
+}
+BENCHMARK(BM_DsmSharedCounter)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,21 @@
+// VIBe survey: runs a condensed version of the whole micro-benchmark suite
+// against one VIA implementation model and prints a report — the tool a
+// VIA developer would run first against a new implementation. The heavy
+// lifting lives in the suite library (vibe/report.hpp); the per-figure
+// bench binaries in bench/ print the full paper tables.
+//
+//   $ ./vibe_survey [mvia|bvia|clan|firmvia]
+#include <cstdio>
+#include <string>
+
+#include "nic/profiles.hpp"
+#include "vibe/report.hpp"
+
+int main(int argc, char** argv) {
+  using namespace vibe;
+  const std::string which = argc > 1 ? argv[1] : "clan";
+  const nic::NicProfile profile = nic::profileByName(which);
+  const suite::SurveyResult result = suite::runSurvey(profile);
+  std::fputs(suite::renderSurvey(result).c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,26 @@
+#include "fabric/link.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace vibe::fabric {
+
+void Link::send(Packet&& p) {
+  if (!sink_) throw sim::SimError("Link::send on unconnected link " + name_);
+  const std::uint64_t wire = p.wireBytes(params_.headerBytes);
+  const sim::Duration ser = sim::transferTime(wire, params_.bandwidthMBps);
+  const sim::SimTime done = tx_.acquire(engine_.now(), ser);
+  ++framesSent_;
+  bytesCarried_ += wire;
+  if (params_.lossRate > 0.0 && !isConnectionManagement(p.kind) &&
+      rng_.chance(params_.lossRate)) {
+    ++framesDropped_;
+    return;  // the wire time is still consumed; the frame just never arrives
+  }
+  // Move the packet into a shared holder so the std::function is copyable.
+  auto held = std::make_shared<Packet>(std::move(p));
+  engine_.postAt(done + params_.propagation,
+                 [this, held] { sink_(std::move(*held)); });
+}
+
+}  // namespace vibe::fabric

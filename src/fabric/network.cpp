@@ -1,0 +1,98 @@
+#include "fabric/network.hpp"
+
+#include <memory>
+#include <utility>
+
+namespace vibe::fabric {
+
+Network::Network(sim::Engine& engine, const NetworkParams& params)
+    : engine_(engine), params_(params), receivers_(params.nodes) {
+  uplinks_.reserve(params_.nodes);
+  downlinks_.reserve(params_.nodes);
+  for (NodeId n = 0; n < params_.nodes; ++n) {
+    LinkParams lp = params_.link;
+    lp.seed = params_.seed ^ (0x1000ULL + n);
+    auto up = std::make_unique<Link>(engine_, "up" + std::to_string(n), lp);
+    lp.seed = params_.seed ^ (0x2000ULL + n);
+    auto down = std::make_unique<Link>(engine_, "down" + std::to_string(n), lp);
+    // Uplink terminates at the host's switch: apply forwarding latency,
+    // then route (down a local port, or via the root for cross-leaf).
+    up->connect([this](Packet&& p) {
+      engine_.post(params_.switchLatency,
+                   [this, held = std::make_shared<Packet>(std::move(p))] {
+                     forward(std::move(*held));
+                   });
+    });
+    down->connect([this, n](Packet&& p) {
+      if (!receivers_[n]) {
+        throw sim::SimError("Network: no receiver registered for node " +
+                            std::to_string(n));
+      }
+      receivers_[n](std::move(p));
+    });
+    uplinks_.push_back(std::move(up));
+    downlinks_.push_back(std::move(down));
+  }
+
+  if (params_.nodesPerSwitch != 0) {
+    const std::uint32_t leaves =
+        (params_.nodes + params_.nodesPerSwitch - 1) / params_.nodesPerSwitch;
+    for (std::uint32_t leaf = 0; leaf < leaves; ++leaf) {
+      LinkParams tp = params_.trunk;
+      tp.seed = params_.seed ^ (0x3000ULL + leaf);
+      auto upTrunk = std::make_unique<Link>(
+          engine_, "trunkUp" + std::to_string(leaf), tp);
+      tp.seed = params_.seed ^ (0x4000ULL + leaf);
+      auto downTrunk = std::make_unique<Link>(
+          engine_, "trunkDown" + std::to_string(leaf), tp);
+      // Trunk up terminates at the root: root latency, then down the
+      // destination leaf's trunk.
+      upTrunk->connect([this](Packet&& p) {
+        engine_.post(params_.rootSwitchLatency,
+                     [this, held = std::make_shared<Packet>(std::move(p))] {
+                       forwardFromRoot(std::move(*held));
+                     });
+      });
+      // Trunk down terminates at the leaf: leaf latency, then the host port.
+      downTrunk->connect([this](Packet&& p) {
+        engine_.post(params_.switchLatency,
+                     [this, held = std::make_shared<Packet>(std::move(p))] {
+                       downlinks_.at(held->dst)->send(std::move(*held));
+                     });
+      });
+      trunkUp_.push_back(std::move(upTrunk));
+      trunkDown_.push_back(std::move(downTrunk));
+    }
+  }
+}
+
+void Network::setReceiver(NodeId node, Receiver rx) {
+  receivers_.at(node) = std::move(rx);
+}
+
+void Network::send(Packet&& p) {
+  if (p.src >= params_.nodes || p.dst >= params_.nodes) {
+    throw sim::SimError("Network::send: node id out of range");
+  }
+  if (p.src == p.dst) {
+    throw sim::SimError("Network::send: wire loopback not supported");
+  }
+  uplinks_[p.src]->send(std::move(p));
+}
+
+void Network::forward(Packet&& p) {
+  ++forwarded_;
+  if (hierarchical() && leafOf(p.src) != leafOf(p.dst)) {
+    // Cross-leaf: up the source leaf's trunk toward the root.
+    trunkUp_.at(leafOf(p.src))->send(std::move(p));
+    return;
+  }
+  downlinks_.at(p.dst)->send(std::move(p));
+}
+
+void Network::forwardFromRoot(Packet&& p) {
+  ++viaRoot_;
+  trunkDown_.at(leafOf(p.dst))->send(std::move(p));
+}
+
+}  // namespace vibe::fabric

@@ -1,0 +1,85 @@
+// SAN topologies.
+//
+// Default: a star — every host connects to one crossbar switch through a
+// full-duplex link pair, matching the paper's testbeds (Myrinet, Gigabit
+// Ethernet, and cLAN5000 cluster switches wiring a handful of PCs).
+//
+// Extension: a two-level tree (`nodesPerSwitch > 0`) — hosts attach to
+// leaf switches, leaves attach to one root switch through trunk links.
+// Cross-leaf traffic pays two extra link traversals and the root's
+// forwarding latency; trunks are shared, so they can become the bottleneck
+// exactly the way a real multi-switch SAN oversubscribes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/link.hpp"
+#include "fabric/packet.hpp"
+#include "simcore/engine.hpp"
+#include "simcore/resource.hpp"
+
+namespace vibe::fabric {
+
+struct NetworkParams {
+  std::uint32_t nodes = 2;
+  LinkParams link;                      // applied to every host<->switch link
+  sim::Duration switchLatency = 0;      // fixed cut-through forwarding delay
+  std::uint64_t seed = 1;               // base seed; links derive from it
+
+  // Two-level tree (0 = flat star). Hosts [k*nodesPerSwitch, ...) share
+  // leaf switch k; leaves connect to a root switch via trunk links.
+  std::uint32_t nodesPerSwitch = 0;
+  LinkParams trunk;                     // leaf<->root links
+  sim::Duration rootSwitchLatency = 0;
+};
+
+class Network {
+ public:
+  using Receiver = std::function<void(Packet&&)>;
+
+  Network(sim::Engine& engine, const NetworkParams& params);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  std::uint32_t nodeCount() const { return params_.nodes; }
+
+  /// Registers the NIC RX handler for a node.
+  void setReceiver(NodeId node, Receiver rx);
+
+  /// Injects a packet from its source node's uplink. The destination must
+  /// be a valid node other than the source (no loopback on the wire).
+  void send(Packet&& p);
+
+  /// Per-node links, exposed for failure injection and utilization stats.
+  Link& uplink(NodeId node) { return *uplinks_.at(node); }
+  Link& downlink(NodeId node) { return *downlinks_.at(node); }
+
+  std::uint64_t packetsForwarded() const { return forwarded_; }
+  /// Packets that crossed the root switch (two-level topology only).
+  std::uint64_t packetsViaRoot() const { return viaRoot_; }
+  bool hierarchical() const { return params_.nodesPerSwitch != 0; }
+  std::uint32_t leafOf(NodeId node) const {
+    return hierarchical() ? node / params_.nodesPerSwitch : 0;
+  }
+
+ private:
+  void forward(Packet&& p);
+  void forwardFromRoot(Packet&& p);
+
+  sim::Engine& engine_;
+  NetworkParams params_;
+  std::vector<std::unique_ptr<Link>> uplinks_;    // host -> switch
+  std::vector<std::unique_ptr<Link>> downlinks_;  // switch -> host
+  std::vector<std::unique_ptr<Link>> trunkUp_;    // leaf -> root
+  std::vector<std::unique_ptr<Link>> trunkDown_;  // root -> leaf
+  std::vector<Receiver> receivers_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t viaRoot_ = 0;
+};
+
+}  // namespace vibe::fabric

@@ -1,0 +1,97 @@
+// Wire-level packet format for the simulated SAN.
+//
+// The fabric moves real bytes: DATA/RDMA fragments carry their payload so
+// end-to-end tests can verify data integrity through fragmentation, loss,
+// and retransmission. Control packets (connection management, ACKs) carry
+// metadata only and are modelled as small fixed-size frames.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace vibe::fabric {
+
+/// Identifies a host on the fabric.
+using NodeId = std::uint32_t;
+
+/// Fabric-visible identifier of a VI endpoint on a node.
+using ViEndpointId = std::uint32_t;
+
+enum class PacketKind : std::uint8_t {
+  Data,          // send/recv model fragment
+  RdmaWrite,     // RDMA-write fragment (carries remote address)
+  RdmaReadReq,   // RDMA-read request (no payload)
+  RdmaReadResp,  // RDMA-read response fragment (carries payload)
+  Ack,           // reliability acknowledgment (cumulative, per VI)
+  ConnRequest,   // connection management handshake
+  ConnAccept,
+  ConnReject,
+  Disconnect,
+};
+
+/// Returns true for packet kinds that carry user payload bytes.
+constexpr bool carriesPayload(PacketKind k) {
+  return k == PacketKind::Data || k == PacketKind::RdmaWrite ||
+         k == PacketKind::RdmaReadResp;
+}
+
+/// Connection-management dialog frames. Real VIA implementations run this
+/// dialog over a separate reliable channel (M-VIA used kernel sockets, cLAN
+/// a managed hardware exchange), so the loss injector leaves them alone;
+/// only the data path experiences drops.
+constexpr bool isConnectionManagement(PacketKind k) {
+  return k == PacketKind::ConnRequest || k == PacketKind::ConnAccept ||
+         k == PacketKind::ConnReject || k == PacketKind::Disconnect;
+}
+
+/// Connection-management metadata exchanged during the VIA dialog.
+struct ConnInfo {
+  std::uint64_t discriminator = 0;  // service discriminator (VipConnectWait)
+  std::uint8_t reliability = 0;     // vipl reliability level (negotiated)
+  std::uint32_t mtu = 0;            // proposed/accepted maximum transfer size
+  std::uint32_t token = 0;          // matches request to accept/reject
+};
+
+struct Packet {
+  PacketKind kind = PacketKind::Data;
+  NodeId src = 0;
+  NodeId dst = 0;
+  ViEndpointId srcVi = 0;
+  ViEndpointId dstVi = 0;
+
+  // Message framing (send/recv and RDMA data path).
+  std::uint64_t fragSeq = 0;    // per-VI fragment sequence (reliability)
+  std::uint64_t msgSeq = 0;     // message sequence number within the VI
+  std::uint32_t fragIndex = 0;  // fragment index within the message
+  std::uint32_t fragCount = 1;  // total fragments of the message
+  std::uint64_t msgBytes = 0;   // total user bytes in the whole message
+  std::uint64_t offset = 0;     // byte offset of this fragment
+
+  // Immediate data travels in the control segment of the send descriptor.
+  bool hasImmediate = false;
+  std::uint32_t immediate = 0;
+
+  // RDMA addressing (remote virtual address + memory handle).
+  std::uint64_t remoteAddr = 0;
+  std::uint32_t remoteHandle = 0;
+
+  // Reliability: cumulative acknowledgments (fragment sequences). ackSeq
+  // acknowledges NIC receipt; ackPlacedSeq acknowledges placement into
+  // target memory (ReliableReception). rxError carries a remote protocol
+  // error back to the sender (maps onto nic::WorkStatus).
+  std::uint64_t ackSeq = 0;
+  std::uint64_t ackPlacedSeq = 0;
+  std::uint8_t rxError = 0;
+
+  ConnInfo conn;
+
+  std::vector<std::byte> payload;
+
+  /// Bytes occupying the wire: payload plus a fixed per-frame header.
+  std::uint64_t wireBytes(std::uint32_t headerBytes) const {
+    return payload.size() + headerBytes;
+  }
+};
+
+}  // namespace vibe::fabric

@@ -1,0 +1,67 @@
+#include "mem/host_memory.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace vibe::mem {
+
+VirtAddr HostMemory::alloc(std::uint64_t len, std::uint64_t align) {
+  if (align == 0) align = 1;
+  next_ = (next_ + align - 1) & ~(align - 1);
+  const VirtAddr va = next_;
+  next_ += std::max<std::uint64_t>(len, 1);
+  return va;
+}
+
+HostMemory::Page& HostMemory::touch(std::uint64_t pageIdx) {
+  auto& slot = pages_[pageIdx];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    slot->fill(std::byte{0});
+  }
+  return *slot;
+}
+
+void HostMemory::write(VirtAddr va, std::span<const std::byte> data) {
+  std::uint64_t off = 0;
+  while (off < data.size()) {
+    const VirtAddr cur = va + off;
+    const std::uint64_t inPage = cur & (kPageSize - 1);
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(kPageSize - inPage, data.size() - off);
+    Page& page = touch(pageOf(cur));
+    std::memcpy(page.data() + inPage, data.data() + off, chunk);
+    off += chunk;
+  }
+}
+
+void HostMemory::read(VirtAddr va, std::span<std::byte> out) const {
+  std::uint64_t off = 0;
+  while (off < out.size()) {
+    const VirtAddr cur = va + off;
+    const std::uint64_t inPage = cur & (kPageSize - 1);
+    const std::uint64_t chunk =
+        std::min<std::uint64_t>(kPageSize - inPage, out.size() - off);
+    auto it = pages_.find(pageOf(cur));
+    if (it == pages_.end()) {
+      std::memset(out.data() + off, 0, chunk);
+    } else {
+      std::memcpy(out.data() + off, it->second->data() + inPage, chunk);
+    }
+    off += chunk;
+  }
+}
+
+void HostMemory::fill(VirtAddr va, std::byte value, std::uint64_t len) {
+  std::uint64_t off = 0;
+  while (off < len) {
+    const VirtAddr cur = va + off;
+    const std::uint64_t inPage = cur & (kPageSize - 1);
+    const std::uint64_t chunk = std::min(kPageSize - inPage, len - off);
+    Page& page = touch(pageOf(cur));
+    std::memset(page.data() + inPage, static_cast<int>(value), chunk);
+    off += chunk;
+  }
+}
+
+}  // namespace vibe::mem

@@ -1,0 +1,81 @@
+#include "mem/memory_registry.hpp"
+
+namespace vibe::mem {
+
+const char* toString(MemStatus s) {
+  switch (s) {
+    case MemStatus::Ok: return "Ok";
+    case MemStatus::InvalidHandle: return "InvalidHandle";
+    case MemStatus::InvalidPtag: return "InvalidPtag";
+    case MemStatus::ProtectionMismatch: return "ProtectionMismatch";
+    case MemStatus::OutOfRange: return "OutOfRange";
+    case MemStatus::AccessDenied: return "AccessDenied";
+    case MemStatus::PtagInUse: return "PtagInUse";
+    case MemStatus::ZeroLength: return "ZeroLength";
+  }
+  return "Unknown";
+}
+
+PtagId MemoryRegistry::createPtag() {
+  const PtagId tag = nextPtag_++;
+  ptags_.insert(tag);
+  return tag;
+}
+
+MemStatus MemoryRegistry::destroyPtag(PtagId ptag) {
+  auto it = ptags_.find(ptag);
+  if (it == ptags_.end()) return MemStatus::InvalidPtag;
+  auto refs = ptagRefs_.find(ptag);
+  if (refs != ptagRefs_.end() && refs->second > 0) return MemStatus::PtagInUse;
+  ptags_.erase(it);
+  ptagRefs_.erase(ptag);
+  return MemStatus::Ok;
+}
+
+MemStatus MemoryRegistry::registerMem(VirtAddr va, std::uint64_t len,
+                                      const MemAttrs& attrs, MemHandle& out) {
+  out = 0;
+  if (len == 0) return MemStatus::ZeroLength;
+  if (!ptagValid(attrs.ptag)) return MemStatus::InvalidPtag;
+  const MemHandle handle = nextHandle_++;
+  regions_.emplace(handle, MemRegion{va, len, attrs});
+  ++ptagRefs_[attrs.ptag];
+  registeredBytes_ += len;
+  ++totalRegistrations_;
+  out = handle;
+  return MemStatus::Ok;
+}
+
+MemStatus MemoryRegistry::deregisterMem(MemHandle handle) {
+  auto it = regions_.find(handle);
+  if (it == regions_.end()) return MemStatus::InvalidHandle;
+  registeredBytes_ -= it->second.length;
+  --ptagRefs_[it->second.attrs.ptag];
+  regions_.erase(it);
+  return MemStatus::Ok;
+}
+
+const MemRegion* MemoryRegistry::find(MemHandle handle) const {
+  auto it = regions_.find(handle);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+MemStatus MemoryRegistry::validate(MemHandle handle, VirtAddr va,
+                                   std::uint64_t len, PtagId viPtag,
+                                   Access access) const {
+  const MemRegion* region = find(handle);
+  if (region == nullptr) return MemStatus::InvalidHandle;
+  if (region->attrs.ptag != viPtag) return MemStatus::ProtectionMismatch;
+  if (va < region->start || va + len > region->start + region->length) {
+    return MemStatus::OutOfRange;
+  }
+  if (access == Access::RdmaWriteTarget && !region->attrs.enableRdmaWrite) {
+    return MemStatus::AccessDenied;
+  }
+  if (access == Access::RdmaReadSource && !region->attrs.enableRdmaRead) {
+    return MemStatus::AccessDenied;
+  }
+  return MemStatus::Ok;
+}
+
+}  // namespace vibe::mem

@@ -1,0 +1,95 @@
+// VIA memory registration semantics.
+//
+// The VIA spec requires every buffer referenced by a descriptor to lie in a
+// registered memory region owned by the same protection tag as the VI. The
+// registry tracks regions, protection tags, and RDMA access rights, and
+// validates descriptor segments exactly the way a provider must before
+// letting the NIC touch user memory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mem/host_memory.hpp"
+
+namespace vibe::mem {
+
+/// Opaque handle returned by memory registration; 0 is invalid.
+using MemHandle = std::uint32_t;
+
+/// Protection tag; 0 is invalid.
+using PtagId = std::uint32_t;
+
+/// Why a registration/validation attempt failed.
+enum class MemStatus : std::uint8_t {
+  Ok,
+  InvalidHandle,      // unknown or deregistered handle
+  InvalidPtag,        // unknown protection tag
+  ProtectionMismatch, // handle owned by a different ptag
+  OutOfRange,         // [va, va+len) escapes the registered region
+  AccessDenied,       // RDMA access right not granted at registration
+  PtagInUse,          // destroyPtag while regions still reference it
+  ZeroLength,         // registration of an empty region
+};
+
+const char* toString(MemStatus s);
+
+/// Requested access rights for a registration.
+struct MemAttrs {
+  PtagId ptag = 0;
+  bool enableRdmaWrite = false;
+  bool enableRdmaRead = false;
+};
+
+struct MemRegion {
+  VirtAddr start = 0;
+  std::uint64_t length = 0;
+  MemAttrs attrs;
+};
+
+/// Kind of access a descriptor segment needs.
+enum class Access : std::uint8_t { Local, RdmaWriteTarget, RdmaReadSource };
+
+class MemoryRegistry {
+ public:
+  MemoryRegistry() = default;
+  MemoryRegistry(const MemoryRegistry&) = delete;
+  MemoryRegistry& operator=(const MemoryRegistry&) = delete;
+
+  // --- protection tags ---
+  PtagId createPtag();
+  MemStatus destroyPtag(PtagId ptag);
+  bool ptagValid(PtagId ptag) const { return ptags_.count(ptag) != 0; }
+
+  // --- registration ---
+  /// Registers [va, va+len). Returns Ok and sets `out`, or an error.
+  MemStatus registerMem(VirtAddr va, std::uint64_t len, const MemAttrs& attrs,
+                        MemHandle& out);
+  MemStatus deregisterMem(MemHandle handle);
+
+  /// Looks up an active region; nullptr if the handle is dead.
+  const MemRegion* find(MemHandle handle) const;
+
+  /// Full provider-side check: handle live, ptag matches, range inside the
+  /// region, and (for RDMA targets/sources) the right was granted.
+  MemStatus validate(MemHandle handle, VirtAddr va, std::uint64_t len,
+                     PtagId viPtag, Access access = Access::Local) const;
+
+  // --- introspection ---
+  std::size_t activeRegions() const { return regions_.size(); }
+  std::uint64_t registeredBytes() const { return registeredBytes_; }
+  std::uint64_t totalRegistrations() const { return totalRegistrations_; }
+
+ private:
+  std::unordered_map<MemHandle, MemRegion> regions_;
+  std::unordered_set<PtagId> ptags_;
+  std::unordered_map<PtagId, std::size_t> ptagRefs_;
+  MemHandle nextHandle_ = 1;
+  PtagId nextPtag_ = 1;
+  std::uint64_t registeredBytes_ = 0;
+  std::uint64_t totalRegistrations_ = 0;
+};
+
+}  // namespace vibe::mem

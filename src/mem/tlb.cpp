@@ -1,0 +1,47 @@
+#include "mem/tlb.hpp"
+
+namespace vibe::mem {
+
+bool Tlb::lookup(std::uint64_t page) {
+  auto it = map_.find(page);
+  if (it == map_.end()) {
+    ++misses_;
+    return false;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return true;
+}
+
+void Tlb::insert(std::uint64_t page) {
+  if (capacity_ == 0) return;
+  auto it = map_.find(page);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  lru_.push_front(page);
+  map_[page] = lru_.begin();
+}
+
+void Tlb::invalidateRange(std::uint64_t firstPage, std::uint64_t lastPage) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (*it >= firstPage && *it <= lastPage) {
+      map_.erase(*it);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Tlb::flush() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace vibe::mem

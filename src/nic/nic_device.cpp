@@ -1,0 +1,953 @@
+#include "nic/nic_device.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <utility>
+
+namespace vibe::nic {
+
+namespace {
+
+std::uint32_t fragCountFor(std::uint64_t bytes, std::uint32_t mtu) {
+  if (bytes == 0) return 1;  // immediate-only / zero-byte messages
+  return static_cast<std::uint32_t>((bytes + mtu - 1) / mtu);
+}
+
+/// Scatters `data` (which starts at message offset `offset`) into the
+/// descriptor's segments.
+void scatterWrite(mem::HostMemory& memory,
+                  const std::vector<SegmentView>& segments,
+                  std::uint64_t offset, std::span<const std::byte> data) {
+  std::uint64_t segStart = 0;
+  std::uint64_t dataPos = 0;
+  for (const auto& seg : segments) {
+    const std::uint64_t segEnd = segStart + seg.length;
+    if (offset < segEnd && dataPos < data.size()) {
+      const std::uint64_t inSeg = offset - segStart;
+      const std::uint64_t room = seg.length - inSeg;
+      const std::uint64_t chunk =
+          std::min<std::uint64_t>(room, data.size() - dataPos);
+      memory.write(seg.addr + inSeg, data.subspan(dataPos, chunk));
+      dataPos += chunk;
+      offset += chunk;
+    }
+    segStart = segEnd;
+    if (dataPos >= data.size()) break;
+  }
+}
+
+}  // namespace
+
+const char* toString(Reliability r) {
+  switch (r) {
+    case Reliability::Unreliable: return "Unreliable";
+    case Reliability::ReliableDelivery: return "ReliableDelivery";
+    case Reliability::ReliableReception: return "ReliableReception";
+  }
+  return "Unknown";
+}
+
+const char* toString(WorkStatus s) {
+  switch (s) {
+    case WorkStatus::Ok: return "Ok";
+    case WorkStatus::LengthError: return "LengthError";
+    case WorkStatus::ProtectionError: return "ProtectionError";
+    case WorkStatus::PartialMessage: return "PartialMessage";
+    case WorkStatus::ConnectionLost: return "ConnectionLost";
+    case WorkStatus::Aborted: return "Aborted";
+    case WorkStatus::NoDescriptor: return "NoDescriptor";
+  }
+  return "Unknown";
+}
+
+NicDevice::NicDevice(sim::Engine& engine, fabric::Network& net, NodeId node,
+                     const NicProfile& profile, mem::MemoryRegistry& registry,
+                     mem::HostMemory& memory)
+    : engine_(engine),
+      net_(net),
+      node_(node),
+      profile_(profile),
+      registry_(registry),
+      memory_(memory),
+      tlb_(profile.tlbEntries),
+      nicProc_("nic" + std::to_string(node) + ".proc"),
+      dma_("nic" + std::to_string(node) + ".dma"),
+      hostKernel_("nic" + std::to_string(node) + ".kernel") {
+  net_.setReceiver(node_, [this](Packet&& p) { handleRx(std::move(p)); });
+}
+
+NicDevice::Endpoint& NicDevice::ep(ViEndpointId id) {
+  auto it = endpoints_.find(id);
+  if (it == endpoints_.end() || !it->second->active) {
+    throw sim::SimError("NicDevice: unknown endpoint " + std::to_string(id));
+  }
+  return *it->second;
+}
+
+NicDevice::Endpoint* NicDevice::epIfActive(ViEndpointId id) {
+  auto it = endpoints_.find(id);
+  return (it != endpoints_.end() && it->second->active) ? it->second.get()
+                                                        : nullptr;
+}
+
+void NicDevice::chargeCaller(sim::Duration d) {
+  if (d <= 0) return;
+  if (sim::Process* p = engine_.currentProcess()) {
+    p->advance(d);
+  } else {
+    // No process context (resumed from an event, e.g. window reopened by an
+    // ack): the work still serializes on the host kernel.
+    hostKernel_.acquire(engine_.now(), d);
+  }
+}
+
+void NicDevice::postCompletion(ViEndpointId id, Completion c, sim::SimTime at) {
+  sim::trace(tracer_, at, sim::TraceCategory::Completion, node_,
+             std::string(c.isSend ? "send" : "recv") + " completion vi=" +
+                 std::to_string(id) + " status=" + toString(c.status));
+  auto held = std::make_shared<Completion>(std::move(c));
+  engine_.postAt(at, [this, id, held] {
+    if (handlers_.completion) handlers_.completion(id, std::move(*held));
+  });
+}
+
+ViEndpointId NicDevice::createEndpoint(mem::PtagId ptag) {
+  const ViEndpointId id = nextEndpoint_++;
+  auto e = std::make_unique<Endpoint>();
+  e->active = true;
+  e->ptag = ptag;
+  endpoints_.emplace(id, std::move(e));
+  ++activeEndpoints_;
+  return id;
+}
+
+void NicDevice::destroyEndpoint(ViEndpointId id) {
+  Endpoint& e = ep(id);
+  flushEndpoint(id, e, WorkStatus::Aborted);
+  e.active = false;
+  e.connected = false;
+  --activeEndpoints_;
+}
+
+void NicDevice::configureConnection(ViEndpointId id, NodeId remoteNode,
+                                    ViEndpointId remoteVi, Reliability rel,
+                                    std::uint32_t mtu) {
+  Endpoint& e = ep(id);
+  e.connected = true;
+  e.broken = false;
+  e.remoteNode = remoteNode;
+  e.remoteVi = remoteVi;
+  e.rel = rel;
+  e.mtu = std::min(mtu, profile_.mtu);
+  e.txMsgSeq = 0;
+  e.txFragSeq = 0;
+  e.ackedFragSeq = 0;
+  e.placedFragSeq = 0;
+  e.rxNextFragSeq = 1;
+  e.rxPlacedFragSeq = 0;
+  e.rtoBackoff = 1;
+}
+
+void NicDevice::teardownConnection(ViEndpointId id) {
+  Endpoint& e = ep(id);
+  flushEndpoint(id, e, WorkStatus::Aborted);
+  e.connected = false;
+}
+
+void NicDevice::flushEndpoint(ViEndpointId id, Endpoint& e,
+                              WorkStatus status) {
+  cancelRto(e);
+  const sim::SimTime now = engine_.now();
+  auto flushOne = [&](std::uint64_t cookie, bool isSend) {
+    Completion c;
+    c.cookie = cookie;
+    c.isSend = isSend;
+    c.status = status;
+    postCompletion(id, std::move(c), now);
+  };
+  for (const auto& wr : e.sendQ) flushOne(wr.cookie, true);
+  e.sendQ.clear();
+  for (const auto& pc : e.awaitingAck) flushOne(pc.cookie, true);
+  e.awaitingAck.clear();
+  e.unacked.clear();
+  for (const auto& wr : e.recvQ) flushOne(wr.cookie, false);
+  e.recvQ.clear();
+  for (const auto& [token, wr] : e.pendingReads) flushOne(wr.cookie, true);
+  e.pendingReads.clear();
+  if (e.reasm) e.reasm->discard = true;
+  e.reasm.reset();
+}
+
+void NicDevice::breakConnection(ViEndpointId id, Endpoint& e, WorkStatus why) {
+  if (e.broken) return;
+  e.broken = true;
+  ++stats_.protocolErrors;
+  flushEndpoint(id, e, why);
+  if (handlers_.connectionError) {
+    engine_.post(0, [this, id, why] { handlers_.connectionError(id, why); });
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+std::vector<std::byte> NicDevice::gather(const WorkRequest& wr) {
+  std::vector<std::byte> msg(wr.totalBytes());
+  std::uint64_t pos = 0;
+  for (const auto& seg : wr.segments) {
+    memory_.read(seg.addr, std::span<std::byte>(msg.data() + pos, seg.length));
+    pos += seg.length;
+  }
+  return msg;
+}
+
+sim::Duration NicDevice::translationCost(const std::vector<SegmentView>& segs) {
+  sim::Duration total = 0;
+  for (const auto& seg : segs) total += translationCostRange(seg.addr, seg.length);
+  return total;
+}
+
+sim::Duration NicDevice::translationCostRange(mem::VirtAddr va,
+                                              std::uint64_t len) {
+  const std::uint32_t pages = mem::pagesSpanned(va, len);
+  switch (profile_.translation) {
+    case TranslationMode::HostCopy:
+      return 0;  // bounce buffers are pre-translated
+    case TranslationMode::NicSram:
+      return profile_.translationPerPage * pages;
+    case TranslationMode::NicTlbHostTable: {
+      sim::Duration total = 0;
+      const std::uint64_t first = mem::pageOf(va);
+      for (std::uint32_t i = 0; i < pages; ++i) {
+        if (tlb_.lookup(first + i)) {
+          total += profile_.tlbHitCost;
+        } else {
+          total += profile_.tlbMissCost;
+          // Servicing the miss fetches the entry across the PCI bus, so it
+          // also occupies the DMA engine — at low buffer reuse this is what
+          // collapses streaming bandwidth, not just latency (Fig. 5).
+          dma_.acquire(engine_.now(), profile_.tlbMissCost);
+          tlb_.insert(first + i);
+          sim::trace(tracer_, engine_.now(), sim::TraceCategory::Translation,
+                     node_, "tlb miss page=" + std::to_string(first + i));
+        }
+      }
+      return total;
+    }
+  }
+  return 0;
+}
+
+void NicDevice::postSend(ViEndpointId id, WorkRequest&& wr) {
+  Endpoint& e = ep(id);
+  if (!e.connected || e.broken) {
+    Completion c;
+    c.cookie = wr.cookie;
+    c.isSend = true;
+    c.status = e.broken ? WorkStatus::ConnectionLost : WorkStatus::Aborted;
+    postCompletion(id, std::move(c), engine_.now());
+    return;
+  }
+  ++stats_.sendsPosted;
+  sim::trace(tracer_, engine_.now(), sim::TraceCategory::Doorbell, node_,
+             "post send vi=" + std::to_string(id) + " bytes=" +
+                 std::to_string(wr.totalBytes()));
+  e.sendQ.push_back(std::move(wr));
+  tryProcessSendQueue(id);
+}
+
+void NicDevice::postRecv(ViEndpointId id, WorkRequest&& wr) {
+  Endpoint& e = ep(id);
+  ++stats_.recvsPosted;
+  e.recvQ.push_back(std::move(wr));
+}
+
+void NicDevice::tryProcessSendQueue(ViEndpointId id) {
+  Endpoint* e = epIfActive(id);
+  if (e == nullptr || e->txBusy) return;
+  while (!e->sendQ.empty() && !e->broken && e->connected) {
+    const bool reliable = e->rel != Reliability::Unreliable;
+    if (reliable && e->unacked.size() >= profile_.sendWindowFrags) {
+      break;  // window closed; acks reopen the queue via drainAcked()
+    }
+    WorkRequest wr = std::move(e->sendQ.front());
+    e->sendQ.pop_front();
+    if (wr.op == WorkOp::RdmaRead) {
+      const std::uint32_t token = e->nextReadToken++;
+      Packet req;
+      req.kind = fabric::PacketKind::RdmaReadReq;
+      req.src = node_;
+      req.dst = e->remoteNode;
+      req.srcVi = id;
+      req.dstVi = e->remoteVi;
+      req.remoteAddr = wr.remoteAddr;
+      req.remoteHandle = wr.remoteHandle;
+      req.msgBytes = wr.totalBytes();
+      req.conn.token = token;
+      req.fragSeq = ++e->txFragSeq;
+      req.fragCount = 1;
+      e->pendingReads.emplace(token, std::move(wr));
+      const sim::SimTime tProc = nicProc_.acquire(
+          engine_.now(), profile_.nicPerMsgCost + profile_.nicPerFragCost);
+      if (reliable) e->unacked.push_back(req);
+      auto held = std::make_shared<Packet>(std::move(req));
+      engine_.postAt(tProc, [this, held] { net_.send(std::move(*held)); });
+      ++stats_.fragsTx;
+      if (reliable) armRto(id, *e);
+      continue;
+    }
+    if (profile_.hostInlineSendProcessing) {
+      processSendWrHostInline(id, *e, std::move(wr));
+      // advance() may have run events that mutated the endpoint table.
+      e = epIfActive(id);
+      if (e == nullptr) return;
+    } else {
+      processSendWr(id, *e, std::move(wr));
+    }
+  }
+}
+
+void NicDevice::processSendWr(ViEndpointId id, Endpoint& e, WorkRequest wr) {
+  // Discovery latency: how the NIC learns about the rung doorbell.
+  sim::Duration discovery = 0;
+  switch (profile_.pickup) {
+    case DescriptorPickup::Immediate:
+      discovery = profile_.nicPickupLatency;
+      break;
+    case DescriptorPickup::FirmwarePoll:
+      // One firmware scan over every active VI finds the doorbell; this is
+      // the Fig. 6 mechanism (latency grows with the number of VIs).
+      discovery = profile_.firmwareBasePoll +
+                  profile_.firmwarePollPerVi *
+                      static_cast<sim::Duration>(activeEndpoints_);
+      break;
+    case DescriptorPickup::HostInline:
+      break;  // handled in processSendWrHostInline
+  }
+  const sim::Duration firstExtra =
+      discovery + profile_.nicPerMsgCost +
+      profile_.nicPerSegCost * static_cast<sim::Duration>(wr.segments.size()) +
+      translationCost(wr.segments);
+  launchFragments(id, e, wr, gather(wr), engine_.now(), firstExtra,
+                  /*viaNicPipeline=*/true);
+}
+
+void NicDevice::processSendWrHostInline(ViEndpointId id, Endpoint& e,
+                                        WorkRequest wr) {
+  // M-VIA: the doorbell trap runs the whole send path in the kernel —
+  // fragment, copy into pre-pinned kernel buffers, hand frames to a dumb
+  // Ethernet NIC. The caller is blocked (and its CPU busy) throughout.
+  e.txBusy = true;
+  const std::vector<std::byte> msg = gather(wr);
+  const std::uint64_t bytes = msg.size();
+  const std::uint32_t frags = fragCountFor(bytes, e.mtu);
+  const bool reliable = e.rel != Reliability::Unreliable;
+  const std::uint64_t msgSeq = e.txMsgSeq++;
+  std::uint64_t lastFragSeq = 0;
+
+  for (std::uint32_t i = 0; i < frags; ++i) {
+    const std::uint64_t off = std::uint64_t{i} * e.mtu;
+    const std::uint64_t fragBytes = std::min<std::uint64_t>(e.mtu, bytes - off);
+    chargeCaller(profile_.hostPerFragCost + profile_.hostCopyTime(fragBytes));
+
+    Packet p;
+    p.kind = wr.op == WorkOp::RdmaWrite ? fabric::PacketKind::RdmaWrite
+                                        : fabric::PacketKind::Data;
+    p.src = node_;
+    p.dst = e.remoteNode;
+    p.srcVi = id;
+    p.dstVi = e.remoteVi;
+    p.msgSeq = msgSeq;
+    p.fragIndex = i;
+    p.fragCount = frags;
+    p.msgBytes = bytes;
+    p.offset = off;
+    p.hasImmediate = wr.hasImmediate;
+    p.immediate = wr.immediate;
+    p.remoteAddr = wr.remoteAddr;
+    p.remoteHandle = wr.remoteHandle;
+    p.fragSeq = ++e.txFragSeq;
+    lastFragSeq = p.fragSeq;
+    if (fragBytes > 0) {
+      p.payload.assign(
+          msg.begin() + static_cast<std::ptrdiff_t>(off),
+          msg.begin() + static_cast<std::ptrdiff_t>(off + fragBytes));
+    }
+    const sim::SimTime tNic = nicProc_.acquire(
+        engine_.now(),
+        profile_.nicPerFragCost + (i == 0 ? profile_.nicPerMsgCost : 0));
+    const sim::SimTime tDma = dma_.acquire(tNic, profile_.dmaTime(fragBytes));
+    if (reliable) {
+      e.unacked.push_back(p);
+      e.lastFrag = p;
+    }
+    auto held = std::make_shared<Packet>(std::move(p));
+    engine_.postAt(tDma, [this, held] { net_.send(std::move(*held)); });
+    ++stats_.fragsTx;
+    stats_.bytesTx += fragBytes;
+  }
+  e.txBusy = false;
+
+  if (reliable) {
+    e.awaitingAck.push_back(
+        {lastFragSeq, wr.cookie, e.rel == Reliability::ReliableReception});
+    armRto(id, e);
+  } else {
+    // Unreliable: the send is complete once the kernel owns the data.
+    Completion c;
+    c.cookie = wr.cookie;
+    c.isSend = true;
+    c.status = WorkStatus::Ok;
+    postCompletion(id, std::move(c),
+                   engine_.now() + profile_.completionWriteCost);
+  }
+}
+
+void NicDevice::launchFragments(ViEndpointId id, Endpoint& e,
+                                const WorkRequest& wr,
+                                std::vector<std::byte> message,
+                                sim::SimTime nicReady,
+                                sim::Duration firstFragExtra,
+                                bool /*viaNicPipeline*/) {
+  const std::uint64_t bytes = message.size();
+  const std::uint32_t frags = fragCountFor(bytes, e.mtu);
+  const bool reliable = e.rel != Reliability::Unreliable;
+  const std::uint64_t msgSeq = e.txMsgSeq++;
+  sim::SimTime ready = nicReady;
+  sim::SimTime lastDma = nicReady;
+  std::uint64_t lastFragSeq = 0;
+
+  for (std::uint32_t i = 0; i < frags; ++i) {
+    const std::uint64_t off = std::uint64_t{i} * e.mtu;
+    const std::uint64_t fragBytes = std::min<std::uint64_t>(e.mtu, bytes - off);
+    const sim::Duration service =
+        profile_.nicPerFragCost + (i == 0 ? firstFragExtra : 0);
+    const sim::SimTime tProc = nicProc_.acquire(ready, service);
+    ready = tProc;
+    const sim::SimTime tDma = dma_.acquire(tProc, profile_.dmaTime(fragBytes));
+    lastDma = tDma;
+
+    Packet p;
+    p.kind = wr.op == WorkOp::RdmaWrite ? fabric::PacketKind::RdmaWrite
+                                        : fabric::PacketKind::Data;
+    p.src = node_;
+    p.dst = e.remoteNode;
+    p.srcVi = id;
+    p.dstVi = e.remoteVi;
+    p.msgSeq = msgSeq;
+    p.fragIndex = i;
+    p.fragCount = frags;
+    p.msgBytes = bytes;
+    p.offset = off;
+    p.hasImmediate = wr.hasImmediate;
+    p.immediate = wr.immediate;
+    p.remoteAddr = wr.remoteAddr;
+    p.remoteHandle = wr.remoteHandle;
+    p.fragSeq = ++e.txFragSeq;
+    lastFragSeq = p.fragSeq;
+    if (fragBytes > 0) {
+      p.payload.assign(
+          message.begin() + static_cast<std::ptrdiff_t>(off),
+          message.begin() + static_cast<std::ptrdiff_t>(off + fragBytes));
+    }
+    if (reliable) {
+      e.unacked.push_back(p);
+      e.lastFrag = p;
+    }
+    sim::trace(tracer_, tDma, sim::TraceCategory::Wire, node_,
+               "frag " + std::to_string(i + 1) + "/" + std::to_string(frags) +
+                   " seq=" + std::to_string(p.fragSeq) + " vi=" +
+                   std::to_string(id));
+    auto held = std::make_shared<Packet>(std::move(p));
+    engine_.postAt(tDma, [this, held] { net_.send(std::move(*held)); });
+    ++stats_.fragsTx;
+    stats_.bytesTx += fragBytes;
+  }
+
+  if (wr.cookie == 0) return;  // internal message (no local completion)
+
+  if (reliable) {
+    e.awaitingAck.push_back(
+        {lastFragSeq, wr.cookie, e.rel == Reliability::ReliableReception});
+    armRto(id, e);
+  } else {
+    // Unreliable: complete when the last fragment leaves host memory.
+    Completion c;
+    c.cookie = wr.cookie;
+    c.isSend = true;
+    c.status = WorkStatus::Ok;
+    postCompletion(id, std::move(c), lastDma + profile_.completionWriteCost);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+void NicDevice::handleRx(Packet&& p) {
+  switch (p.kind) {
+    case fabric::PacketKind::ConnRequest:
+    case fabric::PacketKind::ConnAccept:
+    case fabric::PacketKind::ConnReject:
+    case fabric::PacketKind::Disconnect:
+      if (handlers_.control) handlers_.control(std::move(p));
+      return;
+    case fabric::PacketKind::Ack:
+      handleAck(p);
+      return;
+    case fabric::PacketKind::RdmaReadReq:
+    case fabric::PacketKind::Data:
+    case fabric::PacketKind::RdmaWrite:
+    case fabric::PacketKind::RdmaReadResp:
+      handleData(std::move(p));
+      return;
+  }
+}
+
+void NicDevice::handleData(Packet&& p) {
+  Endpoint* eptr = epIfActive(p.dstVi);
+  if (eptr == nullptr || !eptr->connected || eptr->broken) {
+    ++stats_.rxDroppedBadEndpoint;
+    return;
+  }
+  Endpoint& e = *eptr;
+  const ViEndpointId id = p.dstVi;
+  ++stats_.fragsRx;
+  stats_.bytesRx += p.payload.size();
+  sim::trace(tracer_, engine_.now(), sim::TraceCategory::Rx, node_,
+             "frag seq=" + std::to_string(p.fragSeq) + " msg=" +
+                 std::to_string(p.msgSeq) + " vi=" + std::to_string(id));
+
+  if (e.rel != Reliability::Unreliable) {
+    if (p.fragSeq < e.rxNextFragSeq) {
+      sendAck(id, e);  // duplicate from a retransmission burst
+      return;
+    }
+    if (p.fragSeq > e.rxNextFragSeq) {
+      ++stats_.rxOutOfOrderDropped;  // gap: go-back-N, dup-ack
+      sendAck(id, e);
+      return;
+    }
+    ++e.rxNextFragSeq;
+  }
+
+  if (p.kind == fabric::PacketKind::RdmaReadReq) {
+    handleRdmaRead(std::move(p));
+    return;
+  }
+  acceptFragment(id, e, std::move(p));
+}
+
+void NicDevice::acceptFragment(ViEndpointId id, Endpoint& e, Packet&& p) {
+  if (e.reasm && (p.msgSeq != e.reasm->msgSeq || p.kind != e.reasm->kind)) {
+    // A new message started while the previous was incomplete: the old one
+    // lost its tail (only possible on unreliable connections).
+    Reassembly& old = *e.reasm;
+    if (old.haveDescriptor && !old.discard &&
+        old.kind == fabric::PacketKind::Data) {
+      Completion c;
+      c.cookie = old.desc.cookie;
+      c.isSend = false;
+      c.status = WorkStatus::PartialMessage;
+      postCompletion(id, std::move(c), engine_.now());
+    }
+    old.discard = true;  // pending placement events become no-ops
+    e.reasm.reset();
+  }
+
+  if (!e.reasm) {
+    if (p.fragIndex != 0) {
+      // Tail of a message whose head was lost; swallow silently.
+      ++stats_.rxOutOfOrderDropped;
+      return;
+    }
+    e.reasm = beginMessage(id, e, p);
+    if (!e.reasm) return;  // connection broke (reliable NoDescriptor)
+  } else if (p.fragIndex != e.reasm->fragsSeen) {
+    // Mid-message loss on an unreliable connection: poison the assembly.
+    e.reasm->discard = true;
+    e.reasm->errorStatus = WorkStatus::PartialMessage;
+  }
+
+  std::shared_ptr<Reassembly> r = e.reasm;
+  r->fragsSeen = std::max(r->fragsSeen, p.fragIndex + 1);
+  r->lastFragSeq = p.fragSeq;
+  const bool last = r->fragsSeen == r->fragCount;
+  if (last) {
+    e.reasm.reset();  // arrival side done; placements continue
+    if (e.rel != Reliability::Unreliable && !r->discard) {
+      // Receipt acknowledgment at NIC arrival: this is what completes
+      // ReliableDelivery sends. ReliableReception additionally waits for
+      // the placement ack issued in finishMessage().
+      sendAck(id, e);
+    }
+  }
+
+  if (r->discard) {
+    if (last) finishMessage(id, std::move(r), engine_.now());
+    return;
+  }
+
+  // Schedule placement through the RX pipeline.
+  const bool first = p.fragIndex == 0;
+  const std::uint64_t fragBytes = p.payload.size();
+  sim::SimTime placeTime;
+  if (profile_.hostRxProcessing) {
+    // M-VIA: DMA into the kernel ring, then ISR + copy on the host CPU.
+    const sim::SimTime tDma =
+        dma_.acquire(engine_.now(), profile_.dmaTime(fragBytes));
+    const sim::Duration service = profile_.hostRxPerFragCost +
+                                  profile_.hostCopyTime(fragBytes) +
+                                  (first ? profile_.hostRxPerMsgCost : 0);
+    placeTime = hostKernel_.acquire(tDma, service);
+    r->hostCpu += service;
+  } else {
+    sim::Duration firstExtra = 0;
+    if (first) {
+      if (p.kind == fabric::PacketKind::RdmaWrite) {
+        // RDMA writes carry their target address: no descriptor matching.
+        firstExtra += translationCostRange(p.remoteAddr, p.msgBytes);
+      } else {
+        firstExtra += profile_.rxMatchCost + translationCost(r->desc.segments);
+      }
+    }
+    const sim::SimTime tProc =
+        nicProc_.acquire(engine_.now(), profile_.nicPerFragCost + firstExtra);
+    placeTime = dma_.acquire(tProc, profile_.dmaTime(fragBytes));
+  }
+
+  auto held = std::make_shared<Packet>(std::move(p));
+  engine_.postAt(placeTime, [this, id, held, r, last, placeTime] {
+    if (r->discard) return;
+    placeFragment(id, *r, *held);
+    if (last) finishMessage(id, r, placeTime);
+  });
+}
+
+std::shared_ptr<NicDevice::Reassembly> NicDevice::beginMessage(
+    ViEndpointId id, Endpoint& e, const Packet& first) {
+  auto r = std::make_shared<Reassembly>();
+  r->kind = first.kind;
+  r->msgSeq = first.msgSeq;
+  r->fragCount = first.fragCount;
+  r->msgBytes = first.msgBytes;
+  r->hasImmediate = first.hasImmediate;
+  r->immediate = first.immediate;
+
+  switch (first.kind) {
+    case fabric::PacketKind::Data: {
+      if (e.recvQ.empty()) {
+        ++stats_.rxDroppedNoDescriptor;
+        r->discard = true;
+        r->errorStatus = WorkStatus::NoDescriptor;
+        if (e.rel != Reliability::Unreliable) {
+          // Reliable connections treat a missing descriptor as fatal.
+          sendAck(id, e, WorkStatus::NoDescriptor);
+          breakConnection(id, e, WorkStatus::NoDescriptor);
+          return nullptr;
+        }
+        break;
+      }
+      r->desc = std::move(e.recvQ.front());
+      e.recvQ.pop_front();
+      r->haveDescriptor = true;
+      if (first.msgBytes > r->desc.totalBytes()) {
+        r->discard = true;
+        r->errorStatus = WorkStatus::LengthError;
+      }
+      break;
+    }
+    case fabric::PacketKind::RdmaWrite: {
+      const mem::MemStatus ok = registry_.validate(
+          first.remoteHandle, first.remoteAddr, first.msgBytes, e.ptag,
+          mem::Access::RdmaWriteTarget);
+      if (ok != mem::MemStatus::Ok) {
+        r->discard = true;
+        r->errorStatus = WorkStatus::ProtectionError;
+      }
+      break;
+    }
+    case fabric::PacketKind::RdmaReadResp: {
+      auto it = e.pendingReads.find(first.conn.token);
+      if (it == e.pendingReads.end()) {
+        r->discard = true;
+        r->errorStatus = WorkStatus::ProtectionError;
+        break;
+      }
+      r->desc = std::move(it->second);
+      e.pendingReads.erase(it);
+      r->haveDescriptor = true;
+      break;
+    }
+    default:
+      r->discard = true;
+      break;
+  }
+  return r;
+}
+
+void NicDevice::placeFragment(ViEndpointId id, Reassembly& r,
+                              const Packet& p) {
+  if (p.kind == fabric::PacketKind::RdmaWrite) {
+    memory_.write(p.remoteAddr + p.offset, p.payload);
+  } else {
+    scatterWrite(memory_, r.desc.segments, p.offset, p.payload);
+  }
+  if (Endpoint* e = epIfActive(id)) {
+    e->rxPlacedFragSeq = std::max(e->rxPlacedFragSeq, p.fragSeq);
+  }
+}
+
+void NicDevice::finishMessage(ViEndpointId id,
+                              std::shared_ptr<Reassembly> rp,
+                              sim::SimTime at) {
+  Endpoint* eptr = epIfActive(id);
+  Reassembly& r = *rp;
+  const bool isReadResp = r.kind == fabric::PacketKind::RdmaReadResp;
+
+  // RDMA write with immediate data consumes a receive descriptor.
+  bool consumeRecv = r.kind == fabric::PacketKind::Data;
+  if (r.kind == fabric::PacketKind::RdmaWrite && r.hasImmediate &&
+      eptr != nullptr) {
+    if (!eptr->recvQ.empty()) {
+      r.desc = std::move(eptr->recvQ.front());
+      eptr->recvQ.pop_front();
+      r.haveDescriptor = true;
+      consumeRecv = true;
+    } else if (!r.discard) {
+      r.discard = true;
+      r.errorStatus = WorkStatus::NoDescriptor;
+      ++stats_.rxDroppedNoDescriptor;
+    }
+  }
+
+  if ((consumeRecv && r.haveDescriptor) || isReadResp) {
+    Completion c;
+    c.cookie = r.desc.cookie;
+    c.isSend = isReadResp;
+    c.status = r.discard ? r.errorStatus : WorkStatus::Ok;
+    c.bytes = r.msgBytes;
+    c.hasImmediate = r.hasImmediate;
+    c.immediate = r.immediate;
+    c.hostCpuCost = r.hostCpu;
+    postCompletion(id, std::move(c), at + profile_.completionWriteCost);
+  }
+
+  if (eptr != nullptr && eptr->rel != Reliability::Unreliable &&
+      !isReadResp) {
+    const WorkStatus err = r.discard ? r.errorStatus : WorkStatus::Ok;
+    if (err != WorkStatus::Ok && err != WorkStatus::Aborted) {
+      sendAck(id, *eptr, err);
+      breakConnection(id, *eptr, err);
+    } else if (err == WorkStatus::Ok &&
+               eptr->rel == Reliability::ReliableReception) {
+      // Placement acknowledgment: completes ReliableReception sends.
+      sendAck(id, *eptr);
+    }
+  } else if (eptr != nullptr && eptr->rel != Reliability::Unreliable) {
+    sendAck(id, *eptr);  // acknowledge the read-response stream
+  }
+}
+
+void NicDevice::sendAck(ViEndpointId id, Endpoint& e, WorkStatus error) {
+  Packet ack;
+  ack.kind = fabric::PacketKind::Ack;
+  ack.src = node_;
+  ack.dst = e.remoteNode;
+  ack.srcVi = id;
+  ack.dstVi = e.remoteVi;
+  ack.ackSeq = e.rxNextFragSeq - 1;
+  ack.ackPlacedSeq = e.rxPlacedFragSeq;
+  ack.rxError = static_cast<std::uint8_t>(error);
+  const sim::SimTime t =
+      nicProc_.acquire(engine_.now(), profile_.ackProcessingCost);
+  auto held = std::make_shared<Packet>(std::move(ack));
+  engine_.postAt(t, [this, held] { net_.send(std::move(*held)); });
+  ++stats_.acksTx;
+}
+
+void NicDevice::handleAck(const Packet& p) {
+  Endpoint* eptr = epIfActive(p.dstVi);
+  if (eptr == nullptr || !eptr->connected) {
+    ++stats_.rxDroppedBadEndpoint;
+    return;
+  }
+  Endpoint& e = *eptr;
+  ++stats_.acksRx;
+  if (p.rxError != 0) {
+    breakConnection(p.dstVi, e, static_cast<WorkStatus>(p.rxError));
+    return;
+  }
+  const bool progressed =
+      p.ackSeq > e.ackedFragSeq || p.ackPlacedSeq > e.placedFragSeq;
+  e.ackedFragSeq = std::max(e.ackedFragSeq, p.ackSeq);
+  e.placedFragSeq = std::max(e.placedFragSeq, p.ackPlacedSeq);
+  if (progressed) {
+    e.rtoBackoff = 1;
+    drainAcked(p.dstVi, e);
+  }
+}
+
+void NicDevice::drainAcked(ViEndpointId id, Endpoint& e) {
+  while (!e.unacked.empty() && e.unacked.front().fragSeq <= e.ackedFragSeq) {
+    e.unacked.pop_front();
+  }
+  while (!e.awaitingAck.empty()) {
+    const PendingSendCompletion& pc = e.awaitingAck.front();
+    const std::uint64_t reached =
+        pc.needsPlacedAck ? e.placedFragSeq : e.ackedFragSeq;
+    if (reached < pc.lastFragSeq) break;
+    Completion c;
+    c.cookie = pc.cookie;
+    c.isSend = true;
+    c.status = WorkStatus::Ok;
+    postCompletion(id, std::move(c),
+                   engine_.now() + profile_.ackProcessingCost +
+                       profile_.completionWriteCost);
+    e.awaitingAck.pop_front();
+  }
+  if (e.unacked.empty() && e.awaitingAck.empty()) {
+    cancelRto(e);
+  } else {
+    armRto(id, e);
+  }
+  tryProcessSendQueue(id);
+}
+
+// ---------------------------------------------------------------------------
+// RDMA read target side
+// ---------------------------------------------------------------------------
+
+void NicDevice::handleRdmaRead(Packet&& p) {
+  Endpoint* eptr = epIfActive(p.dstVi);
+  if (eptr == nullptr) return;
+  Endpoint& e = *eptr;
+  if (e.rel != Reliability::Unreliable) {
+    sendAck(p.dstVi, e);  // acknowledge receipt of the request itself
+  }
+  const mem::MemStatus ok =
+      registry_.validate(p.remoteHandle, p.remoteAddr, p.msgBytes, e.ptag,
+                         mem::Access::RdmaReadSource);
+  if (ok != mem::MemStatus::Ok) {
+    sendAck(p.dstVi, e, WorkStatus::ProtectionError);
+    breakConnection(p.dstVi, e, WorkStatus::ProtectionError);
+    return;
+  }
+  // Stream the response through the send pipeline. cookie==0 marks it as
+  // internal: launchFragments generates no local completion.
+  std::vector<std::byte> data(p.msgBytes);
+  memory_.read(p.remoteAddr, data);
+  WorkRequest resp;
+  resp.cookie = 0;
+
+  const std::uint64_t bytes = data.size();
+  const std::uint32_t frags = fragCountFor(bytes, e.mtu);
+  const bool reliable = e.rel != Reliability::Unreliable;
+  const std::uint64_t msgSeq = e.txMsgSeq++;
+  const sim::Duration firstExtra =
+      profile_.nicPerMsgCost + translationCostRange(p.remoteAddr, bytes);
+  sim::SimTime ready = engine_.now();
+  for (std::uint32_t i = 0; i < frags; ++i) {
+    const std::uint64_t off = std::uint64_t{i} * e.mtu;
+    const std::uint64_t fragBytes = std::min<std::uint64_t>(e.mtu, bytes - off);
+    const sim::SimTime tProc = nicProc_.acquire(
+        ready, profile_.nicPerFragCost + (i == 0 ? firstExtra : 0));
+    ready = tProc;
+    const sim::SimTime tDma = dma_.acquire(tProc, profile_.dmaTime(fragBytes));
+    Packet out;
+    out.kind = fabric::PacketKind::RdmaReadResp;
+    out.src = node_;
+    out.dst = e.remoteNode;
+    out.srcVi = p.dstVi;
+    out.dstVi = e.remoteVi;
+    out.msgSeq = msgSeq;
+    out.fragIndex = i;
+    out.fragCount = frags;
+    out.msgBytes = bytes;
+    out.offset = off;
+    out.conn.token = p.conn.token;
+    out.fragSeq = ++e.txFragSeq;
+    if (fragBytes > 0) {
+      out.payload.assign(
+          data.begin() + static_cast<std::ptrdiff_t>(off),
+          data.begin() + static_cast<std::ptrdiff_t>(off + fragBytes));
+    }
+    if (reliable) {
+      e.unacked.push_back(out);
+      e.lastFrag = out;
+    }
+    auto held = std::make_shared<Packet>(std::move(out));
+    engine_.postAt(tDma, [this, held] { net_.send(std::move(*held)); });
+    ++stats_.fragsTx;
+    stats_.bytesTx += fragBytes;
+  }
+  if (reliable) armRto(p.dstVi, e);
+}
+
+// ---------------------------------------------------------------------------
+// Reliability timers
+// ---------------------------------------------------------------------------
+
+void NicDevice::armRto(ViEndpointId id, Endpoint& e) {
+  cancelRto(e);
+  const sim::Duration delay = profile_.rtoBase * e.rtoBackoff;
+  e.rtoEvent = engine_.post(delay, [this, id] { onRto(id); });
+}
+
+void NicDevice::cancelRto(Endpoint& e) {
+  if (e.rtoEvent != 0) {
+    engine_.cancel(e.rtoEvent);
+    e.rtoEvent = 0;
+  }
+}
+
+void NicDevice::onRto(ViEndpointId id) {
+  Endpoint* eptr = epIfActive(id);
+  if (eptr == nullptr) return;
+  Endpoint& e = *eptr;
+  e.rtoEvent = 0;
+  if (e.broken) return;
+  if (e.unacked.empty()) {
+    if (!e.awaitingAck.empty() && e.lastFrag) {
+      // Everything was receipt-acked but a placement ack went missing:
+      // probe by resending the last fragment; the duplicate triggers a
+      // dup-ack carrying the receiver's current placement sequence.
+      const sim::SimTime tDma = dma_.acquire(
+          engine_.now(), profile_.dmaTime(e.lastFrag->payload.size()));
+      auto held = std::make_shared<Packet>(*e.lastFrag);
+      engine_.postAt(tDma, [this, held] { net_.send(std::move(*held)); });
+      ++stats_.retransmits;
+      armRto(id, e);
+    }
+    return;
+  }
+  // Go-back-N: replay the whole unacked window through the tx pipeline.
+  sim::trace(tracer_, engine_.now(), sim::TraceCategory::Reliability, node_,
+             "RTO vi=" + std::to_string(id) + " retransmit " +
+                 std::to_string(e.unacked.size()) + " frags");
+  sim::SimTime ready = engine_.now();
+  for (const Packet& stored : e.unacked) {
+    const sim::SimTime tProc = nicProc_.acquire(ready, profile_.nicPerFragCost);
+    ready = tProc;
+    const sim::SimTime tDma =
+        dma_.acquire(tProc, profile_.dmaTime(stored.payload.size()));
+    auto held = std::make_shared<Packet>(stored);
+    engine_.postAt(tDma, [this, held] { net_.send(std::move(*held)); });
+    ++stats_.retransmits;
+  }
+  e.rtoBackoff = std::min<std::uint32_t>(e.rtoBackoff * 2, 8);
+  armRto(id, e);
+}
+
+// ---------------------------------------------------------------------------
+// Control path
+// ---------------------------------------------------------------------------
+
+void NicDevice::sendControl(Packet&& p) {
+  p.src = node_;
+  net_.send(std::move(p));
+}
+
+}  // namespace vibe::nic

@@ -1,0 +1,78 @@
+// Work requests and completions exchanged between the VIPL provider layer
+// and the NIC device models. These mirror what a VIA descriptor describes,
+// stripped of its in-memory layout: the NIC doesn't care where the
+// descriptor lives, only what data movement it requests.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "mem/memory_registry.hpp"
+
+namespace vibe::nic {
+
+/// VIA reliability levels (spec section 2).
+enum class Reliability : std::uint8_t {
+  Unreliable = 0,
+  ReliableDelivery = 1,
+  ReliableReception = 2,
+};
+
+const char* toString(Reliability r);
+
+enum class WorkOp : std::uint8_t { Send, RdmaWrite, RdmaRead };
+
+/// One data segment of a descriptor: a range in registered memory.
+struct SegmentView {
+  mem::VirtAddr addr = 0;
+  mem::MemHandle handle = 0;
+  std::uint32_t length = 0;
+};
+
+/// Flattened descriptor handed to the NIC.
+struct WorkRequest {
+  WorkOp op = WorkOp::Send;
+  std::vector<SegmentView> segments;  // gather (send/RDMA-src) or scatter (recv)
+  bool hasImmediate = false;
+  std::uint32_t immediate = 0;
+  // RDMA addressing (address segment of the descriptor).
+  mem::VirtAddr remoteAddr = 0;
+  mem::MemHandle remoteHandle = 0;
+  /// Provider cookie identifying the originating VIPL descriptor.
+  std::uint64_t cookie = 0;
+
+  std::uint64_t totalBytes() const {
+    std::uint64_t total = 0;
+    for (const auto& s : segments) total += s.length;
+    return total;
+  }
+};
+
+/// Final status of a work request (maps onto VIP_STATUS_* in vipl).
+enum class WorkStatus : std::uint8_t {
+  Ok,
+  LengthError,      // arriving message larger than the posted recv buffers
+  ProtectionError,  // memory validation failed at the remote side
+  PartialMessage,   // unreliable message lost fragments; descriptor flushed
+  ConnectionLost,   // reliability error or peer reset mid-operation
+  Aborted,          // flushed by disconnect / VI destruction
+  NoDescriptor,     // reliable message arrived with no posted receive
+};
+
+const char* toString(WorkStatus s);
+
+struct Completion {
+  std::uint64_t cookie = 0;
+  bool isSend = true;  // send/RDMA queue vs receive queue
+  WorkStatus status = WorkStatus::Ok;
+  /// For receives: total bytes of the arrived message.
+  std::uint64_t bytes = 0;
+  bool hasImmediate = false;
+  std::uint32_t immediate = 0;
+  /// Host-CPU time the kernel spent on this completion (M-VIA RX path);
+  /// charged to the reaping process by the provider on blocking reaps.
+  std::int64_t hostCpuCost = 0;
+};
+
+}  // namespace vibe::nic

@@ -1,0 +1,90 @@
+#include "simcore/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+#include "simcore/process.hpp"
+
+namespace vibe::sim {
+
+EventId Engine::postAt(SimTime t, std::function<void()> fn) {
+  if (t < now_) {
+    throw SimError("Engine::postAt: scheduling into the past");
+  }
+  auto ev = std::make_shared<Event>();
+  ev->time = t;
+  ev->id = nextId_++;
+  ev->fn = std::move(fn);
+  pending_.emplace(ev->id, ev);
+  queue_.push(ev);
+  return ev->id;
+}
+
+bool Engine::cancel(EventId id) {
+  auto it = pending_.find(id);
+  if (it == pending_.end()) return false;
+  it->second->fn = nullptr;  // tombstone; the queue entry is skipped later
+  pending_.erase(it);
+  return true;
+}
+
+void Engine::dispatch(const std::shared_ptr<Event>& ev) {
+  now_ = ev->time;
+  pending_.erase(ev->id);
+  ++executed_;
+  ev->fn();
+}
+
+void Engine::run() {
+  while (!queue_.empty()) {
+    auto ev = queue_.top();
+    queue_.pop();
+    if (!ev->fn) continue;  // cancelled
+    dispatch(ev);
+  }
+  checkDeadlock();
+}
+
+bool Engine::runUntil(SimTime until) {
+  while (!queue_.empty()) {
+    auto ev = queue_.top();
+    if (!ev->fn) {
+      queue_.pop();
+      continue;
+    }
+    if (ev->time > until) {
+      now_ = std::max(now_, until);
+      return false;
+    }
+    queue_.pop();
+    dispatch(ev);
+  }
+  now_ = std::max(now_, until);
+  checkDeadlock();
+  return true;
+}
+
+void Engine::checkDeadlock() const {
+  std::ostringstream stuck;
+  bool any = false;
+  for (const Process* p : processes_) {
+    if (p->blocked()) {
+      stuck << (any ? ", " : "") << p->name();
+      any = true;
+    }
+  }
+  if (any) {
+    throw DeadlockError(
+        "simulation deadlock: event queue empty but processes blocked: " +
+        stuck.str());
+  }
+}
+
+void Engine::unregisterProcess(Process* p) {
+  processes_.erase(std::remove(processes_.begin(), processes_.end(), p),
+                   processes_.end());
+}
+
+}  // namespace vibe::sim

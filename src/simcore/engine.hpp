@@ -1,0 +1,112 @@
+// Deterministic discrete-event engine.
+//
+// The engine owns a single event queue ordered by (time, insertion sequence)
+// so ties break deterministically. Exactly one logical thread of control is
+// ever executing simulation code: either the engine's run loop or one
+// cooperative Process (see process.hpp) that the run loop has handed control
+// to. All simulation state can therefore be touched without locks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace vibe::sim {
+
+class Process;
+
+/// Identifier for a scheduled event; usable with Engine::cancel.
+using EventId = std::uint64_t;
+
+/// Base class for simulator errors.
+class SimError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by Engine::run when the event queue drains while processes are
+/// still blocked on signals — the simulated program can never finish.
+class DeadlockError : public SimError {
+ public:
+  using SimError::SimError;
+};
+
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time.
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` from now. `delay` must be >= 0.
+  EventId post(Duration delay, std::function<void()> fn) {
+    return postAt(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `t`. `t` must be >= now().
+  EventId postAt(SimTime t, std::function<void()> fn);
+
+  /// Cancels a pending event. Returns true if the event had not yet fired.
+  bool cancel(EventId id);
+
+  /// Runs events until the queue drains. Throws DeadlockError if blocked
+  /// processes remain, and rethrows the first exception raised inside a
+  /// process body or event callback.
+  void run();
+
+  /// Runs events with time <= `until` (absolute). Used by tests and by
+  /// open-ended workloads that want a horizon. Returns true if the queue
+  /// drained completely.
+  bool runUntil(SimTime until);
+
+  /// The process currently executing, or nullptr when the engine itself
+  /// (an event callback) is running. VIPL uses this to charge host CPU
+  /// cost to the calling application thread.
+  Process* currentProcess() const { return current_; }
+
+  /// Total events executed so far (diagnostics / gbench).
+  std::uint64_t executedEvents() const { return executed_; }
+
+ private:
+  friend class Process;
+
+  struct Event {
+    SimTime time = 0;
+    EventId id = 0;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    // std::priority_queue is a max-heap; invert for earliest-first.
+    bool operator()(const std::shared_ptr<Event>& a,
+                    const std::shared_ptr<Event>& b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->id > b->id;
+    }
+  };
+
+  void dispatch(const std::shared_ptr<Event>& ev);
+  void checkDeadlock() const;
+  void registerProcess(Process* p) { processes_.push_back(p); }
+  void unregisterProcess(Process* p);
+
+  SimTime now_ = 0;
+  EventId nextId_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>,
+                      EventOrder>
+      queue_;
+  std::unordered_map<EventId, std::shared_ptr<Event>> pending_;
+  std::vector<Process*> processes_;
+  Process* current_ = nullptr;
+};
+
+}  // namespace vibe::sim

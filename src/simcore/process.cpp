@@ -1,0 +1,156 @@
+#include "simcore/process.hpp"
+
+#include <cassert>
+
+namespace vibe::sim {
+
+Process::Process(Engine& engine, std::string name, std::function<void()> body)
+    : engine_(engine), name_(std::move(name)) {
+  engine_.registerProcess(this);
+  thread_ = std::thread(&Process::threadMain, this, std::move(body));
+  state_ = State::Ready;
+  engine_.post(0, [this] { resume(); });
+}
+
+Process::~Process() {
+  if (state_ != State::Finished) {
+    // Forced shutdown (e.g. a failed run): unwind the body via Killed.
+    std::unique_lock lk(mutex_);
+    killed_ = true;
+    turn_ = Turn::Proc;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return turn_ == Turn::Engine; });
+  }
+  if (thread_.joinable()) thread_.join();
+  engine_.unregisterProcess(this);
+}
+
+void Process::threadMain(std::function<void()> body) {
+  {
+    std::unique_lock lk(mutex_);
+    cv_.wait(lk, [&] { return turn_ == Turn::Proc; });
+  }
+  try {
+    if (killed_) throw Killed{};
+    state_ = State::Running;
+    body();
+  } catch (Killed&) {
+    // forced shutdown — unwound cleanly
+  } catch (...) {
+    failure_ = std::current_exception();
+  }
+  std::unique_lock lk(mutex_);
+  state_ = State::Finished;
+  turn_ = Turn::Engine;
+  cv_.notify_all();
+}
+
+void Process::resume() {
+  assert(state_ == State::Ready || state_ == State::Blocked);
+  Process* prev = engine_.current_;
+  engine_.current_ = this;
+  {
+    std::unique_lock lk(mutex_);
+    turn_ = Turn::Proc;
+    cv_.notify_all();
+    cv_.wait(lk, [&] { return turn_ == Turn::Engine; });
+  }
+  engine_.current_ = prev;
+  if (failure_) {
+    auto f = failure_;
+    failure_ = nullptr;
+    std::rethrow_exception(f);
+  }
+}
+
+void Process::yieldToEngine() {
+  std::unique_lock lk(mutex_);
+  turn_ = Turn::Engine;
+  cv_.notify_all();
+  cv_.wait(lk, [&] { return turn_ == Turn::Proc; });
+  if (killed_) throw Killed{};
+  state_ = State::Running;
+}
+
+void Process::assertOnProcessThread() const {
+  assert(std::this_thread::get_id() == thread_.get_id() &&
+         "Process API called from outside the process body");
+}
+
+void Process::advance(Duration d, CpuUse use) {
+  assertOnProcessThread();
+  if (d < 0) throw SimError("Process::advance: negative duration");
+  if (use == CpuUse::Busy) cpuBusy_ += d;
+  if (d == 0) return;  // nothing can interleave at zero cost; skip the yield
+  state_ = State::Ready;
+  engine_.post(d, [this] { resume(); });
+  yieldToEngine();
+}
+
+bool Process::awaitFor(Signal& s, Duration timeout) {
+  assertOnProcessThread();
+  const std::uint64_t epoch = ++waitEpoch_;
+  waitSignalled_ = false;
+  s.addWaiter(this, epoch);
+  timeoutEvent_ = 0;
+  if (timeout >= 0) {
+    timeoutEvent_ =
+        engine_.post(timeout, [this, epoch] { wakeFromWait(epoch, false); });
+  }
+  state_ = State::Blocked;
+  yieldToEngine();
+  return waitSignalled_;
+}
+
+void Process::await(Signal& s) { awaitFor(s, -1); }
+
+void Process::awaitBusy(Signal& s) {
+  const SimTime t0 = now();
+  await(s);
+  cpuBusy_ += now() - t0;  // a polling wait spins the host CPU
+}
+
+bool Process::awaitBusyFor(Signal& s, Duration timeout) {
+  const SimTime t0 = now();
+  const bool fired = awaitFor(s, timeout);
+  cpuBusy_ += now() - t0;
+  return fired;
+}
+
+void Process::wakeFromWait(std::uint64_t epoch, bool signalled) {
+  if (epoch != waitEpoch_ || state_ != State::Blocked) return;  // stale waker
+  ++waitEpoch_;  // invalidate the competing signal/timeout source
+  waitSignalled_ = signalled;
+  if (signalled && timeoutEvent_ != 0) engine_.cancel(timeoutEvent_);
+  timeoutEvent_ = 0;
+  resume();
+}
+
+void Signal::post(const Waiter& w) {
+  Process* proc = w.proc;
+  const std::uint64_t epoch = w.epoch;
+  engine_.post(0, [proc, epoch] { proc->wakeFromWait(epoch, true); });
+}
+
+void Signal::notifyAll() {
+  for (const Waiter& w : waiters_) post(w);
+  waiters_.clear();
+}
+
+void Signal::notifyOne() {
+  // Skip entries whose wait epoch is stale (e.g. the waiter timed out).
+  while (!waiters_.empty()) {
+    Waiter w = waiters_.front();
+    waiters_.erase(waiters_.begin());
+    if (w.epoch == w.proc->waitEpoch_ && w.proc->blocked()) {
+      post(w);
+      return;
+    }
+  }
+}
+
+void Signal::dropWaiter(const Process* p) {
+  std::erase_if(waiters_, [p](const Waiter& w) { return w.proc == p; });
+}
+
+}  // namespace vibe::sim

@@ -1,0 +1,156 @@
+// Cooperative simulated processes.
+//
+// A Process runs user code (a benchmark node program) on a dedicated OS
+// thread, but execution interleaves cooperatively with the Engine: control
+// is handed back and forth through a mutex/condvar pair so exactly one of
+// {engine, some process} runs at any instant. User code experiences a
+// synchronous, blocking API (advance / await) while the engine stays a pure
+// discrete-event core underneath.
+//
+// CPU accounting: advance(d, CpuUse::Busy) accrues the process's busy
+// counter — the simulated getrusage() that the paper's CPU-utilization
+// micro-benchmarks read. Blocking in await() is idle time.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "simcore/engine.hpp"
+#include "simcore/time.hpp"
+
+namespace vibe::sim {
+
+class Signal;
+
+/// Whether a span of process time occupies the (simulated) host CPU.
+enum class CpuUse : std::uint8_t { Busy, Idle };
+
+class Process {
+ public:
+  /// Creates the process and schedules its body to start at engine.now().
+  /// Lifetime contract: the Process must be destroyed before the Engine.
+  Process(Engine& engine, std::string name, std::function<void()> body);
+  ~Process();
+
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+
+  /// --- API callable only from inside the process body ---
+
+  /// Lets `d` of virtual time pass. Busy time counts toward cpuBusy().
+  void advance(Duration d, CpuUse use = CpuUse::Busy);
+
+  /// Blocks (idle) until the signal fires.
+  void await(Signal& s);
+
+  /// Blocks until the signal fires or `timeout` elapses. A negative
+  /// timeout means wait forever. Returns true if the signal fired.
+  bool awaitFor(Signal& s, Duration timeout);
+
+  /// Like await(), but the elapsed wall time is charged as CPU-busy: the
+  /// efficient simulation of a host spinning in a poll loop. VIPL's
+  /// poll-until-done helpers use this so polling completes in one event
+  /// instead of millions of spin iterations, while getrusage-style
+  /// accounting still reports 100% utilization.
+  void awaitBusy(Signal& s);
+
+  /// Busy-accounted variant of awaitFor().
+  bool awaitBusyFor(Signal& s, Duration timeout);
+
+  /// Adds busy time without advancing the clock: work (e.g. a kernel ISR)
+  /// that ran on this process's host CPU concurrently while it was blocked,
+  /// and that getrusage() would attribute to the process as system time.
+  void chargeCpu(Duration d) { cpuBusy_ += d; }
+
+  /// --- Observers (valid from anywhere while the engine is quiescent) ---
+
+  const std::string& name() const { return name_; }
+  Engine& engine() const { return engine_; }
+  SimTime now() const { return engine_.now(); }
+  /// Accumulated simulated CPU-busy time (the getrusage analogue).
+  Duration cpuBusy() const { return cpuBusy_; }
+  bool finished() const { return state_ == State::Finished; }
+  bool blocked() const { return state_ == State::Blocked; }
+
+ private:
+  friend class Engine;
+  friend class Signal;
+
+  enum class State : std::uint8_t {
+    Created,   // thread exists, body not yet started
+    Ready,     // a resume event is queued
+    Running,   // body is executing right now
+    Blocked,   // waiting on a Signal (and possibly a timeout)
+    Finished,  // body returned or was killed
+  };
+
+  enum class Turn : std::uint8_t { Engine, Proc };
+
+  struct Killed {};  // thrown into the body to unwind on forced shutdown
+
+  void threadMain(std::function<void()> body);
+  /// Engine side: transfer control to the process until it yields.
+  void resume();
+  /// Process side: return control to the engine; blocks until resumed.
+  void yieldToEngine();
+  /// Wake path shared by Signal delivery and await timeouts.
+  void wakeFromWait(std::uint64_t epoch, bool signalled);
+  void assertOnProcessThread() const;
+
+  Engine& engine_;
+  std::string name_;
+  Duration cpuBusy_ = 0;
+
+  State state_ = State::Created;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  Turn turn_ = Turn::Engine;
+  bool killed_ = false;
+  std::exception_ptr failure_;
+
+  // Wait bookkeeping: the epoch invalidates stale signal/timeout wakeups.
+  std::uint64_t waitEpoch_ = 0;
+  bool waitSignalled_ = false;
+  EventId timeoutEvent_ = 0;
+
+  std::thread thread_;
+};
+
+/// A broadcast wakeup primitive in virtual time. notifyAll() releases every
+/// process currently waiting; wakeups are delivered as engine events at the
+/// current time, preserving deterministic ordering.
+class Signal {
+ public:
+  explicit Signal(Engine& engine) : engine_(engine) {}
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  /// Wakes all current waiters.
+  void notifyAll();
+  /// Wakes the longest-waiting current waiter, if any.
+  void notifyOne();
+  std::size_t waiterCount() const { return waiters_.size(); }
+
+ private:
+  friend class Process;
+  struct Waiter {
+    Process* proc;
+    std::uint64_t epoch;
+  };
+  void addWaiter(Process* p, std::uint64_t epoch) {
+    waiters_.push_back({p, epoch});
+  }
+  void dropWaiter(const Process* p);
+  void post(const Waiter& w);
+
+  Engine& engine_;
+  std::vector<Waiter> waiters_;
+};
+
+}  // namespace vibe::sim

@@ -1,0 +1,78 @@
+#include "simcore/trace.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace vibe::sim {
+
+const char* toString(TraceCategory c) {
+  switch (c) {
+    case TraceCategory::Engine: return "engine";
+    case TraceCategory::Process: return "process";
+    case TraceCategory::Doorbell: return "doorbell";
+    case TraceCategory::Dma: return "dma";
+    case TraceCategory::Wire: return "wire";
+    case TraceCategory::Rx: return "rx";
+    case TraceCategory::Completion: return "completion";
+    case TraceCategory::Reliability: return "reliability";
+    case TraceCategory::Connection: return "connection";
+    case TraceCategory::Translation: return "translation";
+    case TraceCategory::User: return "user";
+    case TraceCategory::kCount: break;
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  ring_.reserve(capacity_);
+}
+
+void Tracer::enableAll() {
+  for (auto& e : enabled_) e = true;
+}
+
+void Tracer::record(SimTime time, TraceCategory c, std::uint32_t component,
+                    std::string message) {
+  if (!enabled(c)) return;
+  ++total_;
+  TraceRecord rec{time, c, component, std::move(message)};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(rec));
+  } else {
+    ring_[next_] = std::move(rec);
+  }
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<TraceRecord> Tracer::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    // Ring full: oldest record is at next_.
+    out.insert(out.end(), ring_.begin() + static_cast<std::ptrdiff_t>(next_),
+               ring_.end());
+    out.insert(out.end(), ring_.begin(),
+               ring_.begin() + static_cast<std::ptrdiff_t>(next_));
+  }
+  return out;
+}
+
+std::string Tracer::dump() const {
+  std::ostringstream os;
+  for (const TraceRecord& r : snapshot()) {
+    os << std::fixed << std::setprecision(3) << std::setw(12)
+       << toUsec(r.time) << "us  [" << std::setw(11) << toString(r.category)
+       << "] n" << r.component << "  " << r.message << '\n';
+  }
+  return os.str();
+}
+
+void Tracer::clear() {
+  ring_.clear();
+  next_ = 0;
+  total_ = 0;
+}
+
+}  // namespace vibe::sim

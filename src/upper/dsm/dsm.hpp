@@ -1,0 +1,114 @@
+// Software distributed shared memory over VIPL — the DSM programming
+// model from the paper's §5 future work, in the style the authors pursued
+// in "Implementing TreadMarks over VIA" (paper ref [7]), reduced to a
+// home-based release-consistency protocol:
+//
+//   * the region is split into pages; each page has a fixed home rank;
+//   * reads fetch a page from its home on first use and then hit a local
+//     cached copy;
+//   * writes update the local copy and are written through to the home as
+//     (page, offset, bytes) records;
+//   * release() flushes: it confirms every home has applied this rank's
+//     writes, then barriers; acquire() invalidates cached remote pages so
+//     subsequent reads refetch. barrier() = release + acquire.
+//
+// Sequentially racing writes to the same page between synchronization
+// points are the program's bug, exactly as under release consistency.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "upper/msg/communicator.hpp"
+
+namespace vibe::upper::dsm {
+
+struct DsmConfig {
+  std::uint32_t pageBytes = 1024;
+  /// Offset added to the region's five service tags; give each region on
+  /// a shared communicator its own offset (multiples of 8 are safe).
+  int serviceTagOffset = 0;
+};
+
+class DsmRegion {
+ public:
+  /// Collective constructor: all ranks create the region together.
+  static std::unique_ptr<DsmRegion> create(msg::Communicator& comm,
+                                           std::uint64_t bytes,
+                                           const DsmConfig& config = {});
+
+  DsmRegion(const DsmRegion&) = delete;
+  DsmRegion& operator=(const DsmRegion&) = delete;
+
+  std::uint64_t size() const { return bytes_; }
+  std::uint32_t pageBytes() const { return config_.pageBytes; }
+  std::uint32_t pageCount() const { return pages_; }
+  /// Fixed page-to-home distribution (round robin over ranks).
+  std::uint32_t homeOf(std::uint32_t page) const {
+    return page % comm_.size();
+  }
+
+  // --- data access ---
+  std::vector<std::byte> read(std::uint64_t offset, std::uint64_t len);
+  void write(std::uint64_t offset, std::span<const std::byte> data);
+  double readDouble(std::uint64_t offset);
+  void writeDouble(std::uint64_t offset, double value);
+
+  // --- synchronization (release consistency) ---
+  /// Invalidate cached remote pages: subsequent reads see released writes.
+  void acquire();
+  /// Ensure every home has applied this rank's writes; then barrier.
+  void release();
+  /// release() + acquire() on all ranks.
+  void barrier();
+
+  // --- statistics ---
+  std::uint64_t remoteReads() const { return remoteReads_; }
+  std::uint64_t cacheHits() const { return cacheHits_; }
+  std::uint64_t writeThroughs() const { return writeThroughs_; }
+
+ private:
+  DsmRegion(msg::Communicator& comm, std::uint64_t bytes,
+            const DsmConfig& config);
+
+  struct CachedPage {
+    std::vector<std::byte> data;
+    bool valid = false;
+  };
+
+  void onService(std::uint32_t src, int tag, std::vector<std::byte> payload);
+  /// Local backing store of a home page (this rank must be its home).
+  std::span<std::byte> homePage(std::uint32_t page);
+  /// Cached copy of a remote page, fetched from its home if needed.
+  CachedPage& cachedPage(std::uint32_t page);
+
+  msg::Communicator& comm_;
+  DsmConfig config_;
+  std::uint64_t bytes_ = 0;
+  std::uint32_t pages_ = 0;
+
+  std::vector<std::byte> homeStore_;            // this rank's home pages
+  std::unordered_map<std::uint32_t, std::uint32_t> homeIndex_;  // page->slot
+  std::unordered_map<std::uint32_t, CachedPage> cache_;
+  std::unordered_set<std::uint32_t> dirtyHomes_;  // ranks to flush
+
+  // get/flush reply bookkeeping.
+  std::unordered_map<std::uint32_t, std::vector<std::byte>> pageReplies_;
+  std::unordered_set<std::uint32_t> flushAcks_;
+  std::uint32_t nextToken_ = 1;
+
+  int pageReqTag_ = 0;
+  int pageRespTag_ = 0;
+  int writeTag_ = 0;
+  int flushTag_ = 0;
+  int flushAckTag_ = 0;
+
+  std::uint64_t remoteReads_ = 0;
+  std::uint64_t cacheHits_ = 0;
+  std::uint64_t writeThroughs_ = 0;
+};
+
+}  // namespace vibe::upper::dsm

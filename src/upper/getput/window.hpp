@@ -1,0 +1,98 @@
+// One-sided get/put layer over VIPL — the "get/put programming model"
+// layer the paper lists as future work (§5).
+//
+// Each rank exposes a registered memory window. put() uses RDMA write when
+// the NIC implements it (cLAN, M-VIA models) and falls back to an active-
+// message PUT served by the target's progress engine otherwise (BVIA model
+// has no RDMA — exactly the capability difference VIBe's RDMA benchmark
+// surfaces). get() uses RDMA read where available, else a request/reply.
+// fence() completes all outstanding operations and synchronizes all ranks.
+//
+// Target-side progress: like all send/recv-based one-sided emulations, the
+// fallback paths require the target to enter the library (progress(),
+// fence(), or any Communicator call). RDMA paths are truly passive.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "upper/msg/communicator.hpp"
+
+namespace vibe::upper::getput {
+
+struct WindowConfig {
+  std::uint64_t windowBytes = 1 << 20;
+};
+
+class Window {
+ public:
+  /// Collective constructor: every rank calls with its communicator. The
+  /// window base addresses and memory handles are exchanged out-of-band
+  /// through the message layer.
+  static std::unique_ptr<Window> create(msg::Communicator& comm,
+                                        const WindowConfig& config = {});
+  ~Window();
+
+  Window(const Window&) = delete;
+  Window& operator=(const Window&) = delete;
+
+  std::uint64_t size() const { return config_.windowBytes; }
+  /// Local window base in the simulated address space.
+  mem::VirtAddr base() const { return localBase_; }
+
+  /// Writes `data` into rank `target`'s window at `offset`.
+  void put(std::uint32_t target, std::uint64_t offset,
+           std::span<const std::byte> data);
+  /// Reads `len` bytes from rank `target`'s window at `offset`.
+  std::vector<std::byte> get(std::uint32_t target, std::uint64_t offset,
+                             std::uint64_t len);
+
+  /// Serves incoming one-sided requests without blocking.
+  void progress();
+  /// Completes all locally-issued operations and barriers all ranks.
+  void fence();
+
+  // Local window access helpers.
+  void writeLocal(std::uint64_t offset, std::span<const std::byte> data);
+  std::vector<std::byte> readLocal(std::uint64_t offset,
+                                   std::uint64_t len) const;
+
+  std::uint64_t rdmaPuts() const { return rdmaPuts_; }
+  std::uint64_t emulatedPuts() const { return emulatedPuts_; }
+  std::uint64_t rdmaGets() const { return rdmaGets_; }
+  std::uint64_t emulatedGets() const { return emulatedGets_; }
+
+ private:
+  explicit Window(msg::Communicator& comm, const WindowConfig& config);
+  void exchangeHandles();
+  void onService(std::uint32_t src, int tag, std::vector<std::byte> payload);
+
+  msg::Communicator& comm_;
+  WindowConfig config_;
+  vipl::Provider* nic_;
+  mem::VirtAddr localBase_ = 0;
+  mem::MemHandle localHandle_ = 0;
+  std::vector<mem::VirtAddr> remoteBase_;
+  std::vector<mem::MemHandle> remoteHandle_;
+
+  // Staging buffer for RDMA data (registered once; puts/gets chunk at its
+  // size). Operations are completed synchronously, which keeps this layer's
+  // send-completion stream from interleaving with the communicator's.
+  mem::VirtAddr stagingVa_ = 0;
+  mem::MemHandle stagingHandle_ = 0;
+  static constexpr std::uint64_t kStagingBytes = 64 * 1024;
+
+  // get() fallback bookkeeping: replies keyed by request token.
+  std::unordered_map<std::uint32_t, std::vector<std::byte>> getReplies_;
+  std::uint32_t nextToken_ = 1;
+
+  std::uint64_t rdmaPuts_ = 0;
+  std::uint64_t emulatedPuts_ = 0;
+  std::uint64_t rdmaGets_ = 0;
+  std::uint64_t emulatedGets_ = 0;
+};
+
+}  // namespace vibe::upper::getput

@@ -1,0 +1,269 @@
+#include "upper/rpc/rpc.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "vipl/vipl.hpp"
+
+namespace vibe::upper::rpc {
+
+namespace {
+
+using vipl::PendingConn;
+using vipl::VipDescriptor;
+using vipl::VipResult;
+
+constexpr sim::Duration kConnTimeout = sim::kSecond * 5;
+
+// Wire header: [method u32][token u32][status u32][size u64] then payload.
+constexpr std::uint32_t kHeaderBytes = 20;
+constexpr std::uint32_t kShutdownMethod = 0;
+
+struct RpcHeader {
+  std::uint32_t method = 0;
+  std::uint32_t token = 0;
+  std::uint32_t status = 0;  // 0 ok, 1 unknown method
+  std::uint64_t size = 0;
+};
+
+void packHeader(const RpcHeader& h, std::byte* out) {
+  std::memcpy(out + 0, &h.method, 4);
+  std::memcpy(out + 4, &h.token, 4);
+  std::memcpy(out + 8, &h.status, 4);
+  std::memcpy(out + 12, &h.size, 8);
+}
+
+RpcHeader unpackHeader(const std::byte* in) {
+  RpcHeader h;
+  std::memcpy(&h.method, in + 0, 4);
+  std::memcpy(&h.token, in + 4, 4);
+  std::memcpy(&h.status, in + 8, 4);
+  std::memcpy(&h.size, in + 12, 8);
+  return h;
+}
+
+void require(VipResult r, const char* what) {
+  if (r != VipResult::VIP_SUCCESS) {
+    throw std::runtime_error(std::string("rpc: ") + what + " -> " +
+                             vipl::toString(r));
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Server
+// ---------------------------------------------------------------------------
+
+RpcServer::RpcServer(suite::NodeEnv& env, const RpcConfig& config)
+    : env_(env), nic_(&env.nic), config_(config) {
+  ptag_ = nic_->createPtag();
+  require(nic_->createCq(1024, cq_), "create server CQ");
+}
+
+RpcServer::~RpcServer() = default;
+
+void RpcServer::registerMethod(std::uint32_t method, Handler handler) {
+  if (method == kShutdownMethod) {
+    throw std::invalid_argument("rpc: method 0 is reserved for shutdown");
+  }
+  methods_[method] = std::move(handler);
+}
+
+void RpcServer::acceptClients(std::uint32_t n) {
+  vipl::VipViAttributes va;
+  va.ptag = ptag_;
+  va.reliabilityLevel = config_.reliability;
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto client = std::make_unique<Client>();
+    // All receive-queue completions of every client funnel into cq_.
+    require(nic_->createVi(va, nullptr, cq_, client->vi), "server VI");
+
+    const std::uint64_t ringBytes =
+        static_cast<std::uint64_t>(config_.recvRingDepth) *
+        config_.maxMessageBytes;
+    const std::uint64_t arenaBytes = ringBytes + config_.maxMessageBytes;
+    const mem::VirtAddr arena =
+        nic_->memory().alloc(arenaBytes, mem::kPageSize);
+    vipl::VipMemAttributes ma;
+    ma.ptag = ptag_;
+    mem::MemHandle handle = 0;
+    require(nic_->registerMem(arena, arenaBytes, ma, handle),
+            "register server arena");
+    if (arenaHandle_ == 0) arenaHandle_ = handle;
+    client->ringVa = arena;
+    client->replyVa = arena + ringBytes;
+    client->ring.resize(config_.recvRingDepth);
+    for (std::uint32_t d = 0; d < config_.recvRingDepth; ++d) {
+      client->ring[d] = VipDescriptor::recv(
+          arena + static_cast<std::uint64_t>(d) * config_.maxMessageBytes,
+          handle, config_.maxMessageBytes);
+      require(nic_->postRecv(client->vi, &client->ring[d]),
+              "prepost server ring");
+    }
+    // Stash the handle in the client's reply descriptor construction.
+    client->arenaHandle = handle;
+
+    PendingConn conn;
+    require(nic_->connectWait({env_.nodeId, config_.discriminator},
+                              kConnTimeout, conn),
+            "server connect wait");
+    require(nic_->connectAccept(conn, client->vi), "server accept");
+    byVi_[client->vi] = client.get();
+    clients_.push_back(std::move(client));
+  }
+}
+
+void RpcServer::handleRequest(Client& c, VipDescriptor* done) {
+  // Which ring slot completed?
+  const std::size_t slot = static_cast<std::size_t>(done - c.ring.data());
+  const mem::VirtAddr slotVa =
+      c.ringVa + static_cast<std::uint64_t>(slot) * config_.maxMessageBytes;
+  std::vector<std::byte> request(done->cs.length);
+  nic_->memory().read(slotVa, request);
+
+  const RpcHeader h = unpackHeader(request.data());
+  if (h.method == kShutdownMethod) {
+    c.active = false;
+    // Repost so stray traffic cannot strand the connection.
+    *done = VipDescriptor::recv(slotVa, c.arenaHandle,
+                                config_.maxMessageBytes);
+    require(nic_->postRecv(c.vi, done), "repost ring");
+    return;
+  }
+
+  RpcHeader reply;
+  reply.method = h.method;
+  reply.token = h.token;
+  std::vector<std::byte> replyPayload;
+  auto it = methods_.find(h.method);
+  if (it == methods_.end()) {
+    reply.status = 1;
+  } else {
+    replyPayload = it->second(
+        std::span<const std::byte>(request.data() + kHeaderBytes, h.size));
+  }
+  reply.size = replyPayload.size();
+  if (kHeaderBytes + replyPayload.size() > config_.maxMessageBytes) {
+    throw std::length_error("rpc: reply exceeds maxMessageBytes");
+  }
+
+  std::vector<std::byte> frame(kHeaderBytes + replyPayload.size());
+  packHeader(reply, frame.data());
+  std::memcpy(frame.data() + kHeaderBytes, replyPayload.data(),
+              replyPayload.size());
+  nic_->memory().write(c.replyVa, frame);
+
+  // Repost the consumed ring slot before replying, so a pipelined client
+  // can never catch the ring empty.
+  *done = VipDescriptor::recv(slotVa, c.arenaHandle, config_.maxMessageBytes);
+  require(nic_->postRecv(c.vi, done), "repost ring");
+
+  VipDescriptor replyDesc = VipDescriptor::send(
+      c.replyVa, c.arenaHandle, static_cast<std::uint32_t>(frame.size()));
+  require(nic_->postSend(c.vi, &replyDesc), "post reply");
+  VipDescriptor* reaped = nullptr;
+  require(nic_->pollSend(c.vi, reaped), "reply completion");
+  ++served_;
+}
+
+void RpcServer::serve() {
+  auto anyActive = [this] {
+    for (const auto& c : clients_) {
+      if (c->active) return true;
+    }
+    return false;
+  };
+  while (anyActive()) {
+    vipl::Vi* vi = nullptr;
+    bool isRecv = false;
+    require(nic_->pollCq(cq_, vi, isRecv), "server CQ");
+    VipDescriptor* done = nullptr;
+    require(nic_->recvDone(vi, done), "server recv");
+    Client* c = byVi_.at(vi);
+    handleRequest(*c, done);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------------
+
+RpcClient::RpcClient(suite::NodeEnv& env, fabric::NodeId serverNode,
+                     const RpcConfig& config)
+    : env_(env), nic_(&env.nic), config_(config) {
+  ptag_ = nic_->createPtag();
+  const std::uint64_t arenaBytes = 2ull * config_.maxMessageBytes;
+  const mem::VirtAddr arena = nic_->memory().alloc(arenaBytes, mem::kPageSize);
+  vipl::VipMemAttributes ma;
+  ma.ptag = ptag_;
+  require(nic_->registerMem(arena, arenaBytes, ma, arenaHandle_),
+          "register client arena");
+  sendVa_ = arena;
+  recvVa_ = arena + config_.maxMessageBytes;
+
+  vipl::VipViAttributes va;
+  va.ptag = ptag_;
+  va.reliabilityLevel = config_.reliability;
+  require(nic_->createVi(va, nullptr, nullptr, vi_), "client VI");
+  require(nic_->connectRequest(vi_, {serverNode, config_.discriminator},
+                               kConnTimeout),
+          "client connect");
+}
+
+RpcClient::~RpcClient() = default;
+
+std::vector<std::byte> RpcClient::call(std::uint32_t method,
+                                       std::span<const std::byte> args) {
+  if (kHeaderBytes + args.size() > config_.maxMessageBytes) {
+    throw std::length_error("rpc: request exceeds maxMessageBytes");
+  }
+  const sim::SimTime t0 = env_.now();
+
+  VipDescriptor recvDesc =
+      VipDescriptor::recv(recvVa_, arenaHandle_, config_.maxMessageBytes);
+  require(nic_->postRecv(vi_, &recvDesc), "client post recv");
+
+  RpcHeader h;
+  h.method = method;
+  h.token = nextTokenValue_++;
+  h.size = args.size();
+  std::vector<std::byte> frame(kHeaderBytes + args.size());
+  packHeader(h, frame.data());
+  std::memcpy(frame.data() + kHeaderBytes, args.data(), args.size());
+  nic_->memory().write(sendVa_, frame);
+  VipDescriptor sendDesc = VipDescriptor::send(
+      sendVa_, arenaHandle_, static_cast<std::uint32_t>(frame.size()));
+  require(nic_->postSend(vi_, &sendDesc), "client post send");
+
+  VipDescriptor* done = nullptr;
+  require(nic_->pollRecv(vi_, done), "client reply");
+  require(nic_->pollSend(vi_, done), "client send completion");
+
+  std::vector<std::byte> reply(recvDesc.cs.length);
+  nic_->memory().read(recvVa_, reply);
+  const RpcHeader rh = unpackHeader(reply.data());
+  if (rh.token != h.token) {
+    throw std::logic_error("rpc: reply token mismatch");
+  }
+  if (rh.status != 0) {
+    throw std::runtime_error("rpc: server reports unknown method");
+  }
+  lastRttUsec_ = sim::toUsec(env_.now() - t0);
+  return {reply.begin() + kHeaderBytes, reply.end()};
+}
+
+void RpcClient::shutdown() {
+  RpcHeader h;
+  h.method = kShutdownMethod;
+  std::vector<std::byte> frame(kHeaderBytes);
+  packHeader(h, frame.data());
+  nic_->memory().write(sendVa_, frame);
+  VipDescriptor d = VipDescriptor::send(sendVa_, arenaHandle_, kHeaderBytes);
+  require(nic_->postSend(vi_, &d), "client shutdown send");
+  VipDescriptor* done = nullptr;
+  require(nic_->pollSend(vi_, done), "client shutdown completion");
+}
+
+}  // namespace vibe::upper::rpc

@@ -1,0 +1,109 @@
+// Stream sockets over VIPL — the "sockets" programming-model layer from
+// the paper's §1 motivation (its ref [17], "High Performance Sockets and
+// RPC over Virtual Interface Architecture").
+//
+// Byte-stream semantics on top of VIA's message transport:
+//   * one ReliableDelivery VI per connection;
+//   * a preposted receive ring of fixed frames with credit flow control —
+//     the sender never overruns the ring, like a TCP window;
+//   * incoming DATA is drained into an unbounded user-space receive buffer
+//     whenever the socket does any work (including while blocked sending),
+//     so two peers writing simultaneously cannot deadlock;
+//   * FIN frames give half-close semantics: recv returns 0 at EOF.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "vibe/cluster.hpp"
+#include "vipl/provider.hpp"
+
+namespace vibe::upper::sockets {
+
+struct StreamConfig {
+  std::uint32_t frameBytes = 8192;  // payload per ring frame
+  std::uint32_t ringDepth = 16;     // preposted frames (= send window)
+  nic::Reliability reliability = nic::Reliability::ReliableDelivery;
+};
+
+class StreamSocket {
+ public:
+  /// Active open: connects to (host, port). Throws on failure/timeout.
+  static std::unique_ptr<StreamSocket> connect(suite::NodeEnv& env,
+                                               fabric::NodeId host,
+                                               std::uint64_t port,
+                                               const StreamConfig& config = {});
+
+  ~StreamSocket();
+  StreamSocket(const StreamSocket&) = delete;
+  StreamSocket& operator=(const StreamSocket&) = delete;
+
+  /// Writes the whole span (blocking; respects the peer's window).
+  void sendAll(std::span<const std::byte> data);
+  /// Reads at least one byte unless the peer closed (then returns 0).
+  std::size_t recvSome(std::span<std::byte> out);
+  /// Reads exactly out.size() bytes; throws on premature EOF.
+  void recvAll(std::span<std::byte> out);
+  /// Bytes currently buffered and readable without blocking.
+  std::size_t available() const { return rxBuffer_.size(); }
+
+  /// Sends FIN; further sendAll calls throw. recv keeps draining.
+  void close();
+  bool peerClosed() const { return peerClosed_; }
+
+  std::uint64_t bytesSent() const { return bytesSent_; }
+  std::uint64_t bytesReceived() const { return bytesReceived_; }
+
+ private:
+  friend class StreamListener;
+  StreamSocket(suite::NodeEnv& env, const StreamConfig& config);
+  void setupBuffers();
+  /// Drains every completed ring frame; returns true if anything arrived.
+  bool progressOnce(bool blockUntilSomething);
+  void handleFrame(std::size_t slot, std::uint32_t wireBytes);
+  void returnCreditsIfDue();
+  void sendFrame(std::uint8_t kind, std::span<const std::byte> payload,
+                 std::uint32_t creditReturn);
+  /// Like sendFrame but reports failure instead of throwing (close path).
+  bool trySendFrame(std::uint8_t kind, std::span<const std::byte> payload,
+                    std::uint32_t creditReturn);
+
+  suite::NodeEnv& env_;
+  vipl::Provider* nic_;
+  StreamConfig config_;
+  mem::PtagId ptag_ = 0;
+  vipl::Vi* vi_ = nullptr;
+  mem::MemHandle arenaHandle_ = 0;
+  mem::VirtAddr ringVa_ = 0;
+  mem::VirtAddr stagingVa_ = 0;
+  std::vector<vipl::VipDescriptor> ring_;
+
+  std::deque<std::byte> rxBuffer_;
+  std::uint32_t sendCredits_ = 0;
+  std::uint32_t pendingCreditReturn_ = 0;
+  bool localClosed_ = false;
+  bool peerClosed_ = false;
+  std::uint64_t bytesSent_ = 0;
+  std::uint64_t bytesReceived_ = 0;
+};
+
+class StreamListener {
+ public:
+  /// Passive open on `port` (a VIA discriminator).
+  StreamListener(suite::NodeEnv& env, std::uint64_t port,
+                 const StreamConfig& config = {});
+
+  /// Blocks for the next incoming connection.
+  std::unique_ptr<StreamSocket> accept(sim::Duration timeout = sim::kSecond *
+                                                               10);
+
+ private:
+  suite::NodeEnv& env_;
+  std::uint64_t port_;
+  StreamConfig config_;
+};
+
+}  // namespace vibe::upper::sockets

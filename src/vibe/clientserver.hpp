@@ -1,0 +1,29 @@
+// Client/server transaction micro-benchmark (paper §3.3.1 / Fig. 7):
+// synchronous request/reply over one VI connection, reported as
+// transactions per second for a fixed request size and varying reply size.
+#pragma once
+
+#include <cstdint>
+
+#include "vibe/cluster.hpp"
+
+namespace vibe::suite {
+
+struct ClientServerConfig {
+  std::uint32_t requestBytes = 16;
+  std::uint32_t replyBytes = 64;
+  int transactions = 100;
+  int warmup = 20;
+};
+
+struct ClientServerResult {
+  double transactionsPerSec = 0;
+  double roundTripUsec = 0;
+  double clientCpuPct = 0;
+  double serverCpuPct = 0;
+};
+
+ClientServerResult runClientServer(const ClusterConfig& cluster,
+                                   const ClientServerConfig& config);
+
+}  // namespace vibe::suite

@@ -1,0 +1,52 @@
+#include "vibe/cluster.hpp"
+
+#include <utility>
+
+namespace vibe::suite {
+
+Cluster::Cluster(const ClusterConfig& config) : config_(config) {
+  ns_ = std::make_shared<vipl::NameService>();
+
+  fabric::NetworkParams np;
+  np.nodes = config_.nodes;
+  np.link.bandwidthMBps = config_.profile.linkMBps;
+  np.link.propagation = config_.profile.linkPropagation;
+  np.link.headerBytes = config_.profile.linkHeaderBytes;
+  np.link.lossRate = config_.lossRate;
+  np.switchLatency = config_.profile.switchLatency;
+  np.seed = config_.seed;
+  if (config_.nodesPerSwitch != 0) {
+    np.nodesPerSwitch = config_.nodesPerSwitch;
+    np.trunk = np.link;
+    if (config_.trunkMBps > 0.0) np.trunk.bandwidthMBps = config_.trunkMBps;
+    np.rootSwitchLatency = config_.profile.switchLatency;
+  }
+  net_ = std::make_unique<fabric::Network>(engine_, np);
+
+  providers_.reserve(config_.nodes);
+  for (std::uint32_t n = 0; n < config_.nodes; ++n) {
+    providers_.push_back(std::make_unique<vipl::Provider>(
+        engine_, *net_, n, config_.profile, ns_,
+        "node" + std::to_string(n)));
+  }
+}
+
+void Cluster::run(std::vector<std::function<void(NodeEnv&)>> programs) {
+  if (programs.size() > config_.nodes) {
+    throw sim::SimError("Cluster::run: more programs than nodes");
+  }
+  std::vector<std::unique_ptr<sim::Process>> procs;
+  procs.reserve(programs.size());
+  for (std::uint32_t i = 0; i < programs.size(); ++i) {
+    if (!programs[i]) continue;
+    procs.push_back(std::make_unique<sim::Process>(
+        engine_, "node" + std::to_string(i),
+        [this, i, fn = std::move(programs[i])] {
+          NodeEnv env{i, *providers_[i], *engine_.currentProcess(), engine_};
+          fn(env);
+        }));
+  }
+  engine_.run();
+}
+
+}  // namespace vibe::suite

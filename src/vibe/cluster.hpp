@@ -1,0 +1,67 @@
+// Cluster: a ready-to-use simulated testbed — engine + SAN fabric + one
+// VIA provider stack per host — assembled from a NicProfile. Micro-
+// benchmarks run node programs (lambdas) as cooperative processes on it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fabric/network.hpp"
+#include "nic/profile.hpp"
+#include "simcore/engine.hpp"
+#include "simcore/process.hpp"
+#include "vipl/provider.hpp"
+
+namespace vibe::suite {
+
+struct ClusterConfig {
+  nic::NicProfile profile;
+  std::uint32_t nodes = 2;
+  std::uint64_t seed = 42;
+  double lossRate = 0.0;  // injected Bernoulli frame loss on every link
+
+  // Two-level topology (0 = the paper's single switch): hosts per leaf
+  // switch, with leaf<->root trunks of `trunkMBps` (0 = same as the link).
+  std::uint32_t nodesPerSwitch = 0;
+  double trunkMBps = 0.0;
+};
+
+/// Per-node view handed to a node program.
+struct NodeEnv {
+  std::uint32_t nodeId;
+  vipl::Provider& nic;
+  sim::Process& self;
+  sim::Engine& engine;
+
+  sim::SimTime now() const { return engine.now(); }
+  sim::Duration cpuBusy() const { return self.cpuBusy(); }
+};
+
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  sim::Engine& engine() { return engine_; }
+  fabric::Network& network() { return *net_; }
+  vipl::Provider& node(std::uint32_t i) { return *providers_.at(i); }
+  std::uint32_t nodeCount() const { return config_.nodes; }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Runs one program per entry (program i on node i) to completion.
+  /// Throws if the simulation deadlocks or a program throws.
+  void run(std::vector<std::function<void(NodeEnv&)>> programs);
+
+ private:
+  ClusterConfig config_;
+  sim::Engine engine_;
+  std::shared_ptr<vipl::NameService> ns_;
+  std::unique_ptr<fabric::Network> net_;
+  std::vector<std::unique_ptr<vipl::Provider>> providers_;
+};
+
+}  // namespace vibe::suite

@@ -1,0 +1,144 @@
+#include "vibe/report.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace vibe::suite {
+
+SurveyResult runSurvey(const nic::NicProfile& profile,
+                       const SurveyOptions& options) {
+  SurveyResult result;
+  result.implementation = profile.name;
+  ClusterConfig cluster;
+  cluster.profile = profile;
+
+  // Category 1: non-data-transfer operations.
+  result.nonData = runNonData(cluster);
+  result.memCosts = runMemCostSweep(cluster, options.regSizes);
+
+  // Category 2: data transfer.
+  for (const std::uint64_t size : options.messageSizes) {
+    TransferConfig cfg;
+    cfg.msgBytes = size;
+    cfg.iterations = options.iterations;
+    cfg.warmup = options.warmup;
+    const auto poll = runPingPong(cluster, cfg);
+    TransferConfig blockCfg = cfg;
+    blockCfg.reap = ReapMode::Block;
+    const auto block = runPingPong(cluster, blockCfg);
+    const auto bw = runBandwidth(cluster, cfg);
+    result.transfers.push_back({size, poll.latencyUsec, block.latencyUsec,
+                                bw.bandwidthMBps, block.receiverCpuPct});
+  }
+
+  // One-component probes.
+  TransferConfig probe;
+  probe.msgBytes = options.probeBytes;
+  probe.iterations = options.iterations;
+  probe.warmup = options.warmup;
+  result.baseLatencyUsec = runPingPong(cluster, probe).latencyUsec;
+
+  TransferConfig viaCq = probe;
+  viaCq.reap = ReapMode::PollCq;
+  result.cqOverheadUsec =
+      runPingPong(cluster, viaCq).latencyUsec - result.baseLatencyUsec;
+
+  TransferConfig noReuse = probe;
+  noReuse.reusePercent = 0;
+  noReuse.bufferPool = 160;
+  result.noReuseOverheadUsec =
+      runPingPong(cluster, noReuse).latencyUsec - result.baseLatencyUsec;
+
+  TransferConfig manyVis = probe;
+  manyVis.extraVis = 15;
+  result.multiViOverheadUsec =
+      runPingPong(cluster, manyVis).latencyUsec - result.baseLatencyUsec;
+
+  TransferConfig notify = probe;
+  notify.reap = ReapMode::Notify;
+  result.notifyOverheadUsec =
+      runPingPong(cluster, notify).latencyUsec - result.baseLatencyUsec;
+
+  result.rdmaWriteSupported = profile.supportsRdmaWrite;
+  if (result.rdmaWriteSupported) {
+    TransferConfig rdma = probe;
+    rdma.useRdmaWrite = true;
+    result.rdmaLatencyDeltaUsec =
+        runPingPong(cluster, rdma).latencyUsec - result.baseLatencyUsec;
+  }
+
+  // Category 3: client/server transactions.
+  for (const std::uint32_t reply : options.replySizes) {
+    ClientServerConfig cs;
+    cs.requestBytes = 16;
+    cs.replyBytes = reply;
+    cs.transactions = options.iterations;
+    cs.warmup = options.warmup;
+    const auto r = runClientServer(cluster, cs);
+    result.transactions.push_back(
+        {reply, r.transactionsPerSec, r.roundTripUsec});
+  }
+  return result;
+}
+
+std::string renderSurvey(const SurveyResult& r) {
+  std::ostringstream os;
+  char line[256];
+  os << "VIBe survey of: " << r.implementation << '\n';
+  os << "=========================================================\n\n";
+
+  os << "[1] non-data-transfer costs (us)\n";
+  std::snprintf(line, sizeof line,
+                "    create VI %10.2f   destroy VI %8.2f\n"
+                "    connect   %10.2f   teardown   %8.2f\n"
+                "    create CQ %10.2f   destroy CQ %8.2f\n",
+                r.nonData.createVi, r.nonData.destroyVi, r.nonData.connect,
+                r.nonData.teardown, r.nonData.createCq, r.nonData.destroyCq);
+  os << line;
+  os << "    registration (reg/dereg us):";
+  for (const auto& p : r.memCosts) {
+    std::snprintf(line, sizeof line, "  %lluB: %.1f/%.1f",
+                  static_cast<unsigned long long>(p.bytes), p.registerUs,
+                  p.deregisterUs);
+    os << line;
+  }
+  os << "\n\n[2] data transfer (base configuration)\n";
+  std::snprintf(line, sizeof line, "    %10s %12s %12s %12s %10s\n", "bytes",
+                "lat_poll us", "lat_block us", "bw MB/s", "blk cpu %");
+  os << line;
+  for (const auto& t : r.transfers) {
+    std::snprintf(line, sizeof line,
+                  "    %10llu %12.2f %12.2f %12.2f %10.1f\n",
+                  static_cast<unsigned long long>(t.bytes), t.latencyPollUsec,
+                  t.latencyBlockUsec, t.bandwidthMBps, t.blockRecvCpuPct);
+    os << line;
+  }
+  std::snprintf(line, sizeof line,
+                "\n    component probes (us over base %.2f):\n"
+                "      completion queue : %+0.2f\n"
+                "      0%% buffer reuse  : %+0.2f\n"
+                "      16 active VIs    : %+0.2f\n"
+                "      notify handler   : %+0.2f\n",
+                r.baseLatencyUsec, r.cqOverheadUsec, r.noReuseOverheadUsec,
+                r.multiViOverheadUsec, r.notifyOverheadUsec);
+  os << line;
+  if (r.rdmaWriteSupported) {
+    std::snprintf(line, sizeof line, "      RDMA write       : %+0.2f\n",
+                  r.rdmaLatencyDeltaUsec);
+    os << line;
+  } else {
+    os << "      RDMA write       : not supported\n";
+  }
+
+  os << "\n[3] client/server transactions per second\n";
+  for (const auto& t : r.transactions) {
+    std::snprintf(line, sizeof line,
+                  "    request 16 B, reply %6u B: %8.0f tps (rtt %.2f us)\n",
+                  t.replyBytes, t.transactionsPerSec, t.roundTripUsec);
+    os << line;
+  }
+  return os.str();
+}
+
+}  // namespace vibe::suite

@@ -1,0 +1,154 @@
+// RAII conveniences over the VIPL surface.
+//
+// The flat Vip* API mirrors the spec and leaves every release to the
+// caller; these wrappers give C++ applications scope-bound lifetimes:
+// ptags destroy after their registrations, registrations deregister (and
+// flush the NIC translation cache), VIs disconnect before destruction,
+// CQs refuse to outlive attached VIs (enforced by the provider).
+#pragma once
+
+#include <utility>
+
+#include "vipl/provider.hpp"
+
+namespace vibe::vipl {
+
+/// Scope-bound protection tag.
+class ScopedPtag {
+ public:
+  explicit ScopedPtag(Provider& nic) : nic_(&nic), ptag_(nic.createPtag()) {}
+  ~ScopedPtag() {
+    if (nic_ != nullptr && ptag_ != 0) (void)nic_->destroyPtag(ptag_);
+  }
+  ScopedPtag(ScopedPtag&& other) noexcept
+      : nic_(std::exchange(other.nic_, nullptr)),
+        ptag_(std::exchange(other.ptag_, 0)) {}
+  ScopedPtag& operator=(ScopedPtag&&) = delete;
+  ScopedPtag(const ScopedPtag&) = delete;
+  ScopedPtag& operator=(const ScopedPtag&) = delete;
+
+  mem::PtagId get() const { return ptag_; }
+
+ private:
+  Provider* nic_;
+  mem::PtagId ptag_;
+};
+
+/// A freshly allocated, registered buffer; deregisters on destruction.
+class RegisteredBuffer {
+ public:
+  RegisteredBuffer(Provider& nic, std::uint64_t bytes, mem::PtagId ptag,
+                   bool rdmaWrite = false, bool rdmaRead = false)
+      : nic_(&nic), bytes_(bytes) {
+    va_ = nic.memory().alloc(bytes, mem::kPageSize);
+    VipMemAttributes attrs;
+    attrs.ptag = ptag;
+    attrs.enableRdmaWrite = rdmaWrite;
+    attrs.enableRdmaRead = rdmaRead;
+    result_ = nic.registerMem(va_, bytes, attrs, handle_);
+  }
+  ~RegisteredBuffer() {
+    if (nic_ != nullptr && handle_ != 0) (void)nic_->deregisterMem(handle_);
+  }
+  RegisteredBuffer(RegisteredBuffer&& other) noexcept
+      : nic_(std::exchange(other.nic_, nullptr)),
+        va_(other.va_),
+        bytes_(other.bytes_),
+        handle_(std::exchange(other.handle_, 0)),
+        result_(other.result_) {}
+  RegisteredBuffer& operator=(RegisteredBuffer&&) = delete;
+  RegisteredBuffer(const RegisteredBuffer&) = delete;
+  RegisteredBuffer& operator=(const RegisteredBuffer&) = delete;
+
+  bool ok() const { return result_ == VipResult::VIP_SUCCESS; }
+  VipResult status() const { return result_; }
+  mem::VirtAddr addr() const { return va_; }
+  mem::MemHandle handle() const { return handle_; }
+  std::uint64_t size() const { return bytes_; }
+
+  /// Ready-made descriptors over the whole buffer (or a prefix).
+  VipDescriptor sendDesc(std::uint32_t bytes) const {
+    return VipDescriptor::send(va_, handle_, bytes);
+  }
+  VipDescriptor recvDesc(std::uint32_t bytes = 0) const {
+    return VipDescriptor::recv(
+        va_, handle_, bytes ? bytes : static_cast<std::uint32_t>(bytes_));
+  }
+
+  /// Payload helpers through the simulated address space.
+  void write(std::uint64_t offset, std::span<const std::byte> data) {
+    nic_->memory().write(va_ + offset, data);
+  }
+  std::vector<std::byte> read(std::uint64_t offset, std::uint64_t len) const {
+    std::vector<std::byte> out(len);
+    nic_->memory().read(va_ + offset, out);
+    return out;
+  }
+
+ private:
+  Provider* nic_;
+  mem::VirtAddr va_ = 0;
+  std::uint64_t bytes_ = 0;
+  mem::MemHandle handle_ = 0;
+  VipResult result_ = VipResult::VIP_ERROR_RESOURCE;
+};
+
+/// Scope-bound VI: disconnects (if connected) and destroys on destruction.
+class ScopedVi {
+ public:
+  ScopedVi(Provider& nic, const VipViAttributes& attrs, Cq* sendCq = nullptr,
+           Cq* recvCq = nullptr)
+      : nic_(&nic) {
+    result_ = nic.createVi(attrs, sendCq, recvCq, vi_);
+  }
+  ~ScopedVi() {
+    if (nic_ == nullptr || vi_ == nullptr) return;
+    if (vi_->state() == ViState::Connected) (void)nic_->disconnect(vi_);
+    (void)nic_->destroyVi(vi_);
+  }
+  ScopedVi(ScopedVi&& other) noexcept
+      : nic_(std::exchange(other.nic_, nullptr)),
+        vi_(std::exchange(other.vi_, nullptr)),
+        result_(other.result_) {}
+  ScopedVi& operator=(ScopedVi&&) = delete;
+  ScopedVi(const ScopedVi&) = delete;
+  ScopedVi& operator=(const ScopedVi&) = delete;
+
+  bool ok() const { return result_ == VipResult::VIP_SUCCESS; }
+  VipResult status() const { return result_; }
+  Vi* get() const { return vi_; }
+  Vi* operator->() const { return vi_; }
+
+ private:
+  Provider* nic_;
+  Vi* vi_ = nullptr;
+  VipResult result_ = VipResult::VIP_ERROR_RESOURCE;
+};
+
+/// Scope-bound completion queue.
+class ScopedCq {
+ public:
+  ScopedCq(Provider& nic, std::size_t entries) : nic_(&nic) {
+    result_ = nic.createCq(entries, cq_);
+  }
+  ~ScopedCq() {
+    if (nic_ != nullptr && cq_ != nullptr) (void)nic_->destroyCq(cq_);
+  }
+  ScopedCq(ScopedCq&& other) noexcept
+      : nic_(std::exchange(other.nic_, nullptr)),
+        cq_(std::exchange(other.cq_, nullptr)),
+        result_(other.result_) {}
+  ScopedCq& operator=(ScopedCq&&) = delete;
+  ScopedCq(const ScopedCq&) = delete;
+  ScopedCq& operator=(const ScopedCq&) = delete;
+
+  bool ok() const { return result_ == VipResult::VIP_SUCCESS; }
+  Cq* get() const { return cq_; }
+
+ private:
+  Provider* nic_;
+  Cq* cq_ = nullptr;
+  VipResult result_ = VipResult::VIP_ERROR_RESOURCE;
+};
+
+}  // namespace vibe::vipl

@@ -1,0 +1,165 @@
+// VIPL type definitions, following the VIA 1.0 Provider Library spec
+// (return codes, descriptor layout with Control/Data/Address segments, VI
+// attributes, network addresses).
+//
+// Deviation from the spec, by design: descriptors are host C++ objects
+// rather than structures living in registered memory — the registration
+// requirement is enforced for data buffers, which is what the simulated
+// NICs actually touch. See DESIGN.md §"Substitutions".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/packet.hpp"
+#include "mem/memory_registry.hpp"
+#include "nic/work.hpp"
+
+namespace vibe::vipl {
+
+/// VIPL return codes (subset of the spec's VIP_RETURN values that have
+/// observable behaviour in this implementation).
+enum class VipResult : std::uint8_t {
+  VIP_SUCCESS,
+  VIP_NOT_DONE,
+  VIP_INVALID_PARAMETER,
+  VIP_ERROR_RESOURCE,
+  VIP_TIMEOUT,
+  VIP_REJECT,
+  VIP_INVALID_RELIABILITY_LEVEL,
+  VIP_INVALID_MTU,
+  VIP_INVALID_PTAG,
+  VIP_INVALID_RDMAREAD,
+  VIP_DESCRIPTOR_ERROR,
+  VIP_INVALID_STATE,
+  VIP_NO_MATCH,
+  VIP_NOT_REACHABLE,
+  VIP_ERROR_NOT_SUPPORTED,
+  VIP_PROTECTION_ERROR,
+  VIP_ERROR_NAMESERVICE,
+};
+
+const char* toString(VipResult r);
+
+/// VI endpoint states (spec §2.3).
+enum class ViState : std::uint8_t {
+  Idle,
+  PendingConnect,
+  Connected,
+  Disconnected,
+  Error,
+};
+
+const char* toString(ViState s);
+
+/// Control-segment operation/flag bits.
+inline constexpr std::uint16_t VIP_CONTROL_OP_SENDRECV = 0x0;
+inline constexpr std::uint16_t VIP_CONTROL_OP_RDMAWRITE = 0x1;
+inline constexpr std::uint16_t VIP_CONTROL_OP_RDMAREAD = 0x2;
+inline constexpr std::uint16_t VIP_CONTROL_OP_MASK = 0x3;
+inline constexpr std::uint16_t VIP_CONTROL_IMMEDIATE = 0x4;
+
+/// Completion status written back into the control segment.
+struct VipDescStatus {
+  bool done = false;
+  nic::WorkStatus error = nic::WorkStatus::Ok;
+  bool ok() const { return done && error == nic::WorkStatus::Ok; }
+};
+
+/// Control Segment: one per descriptor (spec §3.2).
+struct VipControlSegment {
+  std::uint16_t control = VIP_CONTROL_OP_SENDRECV;
+  std::uint16_t segCount = 0;
+  std::uint32_t length = 0;         // on completion: bytes transferred
+  std::uint32_t immediateData = 0;  // valid when VIP_CONTROL_IMMEDIATE set
+  VipDescStatus status;
+};
+
+/// Data Segment: one registered-buffer range (spec §3.2).
+struct VipDataSegment {
+  mem::VirtAddr data = 0;
+  mem::MemHandle handle = 0;
+  std::uint32_t length = 0;
+};
+
+/// Address Segment: remote buffer for RDMA operations.
+struct VipAddressSegment {
+  mem::VirtAddr data = 0;
+  mem::MemHandle handle = 0;
+};
+
+/// A VIA descriptor: control segment, optional address segment, and zero
+/// or more data segments.
+struct VipDescriptor {
+  VipControlSegment cs;
+  VipAddressSegment as;
+  std::vector<VipDataSegment> ds;
+
+  /// Provider diagnostic: host-kernel nanoseconds spent completing this
+  /// descriptor (M-VIA RX path); charged to the reaping process's CPU
+  /// counter on blocking reaps.
+  std::int64_t kernelCpuTime = 0;
+
+  std::uint16_t op() const { return cs.control & VIP_CONTROL_OP_MASK; }
+  bool hasImmediate() const { return (cs.control & VIP_CONTROL_IMMEDIATE) != 0; }
+  std::uint64_t totalBytes() const {
+    std::uint64_t total = 0;
+    for (const auto& s : ds) total += s.length;
+    return total;
+  }
+
+  /// Convenience builders used throughout tests/examples/benchmarks.
+  static VipDescriptor send(mem::VirtAddr addr, mem::MemHandle handle,
+                            std::uint32_t length);
+  static VipDescriptor recv(mem::VirtAddr addr, mem::MemHandle handle,
+                            std::uint32_t length);
+  static VipDescriptor sendImmediate(std::uint32_t immediate);
+  static VipDescriptor rdmaWrite(mem::VirtAddr localAddr,
+                                 mem::MemHandle localHandle,
+                                 std::uint32_t length,
+                                 mem::VirtAddr remoteAddr,
+                                 mem::MemHandle remoteHandle);
+  static VipDescriptor rdmaRead(mem::VirtAddr localAddr,
+                                mem::MemHandle localHandle,
+                                std::uint32_t length,
+                                mem::VirtAddr remoteAddr,
+                                mem::MemHandle remoteHandle);
+};
+
+/// VI attributes (spec §3.4.1), negotiated at connection time.
+struct VipViAttributes {
+  nic::Reliability reliabilityLevel = nic::Reliability::Unreliable;
+  std::uint32_t maxTransferSize = 32u << 20;
+  mem::PtagId ptag = 0;
+  bool enableRdmaWrite = false;
+  bool enableRdmaRead = false;
+};
+
+/// Network address: host + connection discriminator.
+struct VipNetAddress {
+  fabric::NodeId host = 0;
+  std::uint64_t discriminator = 0;
+};
+
+/// NIC attributes returned by VipQueryNic (spec §3.1.2).
+struct VipNicAttributes {
+  std::string name;
+  std::uint16_t maxSegmentsPerDesc = 252;
+  std::uint32_t maxTransferSize = 0;
+  std::uint32_t mtu = 0;
+  bool reliableDeliverySupport = true;
+  bool reliableReceptionSupport = true;
+  bool rdmaWriteSupport = false;
+  bool rdmaReadSupport = false;
+  std::size_t translationCacheEntries = 0;
+};
+
+/// Memory registration attributes (spec §3.3.1).
+struct VipMemAttributes {
+  mem::PtagId ptag = 0;
+  bool enableRdmaWrite = false;
+  bool enableRdmaRead = false;
+};
+
+}  // namespace vibe::vipl

@@ -1,0 +1,303 @@
+// Calibration tests: every qualitative claim the paper makes about the
+// three VIA implementations must hold in the reproduction. These guard the
+// *mechanisms* — if a refactor of the NIC models breaks a curve shape,
+// these tests fail even though the unit tests still pass.
+#include <gtest/gtest.h>
+
+#include "nic/profiles.hpp"
+#include "vibe/clientserver.hpp"
+#include "vibe/datatransfer.hpp"
+#include "vibe/nondata.hpp"
+
+namespace vibe {
+namespace {
+
+using suite::ClusterConfig;
+using suite::ReapMode;
+using suite::TransferConfig;
+
+ClusterConfig mvia() { return {nic::mviaProfile()}; }
+ClusterConfig bvia() { return {nic::bviaProfile()}; }
+ClusterConfig clan() { return {nic::clanProfile()}; }
+
+double pingLatency(const ClusterConfig& c, TransferConfig t) {
+  return suite::runPingPong(c, t).latencyUsec;
+}
+
+double bandwidth(const ClusterConfig& c, TransferConfig t) {
+  return suite::runBandwidth(c, t).bandwidthMBps;
+}
+
+// --- Table 1 -------------------------------------------------------------
+
+TEST(CalibrationTable1, OperationCostOrderings) {
+  const auto m = suite::runNonData(mvia());
+  const auto b = suite::runNonData(bvia());
+  const auto c = suite::runNonData(clan());
+
+  // Creating a VI: M-VIA (93) > BVIA (28) > cLAN (3).
+  EXPECT_GT(m.createVi, b.createVi);
+  EXPECT_GT(b.createVi, c.createVi);
+  EXPECT_NEAR(m.createVi, 93, 10);
+  EXPECT_NEAR(c.createVi, 3, 1);
+
+  // Connection establishment: M-VIA (6465) > cLAN (2454) > BVIA (496).
+  EXPECT_GT(m.connect, c.connect);
+  EXPECT_GT(c.connect, b.connect);
+  EXPECT_NEAR(m.connect, 6465, 400);
+  EXPECT_NEAR(b.connect, 496, 60);
+  EXPECT_NEAR(c.connect, 2454, 150);
+
+  // Teardown: cLAN (155) >> BVIA (9) > M-VIA (3).
+  EXPECT_GT(c.teardown, b.teardown);
+  EXPECT_GT(b.teardown, m.teardown);
+  EXPECT_NEAR(c.teardown, 155, 10);
+
+  // CQ create: BVIA (206) > cLAN (54) > M-VIA (17).
+  EXPECT_GT(b.createCq, c.createCq);
+  EXPECT_GT(c.createCq, m.createCq);
+  EXPECT_NEAR(b.createCq, 206, 15);
+}
+
+// --- Fig. 1 / Fig. 2 -----------------------------------------------------
+
+TEST(CalibrationMemory, RegistrationShape) {
+  const std::vector<std::uint64_t> sizes{4096, 20480, 28672};
+  const auto m = suite::runMemCostSweep(mvia(), sizes);
+  const auto b = suite::runMemCostSweep(bvia(), sizes);
+  const auto c = suite::runMemCostSweep(clan(), sizes);
+
+  // BVIA is the most expensive registration for buffers <= 20 KB.
+  EXPECT_GT(b[0].registerUs, m[0].registerUs);
+  EXPECT_GT(b[0].registerUs, c[0].registerUs);
+  EXPECT_GT(b[1].registerUs, m[1].registerUs);
+  // ... but M-VIA's per-page pinning overtakes above 20 KB.
+  EXPECT_GT(m[2].registerUs, b[2].registerUs);
+  // All costs in the plotted range stay under ~35 us, as in Fig. 1.
+  for (const auto& sweep : {m, b, c}) {
+    for (const auto& p : sweep) EXPECT_LT(p.registerUs, 35.0);
+  }
+}
+
+TEST(CalibrationMemory, DeregistrationUnder16usUpTo32MB) {
+  const std::vector<std::uint64_t> sizes{4096, 1 << 20, 32u << 20};
+  for (const auto& cfg : {mvia(), bvia(), clan()}) {
+    const auto sweep = suite::runMemCostSweep(cfg, sizes);
+    for (const auto& p : sweep) {
+      EXPECT_LT(p.deregisterUs, 16.0) << cfg.profile.name << " @" << p.bytes;
+      EXPECT_LT(p.deregisterUs, sweep[0].registerUs + 16.0);
+    }
+  }
+}
+
+// --- Fig. 3 ---------------------------------------------------------------
+
+TEST(CalibrationFig3, SmallMessageLatencyOrdering) {
+  TransferConfig t;
+  t.msgBytes = 4;
+  const double m = pingLatency(mvia(), t);
+  const double b = pingLatency(bvia(), t);
+  const double c = pingLatency(clan(), t);
+  EXPECT_LT(c, m);  // cLAN provides the lowest latency
+  EXPECT_LT(m, b);  // M-VIA beats BVIA for short messages
+  EXPECT_NEAR(c, 9, 3);
+}
+
+TEST(CalibrationFig3, LatencyCrossoverAtLongMessages) {
+  // "BVIA outperforms M-VIA for longer messages because M-VIA requires
+  // extra data copies."
+  TransferConfig t;
+  t.msgBytes = 28672;
+  EXPECT_LT(pingLatency(bvia(), t), pingLatency(mvia(), t));
+  // cLAN stays lowest across the sweep.
+  for (std::uint64_t s : {256ull, 4096ull, 28672ull}) {
+    TransferConfig p;
+    p.msgBytes = s;
+    const double c = pingLatency(clan(), p);
+    EXPECT_LT(c, pingLatency(mvia(), p)) << s;
+    EXPECT_LT(c, pingLatency(bvia(), p)) << s;
+  }
+}
+
+TEST(CalibrationFig3, BandwidthShape) {
+  TransferConfig small;
+  small.msgBytes = 1024;
+  TransferConfig large;
+  large.msgBytes = 28672;
+  large.burst = 60;
+
+  // cLAN superiority for a large range of message sizes...
+  EXPECT_GT(bandwidth(clan(), small), bandwidth(bvia(), small));
+  EXPECT_GT(bandwidth(clan(), small), bandwidth(mvia(), small));
+  // ...but BVIA wins for large messages, and M-VIA trails (copies).
+  const double mL = bandwidth(mvia(), large);
+  const double bL = bandwidth(bvia(), large);
+  const double cL = bandwidth(clan(), large);
+  EXPECT_GT(bL, cL);
+  EXPECT_GT(cL, mL);
+  // Physical sanity: nobody beats their link or PCI bounds.
+  EXPECT_LT(bL, 125.0);
+  EXPECT_LT(cL, 112.5);
+  EXPECT_LT(mL, 110.5);
+}
+
+// --- Fig. 4 ---------------------------------------------------------------
+
+TEST(CalibrationFig4, BlockingCostsLatencyButFreesCpu) {
+  for (const auto& cfg : {mvia(), bvia(), clan()}) {
+    TransferConfig poll;
+    poll.msgBytes = 256;
+    TransferConfig block = poll;
+    block.reap = ReapMode::Block;
+    const auto p = suite::runPingPong(cfg, poll);
+    const auto b = suite::runPingPong(cfg, block);
+    EXPECT_GT(b.latencyUsec, p.latencyUsec + 5) << cfg.profile.name;
+    // Polling burns the whole CPU (paper: "100% utilization when polling").
+    EXPECT_GT(p.receiverCpuPct, 95.0) << cfg.profile.name;
+    EXPECT_LT(b.receiverCpuPct, 80.0) << cfg.profile.name;
+  }
+}
+
+TEST(CalibrationFig4, MviaHasHighestBlockingCpuForSmallMessages) {
+  TransferConfig t;
+  t.msgBytes = 16;
+  t.reap = ReapMode::Block;
+  const auto m = suite::runPingPong(mvia(), t);
+  const auto b = suite::runPingPong(bvia(), t);
+  const auto c = suite::runPingPong(clan(), t);
+  EXPECT_GT(m.receiverCpuPct, b.receiverCpuPct);
+  EXPECT_GT(m.receiverCpuPct, c.receiverCpuPct);
+}
+
+// --- Fig. 5 ---------------------------------------------------------------
+
+TEST(CalibrationFig5, BufferReuseOnlyMattersOnBvia) {
+  auto withReuse = [](const ClusterConfig& cfg, int reuse) {
+    TransferConfig t;
+    t.msgBytes = 12288;
+    t.reusePercent = reuse;
+    t.bufferPool = reuse == 100 ? 1 : 160;
+    t.iterations = 200;
+    return suite::runPingPong(cfg, t).latencyUsec;
+  };
+  // Monotonic degradation on BVIA...
+  const double b100 = withReuse(bvia(), 100);
+  const double b50 = withReuse(bvia(), 50);
+  const double b0 = withReuse(bvia(), 0);
+  EXPECT_GT(b50, b100 * 1.05);
+  EXPECT_GT(b0, b50 * 1.05);
+  // ...severity grows with message size (absolute penalty).
+  auto smallPenalty = [&] {
+    TransferConfig t;
+    t.msgBytes = 4;
+    t.iterations = 200;
+    const double full = suite::runPingPong(bvia(), t).latencyUsec;
+    t.reusePercent = 0;
+    t.bufferPool = 160;
+    return suite::runPingPong(bvia(), t).latencyUsec - full;
+  }();
+  EXPECT_GT(b0 - b100, smallPenalty);
+  // ...and no effect at all on M-VIA / cLAN.
+  EXPECT_NEAR(withReuse(mvia(), 0), withReuse(mvia(), 100), 0.5);
+  EXPECT_NEAR(withReuse(clan(), 0), withReuse(clan(), 100), 0.5);
+}
+
+TEST(CalibrationFig5, ReuseAlsoCollapsesBviaBandwidth) {
+  TransferConfig t;
+  t.msgBytes = 12288;
+  t.burst = 100;
+  const double full = bandwidth(bvia(), t);
+  t.reusePercent = 0;
+  t.bufferPool = 160;
+  const double none = bandwidth(bvia(), t);
+  EXPECT_LT(none, full * 0.8);
+}
+
+// --- Fig. 6 ---------------------------------------------------------------
+
+TEST(CalibrationFig6, ActiveViCountOnlyMattersOnBvia) {
+  auto withVis = [](const ClusterConfig& cfg, int vis) {
+    TransferConfig t;
+    t.msgBytes = 4;
+    t.extraVis = vis - 1;
+    return suite::runPingPong(cfg, t).latencyUsec;
+  };
+  const double b1 = withVis(bvia(), 1);
+  const double b8 = withVis(bvia(), 8);
+  const double b32 = withVis(bvia(), 32);
+  EXPECT_GT(b8, b1 + 10);   // firmware scans 7 more VIs, both directions
+  EXPECT_GT(b32, b8 + 30);
+  EXPECT_NEAR(withVis(mvia(), 32), withVis(mvia(), 1), 0.5);
+  EXPECT_NEAR(withVis(clan(), 32), withVis(clan(), 1), 0.5);
+}
+
+// --- §4.3.3 (CQ overhead) --------------------------------------------------
+
+TEST(CalibrationCq, OverheadNegligibleExceptBvia) {
+  auto overhead = [](const ClusterConfig& cfg) {
+    TransferConfig direct;
+    direct.msgBytes = 4;
+    TransferConfig viaCq = direct;
+    viaCq.reap = ReapMode::PollCq;
+    return suite::runPingPong(cfg, viaCq).latencyUsec -
+           suite::runPingPong(cfg, direct).latencyUsec;
+  };
+  EXPECT_LT(overhead(mvia()), 1.0);
+  EXPECT_LT(overhead(clan()), 1.0);
+  const double b = overhead(bvia());
+  EXPECT_GE(b, 2.0);  // paper: 2-5 microseconds
+  EXPECT_LE(b, 5.0);
+}
+
+// --- Fig. 7 ---------------------------------------------------------------
+
+TEST(CalibrationFig7, TransactionRateShape) {
+  auto tps = [](const ClusterConfig& cfg, std::uint32_t reply) {
+    suite::ClientServerConfig cs;
+    cs.requestBytes = 16;
+    cs.replyBytes = reply;
+    return suite::runClientServer(cfg, cs).transactionsPerSec;
+  };
+  // cLAN outperforms both across reply sizes; ~45-55k tps small-reply.
+  const double cSmall = tps(clan(), 16);
+  EXPECT_GT(cSmall, tps(mvia(), 16));
+  EXPECT_GT(cSmall, tps(bvia(), 16));
+  EXPECT_GT(cSmall, 40000);
+  EXPECT_LT(cSmall, 70000);
+  // M-VIA beats BVIA for short replies; BVIA wins in the mid range.
+  EXPECT_GT(tps(mvia(), 64), tps(bvia(), 64));
+  EXPECT_GT(tps(bvia(), 8192), tps(mvia(), 8192));
+}
+
+// --- Reliability-level semantics -------------------------------------------
+
+TEST(CalibrationReliability, SendCompletionOrdering) {
+  for (const auto& cfg : {mvia(), bvia(), clan()}) {
+    auto completion = [&](nic::Reliability level) {
+      TransferConfig t;
+      t.msgBytes = 4096;
+      t.reliability = level;
+      t.measureSendCompletion = true;
+      return suite::runPingPong(cfg, t).sendCompletionUsec;
+    };
+    const double ud = completion(nic::Reliability::Unreliable);
+    const double rd = completion(nic::Reliability::ReliableDelivery);
+    const double rr = completion(nic::Reliability::ReliableReception);
+    EXPECT_LT(ud, rd) << cfg.profile.name;
+    EXPECT_LT(rd, rr) << cfg.profile.name;
+  }
+}
+
+// --- RDMA capability matrix -------------------------------------------------
+
+TEST(CalibrationRdma, CapabilityMatrixMatchesImplementations) {
+  TransferConfig t;
+  t.msgBytes = 1024;
+  t.useRdmaWrite = true;
+  EXPECT_TRUE(suite::runPingPong(clan(), t).supported);
+  EXPECT_TRUE(suite::runPingPong(mvia(), t).supported);
+  EXPECT_FALSE(suite::runPingPong(bvia(), t).supported);
+}
+
+}  // namespace
+}  // namespace vibe

@@ -1,0 +1,196 @@
+// Tests for the one-sided get/put window layer: RDMA and emulated paths,
+// fence semantics, bounds checking, and multi-rank halo exchange.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nic/profiles.hpp"
+#include "upper/getput/window.hpp"
+#include "vibe/cluster.hpp"
+
+namespace vibe {
+namespace {
+
+using suite::Cluster;
+using suite::ClusterConfig;
+using suite::NodeEnv;
+using upper::getput::Window;
+using upper::getput::WindowConfig;
+using upper::msg::Communicator;
+
+std::vector<std::byte> pattern(std::size_t len, std::uint8_t seed) {
+  std::vector<std::byte> out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out[i] = std::byte(static_cast<std::uint8_t>(seed ^ (i * 7)));
+  }
+  return out;
+}
+
+void runSpmd(const std::string& profile, std::uint32_t nodes,
+             const std::function<void(Window&, Communicator&, NodeEnv&)>& body,
+             const WindowConfig& wc = {}) {
+  ClusterConfig cc;
+  cc.profile = nic::profileByName(profile);
+  cc.nodes = nodes;
+  Cluster cluster(cc);
+  std::vector<std::function<void(NodeEnv&)>> programs;
+  for (std::uint32_t r = 0; r < nodes; ++r) {
+    programs.push_back([&, r](NodeEnv& env) {
+      auto comm = Communicator::create(env, r, nodes, {});
+      auto window = Window::create(*comm, wc);
+      body(*window, *comm, env);
+    });
+  }
+  cluster.run(std::move(programs));
+}
+
+class GetPutAllProfiles : public ::testing::TestWithParam<std::string> {};
+INSTANTIATE_TEST_SUITE_P(Profiles, GetPutAllProfiles,
+                         ::testing::Values("mvia", "bvia", "clan"),
+                         [](const auto& pi) { return pi.param; });
+
+TEST_P(GetPutAllProfiles, PutThenGetRoundTrips) {
+  // clan/mvia use RDMA write for put; bvia uses the emulated path.
+  runSpmd(GetParam(), 2, [&](Window& win, Communicator& comm, NodeEnv&) {
+    if (comm.rank() == 0) {
+      win.put(1, 128, pattern(4000, 0x21));
+      win.fence();
+      const auto back = win.get(1, 128, 4000);
+      EXPECT_EQ(back, pattern(4000, 0x21));
+      win.fence();
+    } else {
+      win.fence();  // serves the put if emulated; orders the data if RDMA
+      EXPECT_EQ(win.readLocal(128, 4000), pattern(4000, 0x21));
+      win.fence();  // serves rank 0's get request
+    }
+  });
+}
+
+TEST(GetPutTest, RdmaPathIsUsedWhereSupported) {
+  runSpmd("clan", 2, [&](Window& win, Communicator& comm, NodeEnv&) {
+    if (comm.rank() == 0) {
+      win.put(1, 0, pattern(1000, 1));
+      EXPECT_EQ(win.rdmaPuts(), 1u);
+      EXPECT_EQ(win.emulatedPuts(), 0u);
+      // cLAN has no RDMA read, so get falls back to request/reply.
+      win.fence();
+      (void)win.get(1, 0, 16);
+      EXPECT_EQ(win.emulatedGets(), 1u);
+      win.fence();
+    } else {
+      win.fence();
+      win.fence();
+    }
+  });
+}
+
+TEST(GetPutTest, IbaUsesRdmaForBothDirections) {
+  runSpmd("iba", 2, [&](Window& win, Communicator& comm, NodeEnv&) {
+    if (comm.rank() == 0) {
+      win.put(1, 0, pattern(2000, 6));
+      win.fence();
+      EXPECT_EQ(win.get(1, 0, 2000), pattern(2000, 6));
+      EXPECT_EQ(win.rdmaPuts(), 1u);
+      EXPECT_EQ(win.rdmaGets(), 1u);
+      EXPECT_EQ(win.emulatedPuts(), 0u);
+      EXPECT_EQ(win.emulatedGets(), 0u);
+      win.fence();
+    } else {
+      win.fence();
+      win.fence();
+    }
+  });
+}
+
+TEST(GetPutTest, EmulatedPathIsUsedWithoutRdma) {
+  runSpmd("bvia", 2, [&](Window& win, Communicator& comm, NodeEnv&) {
+    if (comm.rank() == 0) {
+      win.put(1, 64, pattern(100, 2));
+      EXPECT_EQ(win.rdmaPuts(), 0u);
+      EXPECT_EQ(win.emulatedPuts(), 1u);
+      win.fence();
+    } else {
+      win.fence();
+      EXPECT_EQ(win.readLocal(64, 100), pattern(100, 2));
+    }
+  });
+}
+
+TEST(GetPutTest, LargePutChunksThroughStaging) {
+  // > 64 KiB staging: the RDMA path must chunk and still be intact.
+  WindowConfig wc;
+  wc.windowBytes = 1 << 20;
+  runSpmd(
+      "clan", 2,
+      [&](Window& win, Communicator& comm, NodeEnv&) {
+        constexpr std::size_t kBytes = 300 * 1024;
+        if (comm.rank() == 0) {
+          win.put(1, 4096, pattern(kBytes, 0x4C));
+          win.fence();
+        } else {
+          win.fence();
+          EXPECT_EQ(win.readLocal(4096, kBytes), pattern(kBytes, 0x4C));
+        }
+      },
+      wc);
+}
+
+TEST(GetPutTest, BoundsAreEnforced) {
+  runSpmd("clan", 2, [&](Window& win, Communicator& comm, NodeEnv&) {
+    if (comm.rank() == 0) {
+      EXPECT_THROW(win.put(1, win.size() - 10, pattern(100, 1)),
+                   std::out_of_range);
+      EXPECT_THROW((void)win.get(1, win.size(), 1), std::out_of_range);
+      EXPECT_THROW(win.writeLocal(win.size(), pattern(1, 1)),
+                   std::out_of_range);
+    }
+    win.fence();
+  });
+}
+
+TEST(GetPutTest, HaloExchangeAcrossFourRanks) {
+  // 1-D ring halo exchange: every rank puts its boundary cells into both
+  // neighbours' halo slots, then everyone verifies after a fence.
+  constexpr std::uint32_t kRanks = 4;
+  constexpr std::size_t kCell = 256;
+  runSpmd("clan", kRanks, [&](Window& win, Communicator& comm, NodeEnv&) {
+    const std::uint32_t me = comm.rank();
+    const std::uint32_t left = (me + kRanks - 1) % kRanks;
+    const std::uint32_t right = (me + 1) % kRanks;
+    // Window layout: [0] left halo, [1] my cells, [2] right halo.
+    win.writeLocal(kCell, pattern(kCell, static_cast<std::uint8_t>(me)));
+    // My leftmost boundary goes into my left neighbour's right halo.
+    win.put(left, 2 * kCell, pattern(kCell, static_cast<std::uint8_t>(me)));
+    win.put(right, 0, pattern(kCell, static_cast<std::uint8_t>(me)));
+    win.fence();
+    EXPECT_EQ(win.readLocal(0, kCell),
+              pattern(kCell, static_cast<std::uint8_t>(left)));
+    EXPECT_EQ(win.readLocal(2 * kCell, kCell),
+              pattern(kCell, static_cast<std::uint8_t>(right)));
+  });
+}
+
+TEST(GetPutTest, GetObservesLatestFencedData) {
+  runSpmd("mvia", 2, [&](Window& win, Communicator& comm, NodeEnv&) {
+    if (comm.rank() == 1) {
+      win.writeLocal(0, pattern(512, 10));
+      win.fence();
+      win.fence();
+      win.writeLocal(0, pattern(512, 20));
+      win.fence();
+      win.fence();
+    } else {
+      win.fence();
+      EXPECT_EQ(win.get(1, 0, 512), pattern(512, 10));
+      win.fence();
+      win.fence();
+      EXPECT_EQ(win.get(1, 0, 512), pattern(512, 20));
+      win.fence();
+    }
+  });
+}
+
+}  // namespace
+}  // namespace vibe

@@ -1,0 +1,206 @@
+// Unit tests for the memory subsystem: sparse host memory, registration
+// registry with protection tags, and the NIC TLB model.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+#include "mem/host_memory.hpp"
+#include "mem/memory_registry.hpp"
+#include "mem/tlb.hpp"
+
+namespace vibe::mem {
+namespace {
+
+TEST(HostMemoryTest, AllocRespectsAlignment) {
+  HostMemory hm;
+  const VirtAddr a = hm.alloc(10, 64);
+  const VirtAddr b = hm.alloc(1, 4096);
+  EXPECT_EQ(a % 64, 0u);
+  EXPECT_EQ(b % 4096, 0u);
+  EXPECT_GT(b, a);
+}
+
+TEST(HostMemoryTest, WriteReadRoundTripsAcrossPages) {
+  HostMemory hm;
+  const VirtAddr va = hm.alloc(3 * kPageSize, 64) + 100;  // unaligned start
+  std::vector<std::byte> data(2 * kPageSize + 500);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = std::byte(i * 7 + 3);
+  }
+  hm.write(va, data);
+  std::vector<std::byte> out(data.size());
+  hm.read(va, out);
+  EXPECT_EQ(data, out);
+}
+
+TEST(HostMemoryTest, UntouchedMemoryReadsZero) {
+  HostMemory hm;
+  const VirtAddr va = hm.alloc(64);
+  std::array<std::byte, 16> out;
+  out.fill(std::byte{0xFF});
+  hm.read(va, out);
+  for (auto b : out) EXPECT_EQ(b, std::byte{0});
+  EXPECT_EQ(hm.residentPages(), 0u);  // reads do not materialize pages
+}
+
+TEST(HostMemoryTest, FillWritesRange) {
+  HostMemory hm;
+  const VirtAddr va = hm.alloc(kPageSize * 2);
+  hm.fill(va, std::byte{0x5A}, kPageSize + 10);
+  std::array<std::byte, 2> probe;
+  hm.read(va + kPageSize + 8, probe);
+  EXPECT_EQ(probe[0], std::byte{0x5A});
+  EXPECT_EQ(probe[1], std::byte{0x5A});
+  hm.read(va + kPageSize + 10, probe);
+  EXPECT_EQ(probe[0], std::byte{0});
+}
+
+TEST(PageMathTest, PagesSpanned) {
+  EXPECT_EQ(pagesSpanned(0, 0), 0u);
+  EXPECT_EQ(pagesSpanned(0, 1), 1u);
+  EXPECT_EQ(pagesSpanned(0, kPageSize), 1u);
+  EXPECT_EQ(pagesSpanned(0, kPageSize + 1), 2u);
+  EXPECT_EQ(pagesSpanned(kPageSize - 1, 2), 2u);  // straddles a boundary
+  EXPECT_EQ(pagesSpanned(100, 8 * kPageSize), 9u);
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  MemoryRegistry reg;
+  PtagId ptag = 0;
+  void SetUp() override { ptag = reg.createPtag(); }
+};
+
+TEST_F(RegistryTest, RegisterValidateDeregister) {
+  MemHandle h = 0;
+  ASSERT_EQ(reg.registerMem(0x1000, 4096, {ptag, false, false}, h),
+            MemStatus::Ok);
+  ASSERT_NE(h, 0u);
+  EXPECT_EQ(reg.validate(h, 0x1000, 4096, ptag), MemStatus::Ok);
+  EXPECT_EQ(reg.validate(h, 0x1800, 100, ptag), MemStatus::Ok);
+  EXPECT_EQ(reg.deregisterMem(h), MemStatus::Ok);
+  EXPECT_EQ(reg.validate(h, 0x1000, 10, ptag), MemStatus::InvalidHandle);
+  EXPECT_EQ(reg.deregisterMem(h), MemStatus::InvalidHandle);
+}
+
+TEST_F(RegistryTest, OutOfRangeRejected) {
+  MemHandle h = 0;
+  ASSERT_EQ(reg.registerMem(0x1000, 100, {ptag, false, false}, h),
+            MemStatus::Ok);
+  EXPECT_EQ(reg.validate(h, 0x1000, 101, ptag), MemStatus::OutOfRange);
+  EXPECT_EQ(reg.validate(h, 0xFFF, 10, ptag), MemStatus::OutOfRange);
+  EXPECT_EQ(reg.validate(h, 0x1064, 1, ptag), MemStatus::OutOfRange);
+}
+
+TEST_F(RegistryTest, ProtectionTagEnforced) {
+  const PtagId other = reg.createPtag();
+  MemHandle h = 0;
+  ASSERT_EQ(reg.registerMem(0x1000, 100, {ptag, false, false}, h),
+            MemStatus::Ok);
+  EXPECT_EQ(reg.validate(h, 0x1000, 10, other),
+            MemStatus::ProtectionMismatch);
+}
+
+TEST_F(RegistryTest, RdmaRightsEnforced) {
+  MemHandle plain = 0;
+  MemHandle rdma = 0;
+  ASSERT_EQ(reg.registerMem(0x1000, 100, {ptag, false, false}, plain),
+            MemStatus::Ok);
+  ASSERT_EQ(reg.registerMem(0x2000, 100, {ptag, true, true}, rdma),
+            MemStatus::Ok);
+  EXPECT_EQ(reg.validate(plain, 0x1000, 10, ptag, Access::RdmaWriteTarget),
+            MemStatus::AccessDenied);
+  EXPECT_EQ(reg.validate(plain, 0x1000, 10, ptag, Access::RdmaReadSource),
+            MemStatus::AccessDenied);
+  EXPECT_EQ(reg.validate(rdma, 0x2000, 10, ptag, Access::RdmaWriteTarget),
+            MemStatus::Ok);
+  EXPECT_EQ(reg.validate(rdma, 0x2000, 10, ptag, Access::RdmaReadSource),
+            MemStatus::Ok);
+}
+
+TEST_F(RegistryTest, PtagLifecycle) {
+  EXPECT_EQ(reg.destroyPtag(999), MemStatus::InvalidPtag);
+  MemHandle h = 0;
+  ASSERT_EQ(reg.registerMem(0x1000, 100, {ptag, false, false}, h),
+            MemStatus::Ok);
+  EXPECT_EQ(reg.destroyPtag(ptag), MemStatus::PtagInUse);
+  ASSERT_EQ(reg.deregisterMem(h), MemStatus::Ok);
+  EXPECT_EQ(reg.destroyPtag(ptag), MemStatus::Ok);
+  EXPECT_EQ(reg.registerMem(0x1000, 100, {ptag, false, false}, h),
+            MemStatus::InvalidPtag);
+}
+
+TEST_F(RegistryTest, ZeroLengthAndCounters) {
+  MemHandle h = 0;
+  EXPECT_EQ(reg.registerMem(0x1000, 0, {ptag, false, false}, h),
+            MemStatus::ZeroLength);
+  ASSERT_EQ(reg.registerMem(0x1000, 5000, {ptag, false, false}, h),
+            MemStatus::Ok);
+  EXPECT_EQ(reg.activeRegions(), 1u);
+  EXPECT_EQ(reg.registeredBytes(), 5000u);
+  ASSERT_EQ(reg.deregisterMem(h), MemStatus::Ok);
+  EXPECT_EQ(reg.registeredBytes(), 0u);
+  EXPECT_EQ(reg.totalRegistrations(), 1u);
+}
+
+TEST_F(RegistryTest, OverlappingRegistrationsAllowed) {
+  MemHandle a = 0;
+  MemHandle b = 0;
+  ASSERT_EQ(reg.registerMem(0x1000, 4096, {ptag, false, false}, a),
+            MemStatus::Ok);
+  ASSERT_EQ(reg.registerMem(0x1800, 4096, {ptag, false, false}, b),
+            MemStatus::Ok);
+  EXPECT_EQ(reg.validate(a, 0x1800, 100, ptag), MemStatus::Ok);
+  EXPECT_EQ(reg.validate(b, 0x1800, 100, ptag), MemStatus::Ok);
+}
+
+TEST(TlbTest, HitAfterInsert) {
+  Tlb tlb(4);
+  EXPECT_FALSE(tlb.lookup(10));
+  tlb.insert(10);
+  EXPECT_TRUE(tlb.lookup(10));
+  EXPECT_EQ(tlb.hits(), 1u);
+  EXPECT_EQ(tlb.misses(), 1u);
+}
+
+TEST(TlbTest, LruEviction) {
+  Tlb tlb(2);
+  tlb.insert(1);
+  tlb.insert(2);
+  EXPECT_TRUE(tlb.lookup(1));  // 1 becomes MRU
+  tlb.insert(3);               // evicts 2
+  EXPECT_TRUE(tlb.lookup(1));
+  EXPECT_FALSE(tlb.lookup(2));
+  EXPECT_TRUE(tlb.lookup(3));
+}
+
+TEST(TlbTest, InvalidateRange) {
+  Tlb tlb(8);
+  for (std::uint64_t p = 0; p < 6; ++p) tlb.insert(p);
+  tlb.invalidateRange(2, 4);
+  EXPECT_TRUE(tlb.lookup(1));
+  EXPECT_FALSE(tlb.lookup(2));
+  EXPECT_FALSE(tlb.lookup(3));
+  EXPECT_FALSE(tlb.lookup(4));
+  EXPECT_TRUE(tlb.lookup(5));
+}
+
+TEST(TlbTest, ZeroCapacityNeverHits) {
+  Tlb tlb(0);
+  tlb.insert(1);
+  EXPECT_FALSE(tlb.lookup(1));
+  EXPECT_EQ(tlb.size(), 0u);
+}
+
+TEST(TlbTest, FlushEmptiesEverything) {
+  Tlb tlb(8);
+  for (std::uint64_t p = 0; p < 8; ++p) tlb.insert(p);
+  EXPECT_EQ(tlb.size(), 8u);
+  tlb.flush();
+  EXPECT_EQ(tlb.size(), 0u);
+  EXPECT_FALSE(tlb.lookup(0));
+}
+
+}  // namespace
+}  // namespace vibe::mem

@@ -1,0 +1,205 @@
+// Tests for the RAII layer and the FirmVIA extension profile.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "nic/profiles.hpp"
+#include "vibe/cluster.hpp"
+#include "vibe/datatransfer.hpp"
+#include "vipl/raii.hpp"
+#include "vipl/vipl.hpp"
+
+namespace vibe {
+namespace {
+
+using suite::Cluster;
+using suite::ClusterConfig;
+using suite::NodeEnv;
+using vipl::Provider;
+using vipl::RegisteredBuffer;
+using vipl::ScopedCq;
+using vipl::ScopedPtag;
+using vipl::ScopedVi;
+using vipl::VipResult;
+
+ClusterConfig clanConfig() {
+  ClusterConfig c;
+  c.profile = nic::clanProfile();
+  return c;
+}
+
+TEST(RaiiTest, BufferDeregistersOnScopeExit) {
+  Cluster cluster(clanConfig());
+  auto program = [&](NodeEnv& env) {
+    Provider& nic = env.nic;
+    ScopedPtag ptag(nic);
+    {
+      RegisteredBuffer buf(nic, 8192, ptag.get());
+      ASSERT_TRUE(buf.ok());
+      EXPECT_EQ(nic.registry().activeRegions(), 1u);
+      buf.write(0, std::vector<std::byte>(16, std::byte{0x7E}));
+      EXPECT_EQ(buf.read(0, 16),
+                std::vector<std::byte>(16, std::byte{0x7E}));
+    }
+    EXPECT_EQ(nic.registry().activeRegions(), 0u);
+    // The ptag can now be destroyed cleanly (no regions reference it).
+  };
+  cluster.run({program, nullptr});
+}
+
+TEST(RaiiTest, PtagDestructionOrderIsSafe) {
+  Cluster cluster(clanConfig());
+  auto program = [&](NodeEnv& env) {
+    Provider& nic = env.nic;
+    // Destruction order (reverse of declaration) deregisters the buffer
+    // before the ptag — the required order.
+    ScopedPtag ptag(nic);
+    RegisteredBuffer buf(nic, 4096, ptag.get());
+    ASSERT_TRUE(buf.ok());
+  };
+  cluster.run({program, nullptr});
+}
+
+TEST(RaiiTest, ScopedViDisconnectsOnDestruction) {
+  Cluster cluster(clanConfig());
+  bool serverSawDisconnect = false;
+  auto client = [&](NodeEnv& env) {
+    Provider& nic = env.nic;
+    ScopedPtag ptag(nic);
+    vipl::VipViAttributes attrs;
+    attrs.ptag = ptag.get();
+    attrs.reliabilityLevel = nic::Reliability::ReliableDelivery;
+    {
+      ScopedVi vi(nic, attrs);
+      ASSERT_TRUE(vi.ok());
+      ASSERT_EQ(vipl::VipConnectRequest(nic, vi.get(), {1, 5}, sim::kSecond),
+                VipResult::VIP_SUCCESS);
+      EXPECT_EQ(vi->state(), vipl::ViState::Connected);
+    }  // destructor disconnects + destroys
+  };
+  auto server = [&](NodeEnv& env) {
+    Provider& nic = env.nic;
+    ScopedPtag ptag(nic);
+    vipl::VipViAttributes attrs;
+    attrs.ptag = ptag.get();
+    attrs.reliabilityLevel = nic::Reliability::ReliableDelivery;
+    ScopedVi vi(nic, attrs);
+    vipl::PendingConn conn;
+    ASSERT_EQ(vipl::VipConnectWait(nic, {1, 5}, sim::kSecond, conn),
+              VipResult::VIP_SUCCESS);
+    ASSERT_EQ(vipl::VipConnectAccept(nic, conn, vi.get()),
+              VipResult::VIP_SUCCESS);
+    while (vi->state() == vipl::ViState::Connected) {
+      env.self.advance(sim::usec(20), sim::CpuUse::Idle);
+    }
+    serverSawDisconnect = true;
+  };
+  cluster.run({client, server});
+  EXPECT_TRUE(serverSawDisconnect);
+}
+
+TEST(RaiiTest, ScopedCqRoundTrip) {
+  Cluster cluster(clanConfig());
+  auto program = [&](NodeEnv& env) {
+    Provider& nic = env.nic;
+    ScopedCq cq(nic, 32);
+    ASSERT_TRUE(cq.ok());
+    EXPECT_EQ(cq.get()->capacity(), 32u);
+  };
+  cluster.run({program, nullptr});
+}
+
+TEST(RaiiTest, EndToEndPingWithRaiiOnly) {
+  Cluster cluster(clanConfig());
+  auto client = [&](NodeEnv& env) {
+    Provider& nic = env.nic;
+    ScopedPtag ptag(nic);
+    RegisteredBuffer buf(nic, 4096, ptag.get());
+    vipl::VipViAttributes attrs;
+    attrs.ptag = ptag.get();
+    attrs.reliabilityLevel = nic::Reliability::ReliableDelivery;
+    ScopedVi vi(nic, attrs);
+    ASSERT_EQ(vipl::VipConnectRequest(nic, vi.get(), {1, 6}, sim::kSecond),
+              VipResult::VIP_SUCCESS);
+    auto d = buf.sendDesc(128);
+    ASSERT_EQ(vipl::VipPostSend(nic, vi.get(), &d), VipResult::VIP_SUCCESS);
+    vipl::VipDescriptor* done = nullptr;
+    ASSERT_EQ(nic.pollSend(vi.get(), done), VipResult::VIP_SUCCESS);
+  };
+  auto server = [&](NodeEnv& env) {
+    Provider& nic = env.nic;
+    ScopedPtag ptag(nic);
+    RegisteredBuffer buf(nic, 4096, ptag.get());
+    vipl::VipViAttributes attrs;
+    attrs.ptag = ptag.get();
+    attrs.reliabilityLevel = nic::Reliability::ReliableDelivery;
+    ScopedVi vi(nic, attrs);
+    auto d = buf.recvDesc();
+    ASSERT_EQ(vipl::VipPostRecv(nic, vi.get(), &d), VipResult::VIP_SUCCESS);
+    vipl::PendingConn conn;
+    ASSERT_EQ(vipl::VipConnectWait(nic, {1, 6}, sim::kSecond, conn),
+              VipResult::VIP_SUCCESS);
+    ASSERT_EQ(vipl::VipConnectAccept(nic, conn, vi.get()),
+              VipResult::VIP_SUCCESS);
+    vipl::VipDescriptor* done = nullptr;
+    ASSERT_EQ(nic.pollRecv(vi.get(), done), VipResult::VIP_SUCCESS);
+    EXPECT_EQ(done->cs.length, 128u);
+  };
+  cluster.run({client, server});
+}
+
+// --- FirmVIA extension profile --------------------------------------------
+
+TEST(FirmViaProfileTest, LandsBetweenBviaAndClan) {
+  suite::TransferConfig cfg;
+  cfg.msgBytes = 4;
+  ClusterConfig firm;
+  firm.profile = nic::profileByName("firmvia");
+  ClusterConfig bvia;
+  bvia.profile = nic::bviaProfile();
+  ClusterConfig clan = clanConfig();
+  const double f = suite::runPingPong(firm, cfg).latencyUsec;
+  const double b = suite::runPingPong(bvia, cfg).latencyUsec;
+  const double c = suite::runPingPong(clan, cfg).latencyUsec;
+  EXPECT_LT(c, f);  // hardware still fastest
+  EXPECT_LT(f, b);  // but FirmVIA's faster firmware beats LANai-4 BVIA
+  EXPECT_NEAR(f, 18, 6);  // published FirmVIA anchor ~18 us
+}
+
+TEST(FirmViaProfileTest, ReuseInsensitiveAndViSensitive) {
+  ClusterConfig firm;
+  firm.profile = nic::profileByName("firmvia");
+  suite::TransferConfig base;
+  base.msgBytes = 12288;
+  const double full = suite::runPingPong(firm, base).latencyUsec;
+  suite::TransferConfig noReuse = base;
+  noReuse.reusePercent = 0;
+  noReuse.bufferPool = 160;
+  // Adapter-resident tables: no reuse sensitivity...
+  EXPECT_NEAR(suite::runPingPong(firm, noReuse).latencyUsec, full, 0.5);
+  // ...but still a firmware poller: VI count matters (mildly).
+  suite::TransferConfig manyVis = base;
+  manyVis.extraVis = 31;
+  const double vis = suite::runPingPong(firm, manyVis).latencyUsec;
+  // 31 extra VIs x 0.35 us/VI scan, paid once per one-way trip.
+  EXPECT_NEAR(vis - full, 31 * 0.35, 1.5);
+}
+
+TEST(IbaProfileTest, GenerationalLeapAndNativeRdmaRead) {
+  // The IBA model must dominate every paper-era implementation...
+  suite::TransferConfig cfg;
+  cfg.msgBytes = 1024;
+  ClusterConfig iba;
+  iba.profile = nic::profileByName("iba");
+  const auto i = suite::runPingPong(iba, cfg);
+  const auto c = suite::runPingPong(clanConfig(), cfg);
+  EXPECT_LT(i.latencyUsec, c.latencyUsec / 3);
+  const auto ibw = suite::runBandwidth(iba, cfg);
+  EXPECT_GT(ibw.bandwidthMBps, 400);
+  // ...and it is the only profile with native RDMA read.
+  EXPECT_TRUE(iba.profile.supportsRdmaRead);
+  EXPECT_FALSE(nic::clanProfile().supportsRdmaRead);
+}
+
+}  // namespace
+}  // namespace vibe

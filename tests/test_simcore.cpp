@@ -1,0 +1,347 @@
+// Unit tests for the discrete-event engine, processes, signals, resources,
+// statistics, and the deterministic PRNG.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "simcore/engine.hpp"
+#include "simcore/process.hpp"
+#include "simcore/prng.hpp"
+#include "simcore/resource.hpp"
+#include "simcore/stats.hpp"
+#include "simcore/time.hpp"
+
+namespace vibe::sim {
+namespace {
+
+TEST(TimeTest, UsecRoundsToNearestNanosecond) {
+  EXPECT_EQ(usec(1.0), 1000);
+  EXPECT_EQ(usec(0.19), 190);
+  EXPECT_EQ(usec(0.0004), 0);
+  EXPECT_EQ(usec(0.0006), 1);
+  EXPECT_EQ(msec(1.5), 1'500'000);
+}
+
+TEST(TimeTest, TransferTimeMatchesRate) {
+  // 100 MB/s -> 10 ns per byte.
+  EXPECT_EQ(transferTime(1, 100.0), 10);
+  EXPECT_EQ(transferTime(1000, 100.0), 10'000);
+  EXPECT_EQ(transferTime(0, 100.0), 0);
+  // 125 MB/s (1 Gb/s) -> 8 ns per byte.
+  EXPECT_EQ(transferTime(1500, 125.0), 12'000);
+}
+
+TEST(EngineTest, EventsFireInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.post(30, [&] { order.push_back(3); });
+  eng.post(10, [&] { order.push_back(1); });
+  eng.post(20, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(eng.now(), 30);
+}
+
+TEST(EngineTest, TiesBreakByInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 16; ++i) {
+    eng.post(5, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EngineTest, CancelPreventsExecution) {
+  Engine eng;
+  int fired = 0;
+  EventId id = eng.post(10, [&] { ++fired; });
+  eng.post(5, [&] { EXPECT_TRUE(eng.cancel(id)); });
+  eng.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(eng.cancel(id));  // already gone
+}
+
+TEST(EngineTest, PostIntoPastThrows) {
+  Engine eng;
+  eng.post(10, [&] {
+    EXPECT_THROW(eng.postAt(5, [] {}), SimError);
+  });
+  eng.run();
+}
+
+TEST(EngineTest, NestedPostsExecute) {
+  Engine eng;
+  SimTime innerTime = -1;
+  eng.post(10, [&] {
+    eng.post(7, [&] { innerTime = eng.now(); });
+  });
+  eng.run();
+  EXPECT_EQ(innerTime, 17);
+}
+
+TEST(EngineTest, RunUntilStopsAtHorizon) {
+  Engine eng;
+  int fired = 0;
+  eng.post(10, [&] { ++fired; });
+  eng.post(100, [&] { ++fired; });
+  EXPECT_FALSE(eng.runUntil(50));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 50);
+  EXPECT_TRUE(eng.runUntil(200));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ProcessTest, AdvanceMovesVirtualTimeAndAccountsCpu) {
+  Engine eng;
+  SimTime sawTime = -1;
+  Process p(eng, "worker", [&] {
+    Process& self = *eng.currentProcess();
+    self.advance(usec(5));
+    self.advance(usec(3), CpuUse::Idle);
+    sawTime = eng.now();
+  });
+  eng.run();
+  EXPECT_EQ(sawTime, usec(8));
+  EXPECT_EQ(p.cpuBusy(), usec(5));
+  EXPECT_TRUE(p.finished());
+}
+
+TEST(ProcessTest, TwoProcessesInterleaveDeterministically) {
+  Engine eng;
+  std::vector<std::pair<char, SimTime>> trace;
+  Process a(eng, "a", [&] {
+    Process& self = *eng.currentProcess();
+    for (int i = 0; i < 3; ++i) {
+      self.advance(usec(10));
+      trace.emplace_back('a', eng.now());
+    }
+  });
+  Process b(eng, "b", [&] {
+    Process& self = *eng.currentProcess();
+    for (int i = 0; i < 3; ++i) {
+      self.advance(usec(15));
+      trace.emplace_back('b', eng.now());
+    }
+  });
+  eng.run();
+  // At the t=30 tie, b's resume event was posted (at t=15) before a's
+  // (at t=20), so insertion order puts b first.
+  const std::vector<std::pair<char, SimTime>> expected = {
+      {'a', usec(10)}, {'b', usec(15)}, {'a', usec(20)},
+      {'b', usec(30)}, {'a', usec(30)}, {'b', usec(45)},
+  };
+  EXPECT_EQ(trace, expected);
+}
+
+TEST(ProcessTest, SignalWakesWaiter) {
+  Engine eng;
+  Signal sig(eng);
+  SimTime wokenAt = -1;
+  Process waiter(eng, "waiter", [&] {
+    eng.currentProcess()->await(sig);
+    wokenAt = eng.now();
+  });
+  Process notifier(eng, "notifier", [&] {
+    eng.currentProcess()->advance(usec(42));
+    sig.notifyAll();
+  });
+  eng.run();
+  EXPECT_EQ(wokenAt, usec(42));
+  EXPECT_EQ(waiter.cpuBusy(), 0);  // await is idle
+}
+
+TEST(ProcessTest, AwaitBusyChargesCpu) {
+  Engine eng;
+  Signal sig(eng);
+  Process waiter(eng, "waiter", [&] { eng.currentProcess()->awaitBusy(sig); });
+  Process notifier(eng, "notifier", [&] {
+    eng.currentProcess()->advance(usec(42));
+    sig.notifyAll();
+  });
+  eng.run();
+  EXPECT_EQ(waiter.cpuBusy(), usec(42));
+}
+
+TEST(ProcessTest, AwaitForTimesOut) {
+  Engine eng;
+  Signal sig(eng);
+  bool fired = true;
+  SimTime endTime = -1;
+  Process waiter(eng, "waiter", [&] {
+    fired = eng.currentProcess()->awaitFor(sig, usec(100));
+    endTime = eng.now();
+  });
+  eng.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(endTime, usec(100));
+}
+
+TEST(ProcessTest, SignalBeatsTimeout) {
+  Engine eng;
+  Signal sig(eng);
+  bool fired = false;
+  Process waiter(eng, "waiter", [&] {
+    fired = eng.currentProcess()->awaitFor(sig, usec(100));
+  });
+  Process notifier(eng, "notifier", [&] {
+    eng.currentProcess()->advance(usec(10));
+    sig.notifyAll();
+  });
+  eng.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(eng.now(), usec(10));
+}
+
+TEST(ProcessTest, TimedOutWaiterIsNotWokenBySubsequentNotify) {
+  Engine eng;
+  Signal sig(eng);
+  int wakeups = 0;
+  Process waiter(eng, "waiter", [&] {
+    Process& self = *eng.currentProcess();
+    EXPECT_FALSE(self.awaitFor(sig, usec(10)));
+    ++wakeups;
+    // Waits again; this time the notify at t=50 should land.
+    EXPECT_TRUE(self.awaitFor(sig, usec(1000)));
+    ++wakeups;
+  });
+  Process notifier(eng, "notifier", [&] {
+    eng.currentProcess()->advance(usec(50));
+    sig.notifyAll();
+  });
+  eng.run();
+  EXPECT_EQ(wakeups, 2);
+}
+
+TEST(ProcessTest, NotifyOneWakesSingleWaiterInFifoOrder) {
+  Engine eng;
+  Signal sig(eng);
+  std::vector<int> woken;
+  auto makeWaiter = [&](int idx) {
+    return [&, idx] {
+      eng.currentProcess()->await(sig);
+      woken.push_back(idx);
+    };
+  };
+  Process w0(eng, "w0", makeWaiter(0));
+  Process w1(eng, "w1", makeWaiter(1));
+  Process n(eng, "n", [&] {
+    Process& self = *eng.currentProcess();
+    self.advance(usec(5));
+    sig.notifyOne();
+    self.advance(usec(5));
+    sig.notifyOne();
+  });
+  eng.run();
+  EXPECT_EQ(woken, (std::vector<int>{0, 1}));
+}
+
+TEST(ProcessTest, DeadlockIsDetected) {
+  Engine eng;
+  Signal sig(eng);
+  auto waiter = std::make_unique<Process>(
+      eng, "stuck", [&] { eng.currentProcess()->await(sig); });
+  EXPECT_THROW(eng.run(), DeadlockError);
+}
+
+TEST(ProcessTest, BodyExceptionPropagatesOutOfRun) {
+  Engine eng;
+  Process p(eng, "thrower", [&] {
+    eng.currentProcess()->advance(usec(1));
+    throw std::runtime_error("boom");
+  });
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(ProcessTest, UnstartedProcessIsKilledCleanlyOnDestruction) {
+  Engine eng;
+  {
+    Process p(eng, "never-run", [&] { eng.currentProcess()->advance(1); });
+    // Engine never runs; destructor must unwind the thread without hanging.
+  }
+  SUCCEED();
+}
+
+TEST(ResourceTest, PipelinesBackToBackWork) {
+  Resource r("link");
+  // Three items, each needing 10ns, all ready at t=0: FIFO queueing.
+  EXPECT_EQ(r.acquire(0, 10), 10);
+  EXPECT_EQ(r.acquire(0, 10), 20);
+  EXPECT_EQ(r.acquire(0, 10), 30);
+  // An item arriving after the queue drains starts immediately.
+  EXPECT_EQ(r.acquire(100, 5), 105);
+  EXPECT_EQ(r.busyTime(), 35);
+  EXPECT_EQ(r.itemsServed(), 4u);
+}
+
+TEST(ResourceTest, IdleGapsDoNotAccrueBusyTime) {
+  Resource r("dma");
+  r.acquire(0, 10);
+  r.acquire(50, 10);
+  EXPECT_EQ(r.busyTime(), 20);
+  EXPECT_EQ(r.freeAt(), 60);
+}
+
+TEST(StatsTest, AccumulatorBasics) {
+  Accumulator a;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) a.add(x);
+  EXPECT_EQ(a.count(), 8u);
+  EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 9.0);
+  EXPECT_NEAR(a.stddev(), 2.138, 1e-3);
+}
+
+TEST(StatsTest, MergeMatchesSequential) {
+  Accumulator all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double x = i * 0.37;
+    all.add(x);
+    (i < 50 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+}
+
+TEST(StatsTest, QuantilesAreExact) {
+  QuantileTracker q;
+  for (int i = 100; i >= 1; --i) q.add(i);  // 1..100 reversed
+  EXPECT_DOUBLE_EQ(q.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.quantile(1.0), 100.0);
+  EXPECT_NEAR(q.median(), 50.5, 1e-12);
+  EXPECT_NEAR(q.quantile(0.99), 99.01, 1e-9);
+}
+
+TEST(PrngTest, DeterministicAcrossInstances) {
+  Xoshiro256 a(1234, "link0");
+  Xoshiro256 b(1234, "link0");
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(PrngTest, DifferentTagsDiverge) {
+  Xoshiro256 a(1234, "link0");
+  Xoshiro256 b(1234, "link1");
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 2);
+}
+
+TEST(PrngTest, UniformInRangeAndBelowIsUnbiased) {
+  Xoshiro256 g(42);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) {
+    const double u = g.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    acc.add(u);
+  }
+  EXPECT_NEAR(acc.mean(), 0.5, 0.02);
+  for (int i = 0; i < 1000; ++i) ASSERT_LT(g.below(7), 7u);
+}
+
+}  // namespace
+}  // namespace vibe::sim

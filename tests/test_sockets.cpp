@@ -1,0 +1,245 @@
+// Tests for the stream-sockets layer: byte-stream semantics, framing
+// invisibility, window flow control, simultaneous bidirectional traffic,
+// half-close/EOF, and behaviour across NIC models.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "nic/profiles.hpp"
+#include "upper/sockets/stream.hpp"
+#include "vibe/cluster.hpp"
+
+namespace vibe {
+namespace {
+
+using suite::Cluster;
+using suite::ClusterConfig;
+using suite::NodeEnv;
+using upper::sockets::StreamConfig;
+using upper::sockets::StreamListener;
+using upper::sockets::StreamSocket;
+
+std::vector<std::byte> pattern(std::size_t len, std::uint8_t seed) {
+  std::vector<std::byte> out(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out[i] = std::byte(static_cast<std::uint8_t>(seed + i * 23));
+  }
+  return out;
+}
+
+void runPair(const std::string& profile,
+             const std::function<void(StreamSocket&, NodeEnv&)>& clientFn,
+             const std::function<void(StreamSocket&, NodeEnv&)>& serverFn,
+             const StreamConfig& cfg = {}) {
+  ClusterConfig cc;
+  cc.profile = nic::profileByName(profile);
+  Cluster cluster(cc);
+  auto client = [&](NodeEnv& env) {
+    auto sock = StreamSocket::connect(env, 1, 8080, cfg);
+    clientFn(*sock, env);
+  };
+  auto server = [&](NodeEnv& env) {
+    StreamListener listener(env, 8080, cfg);
+    auto sock = listener.accept();
+    serverFn(*sock, env);
+  };
+  cluster.run({client, server});
+}
+
+class SocketsAllProfiles : public ::testing::TestWithParam<std::string> {};
+INSTANTIATE_TEST_SUITE_P(Profiles, SocketsAllProfiles,
+                         ::testing::Values("mvia", "bvia", "clan"),
+                         [](const auto& pi) { return pi.param; });
+
+TEST_P(SocketsAllProfiles, ByteStreamRoundTrip) {
+  const auto payload = pattern(100000, 3);  // spans many frames
+  runPair(
+      GetParam(),
+      [&](StreamSocket& s, NodeEnv&) {
+        s.sendAll(payload);
+        std::vector<std::byte> echo(payload.size());
+        s.recvAll(echo);
+        EXPECT_EQ(echo, payload);
+        s.close();
+      },
+      [&](StreamSocket& s, NodeEnv&) {
+        std::vector<std::byte> buf(payload.size());
+        s.recvAll(buf);
+        EXPECT_EQ(buf, payload);
+        s.sendAll(buf);
+        // Drain until EOF.
+        std::array<std::byte, 64> sink;
+        while (s.recvSome(sink) != 0) {
+        }
+      });
+}
+
+TEST(SocketsTest, MessageBoundariesAreInvisible) {
+  // Many small writes arrive as one contiguous stream the reader can
+  // consume in arbitrary chunk sizes.
+  runPair(
+      "clan",
+      [&](StreamSocket& s, NodeEnv&) {
+        for (int i = 0; i < 50; ++i) {
+          s.sendAll(pattern(7, static_cast<std::uint8_t>(i)));
+        }
+        s.close();
+      },
+      [&](StreamSocket& s, NodeEnv&) {
+        std::vector<std::byte> all;
+        std::array<std::byte, 13> chunk;  // deliberately odd chunk size
+        for (;;) {
+          const std::size_t got = s.recvSome(chunk);
+          if (got == 0) break;
+          all.insert(all.end(), chunk.begin(),
+                     chunk.begin() + static_cast<std::ptrdiff_t>(got));
+        }
+        ASSERT_EQ(all.size(), 350u);
+        for (int i = 0; i < 50; ++i) {
+          const auto expect = pattern(7, static_cast<std::uint8_t>(i));
+          for (int b = 0; b < 7; ++b) {
+            EXPECT_EQ(all[i * 7 + b], expect[b]) << i << ":" << b;
+          }
+        }
+      });
+}
+
+TEST(SocketsTest, WindowThrottlesFastSenderSlowReader) {
+  StreamConfig cfg;
+  cfg.ringDepth = 4;
+  cfg.frameBytes = 1024;
+  const auto payload = pattern(64 * 1024, 9);
+  runPair(
+      "clan",
+      [&](StreamSocket& s, NodeEnv&) {
+        s.sendAll(payload);  // 64 frames through a 4-frame window
+        s.close();
+      },
+      [&](StreamSocket& s, NodeEnv& env) {
+        std::vector<std::byte> all(payload.size());
+        std::size_t off = 0;
+        while (off < all.size()) {
+          env.self.advance(sim::usec(100), sim::CpuUse::Idle);  // slow app
+          const std::size_t got =
+              s.recvSome(std::span<std::byte>(all).subspan(off));
+          if (got == 0) break;
+          off += got;
+        }
+        EXPECT_EQ(off, payload.size());
+        EXPECT_EQ(all, payload);
+      },
+      cfg);
+}
+
+TEST(SocketsTest, SimultaneousBidirectionalWritesDoNotDeadlock) {
+  StreamConfig cfg;
+  cfg.ringDepth = 4;
+  cfg.frameBytes = 2048;
+  const std::size_t kBytes = 128 * 1024;  // >> window on both sides
+  auto both = [&](StreamSocket& s, NodeEnv&, std::uint8_t mySeed,
+                  std::uint8_t theirSeed) {
+    s.sendAll(pattern(kBytes, mySeed));
+    std::vector<std::byte> in(kBytes);
+    s.recvAll(in);
+    EXPECT_EQ(in, pattern(kBytes, theirSeed));
+  };
+  runPair(
+      "clan",
+      [&](StreamSocket& s, NodeEnv& env) { both(s, env, 1, 2); },
+      [&](StreamSocket& s, NodeEnv& env) { both(s, env, 2, 1); }, cfg);
+}
+
+TEST(SocketsTest, EofSemantics) {
+  runPair(
+      "mvia",
+      [&](StreamSocket& s, NodeEnv&) {
+        s.sendAll(pattern(10, 5));
+        s.close();
+        EXPECT_THROW(s.sendAll(pattern(1, 0)), std::logic_error);
+      },
+      [&](StreamSocket& s, NodeEnv&) {
+        std::array<std::byte, 10> buf;
+        s.recvAll(buf);
+        std::array<std::byte, 4> more;
+        EXPECT_EQ(s.recvSome(more), 0u);  // EOF
+        EXPECT_TRUE(s.peerClosed());
+        std::array<std::byte, 16> big;
+        EXPECT_THROW(s.recvAll(big), std::runtime_error);
+      });
+}
+
+TEST(SocketsTest, CountersTrackPayloadBytes) {
+  runPair(
+      "clan",
+      [&](StreamSocket& s, NodeEnv&) {
+        s.sendAll(pattern(5000, 1));
+        s.close();
+        EXPECT_EQ(s.bytesSent(), 5000u);
+      },
+      [&](StreamSocket& s, NodeEnv&) {
+        std::vector<std::byte> buf(5000);
+        s.recvAll(buf);
+        EXPECT_EQ(s.bytesReceived(), 5000u);
+        std::array<std::byte, 1> sink;
+        (void)s.recvSome(sink);
+      });
+}
+
+TEST(SocketsTest, ListenerAcceptsSequentialConnections) {
+  ClusterConfig cc;
+  cc.profile = nic::profileByName("clan");
+  Cluster cluster(cc);
+  constexpr int kRounds = 4;
+  auto client = [&](NodeEnv& env) {
+    for (int i = 0; i < kRounds; ++i) {
+      auto sock = StreamSocket::connect(env, 1, 8080);
+      sock->sendAll(pattern(100 + i, static_cast<std::uint8_t>(i)));
+      sock->close();
+      std::array<std::byte, 1> sink;
+      while (sock->recvSome(sink) != 0) {
+      }
+    }
+  };
+  auto server = [&](NodeEnv& env) {
+    StreamListener listener(env, 8080);
+    for (int i = 0; i < kRounds; ++i) {
+      auto sock = listener.accept();
+      std::vector<std::byte> buf(100 + i);
+      sock->recvAll(buf);
+      EXPECT_EQ(buf, pattern(100 + i, static_cast<std::uint8_t>(i)));
+      sock->close();
+      std::array<std::byte, 1> sink;
+      while (sock->recvSome(sink) != 0) {
+      }
+    }
+  };
+  cluster.run({client, server});
+}
+
+TEST(SocketsTest, SurvivesLossyFabric) {
+  ClusterConfig cc;
+  cc.profile = nic::clanProfile();
+  cc.lossRate = 0.05;
+  cc.seed = 21;
+  Cluster cluster(cc);
+  const auto payload = pattern(40000, 0x3D);
+  auto client = [&](NodeEnv& env) {
+    auto sock = StreamSocket::connect(env, 1, 8080);
+    sock->sendAll(payload);
+    sock->close();
+  };
+  auto server = [&](NodeEnv& env) {
+    StreamListener listener(env, 8080);
+    auto sock = listener.accept(sim::kSecond * 30);
+    std::vector<std::byte> buf(payload.size());
+    sock->recvAll(buf);
+    EXPECT_EQ(buf, payload);
+  };
+  cluster.run({client, server});
+}
+
+}  // namespace
+}  // namespace vibe

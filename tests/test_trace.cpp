@@ -1,0 +1,201 @@
+// Tests for the tracing subsystem: ring-buffer semantics, category
+// filtering, and integration with the NIC datapath.
+#include <gtest/gtest.h>
+
+#include "nic/profiles.hpp"
+#include "simcore/trace.hpp"
+#include "vibe/cluster.hpp"
+#include "vipl/vipl.hpp"
+
+namespace vibe {
+namespace {
+
+using sim::TraceCategory;
+using sim::Tracer;
+
+TEST(TracerTest, DisabledCategoriesRecordNothing) {
+  Tracer t;
+  t.record(1, TraceCategory::Wire, 0, "dropped");
+  EXPECT_EQ(t.totalRecorded(), 0u);
+  t.enable(TraceCategory::Wire);
+  t.record(2, TraceCategory::Wire, 0, "kept");
+  t.record(3, TraceCategory::Rx, 0, "still dropped");
+  EXPECT_EQ(t.totalRecorded(), 1u);
+  EXPECT_EQ(t.snapshot().size(), 1u);
+  EXPECT_EQ(t.snapshot()[0].message, "kept");
+}
+
+TEST(TracerTest, RingKeepsNewestInOrder) {
+  Tracer t(4);
+  t.enableAll();
+  for (int i = 0; i < 10; ++i) {
+    t.record(i, TraceCategory::User, 0, std::to_string(i));
+  }
+  EXPECT_EQ(t.totalRecorded(), 10u);
+  const auto snap = t.snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().message, "6");
+  EXPECT_EQ(snap.back().message, "9");
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].time, snap[i].time);
+  }
+}
+
+TEST(TracerTest, DumpContainsCategoryAndComponent) {
+  Tracer t;
+  t.enable(TraceCategory::Reliability);
+  t.record(sim::usec(5), TraceCategory::Reliability, 3, "RTO fired");
+  const std::string dump = t.dump();
+  EXPECT_NE(dump.find("reliability"), std::string::npos);
+  EXPECT_NE(dump.find("n3"), std::string::npos);
+  EXPECT_NE(dump.find("RTO fired"), std::string::npos);
+}
+
+TEST(TracerTest, ClearResets) {
+  Tracer t;
+  t.enableAll();
+  t.record(1, TraceCategory::User, 0, "x");
+  t.clear();
+  EXPECT_EQ(t.totalRecorded(), 0u);
+  EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(TracerIntegration, NicDatapathEmitsExpectedCategories) {
+  suite::ClusterConfig cfg;
+  cfg.profile = nic::clanProfile();
+  suite::Cluster cluster(cfg);
+  Tracer tracer;
+  tracer.enableAll();
+  cluster.node(0).device().setTracer(&tracer);
+  cluster.node(1).device().setTracer(&tracer);
+
+  auto client = [&](suite::NodeEnv& env) {
+    vipl::Provider& nic = env.nic;
+    auto ptag = vipl::VipCreatePtag(nic);
+    auto buf = nic.memory().alloc(8192, mem::kPageSize);
+    mem::MemHandle h = 0;
+    ASSERT_EQ(vipl::VipRegisterMem(nic, buf, 8192, {ptag, false, false}, h),
+              vipl::VipResult::VIP_SUCCESS);
+    vipl::Vi* vi = nullptr;
+    vipl::VipViAttributes va;
+    va.ptag = ptag;
+    va.reliabilityLevel = nic::Reliability::ReliableDelivery;
+    ASSERT_EQ(vipl::VipCreateVi(nic, va, nullptr, nullptr, vi),
+              vipl::VipResult::VIP_SUCCESS);
+    ASSERT_EQ(vipl::VipConnectRequest(nic, vi, {1, 9}, sim::kSecond),
+              vipl::VipResult::VIP_SUCCESS);
+    vipl::VipDescriptor d = vipl::VipDescriptor::send(buf, h, 5000);
+    ASSERT_EQ(vipl::VipPostSend(nic, vi, &d), vipl::VipResult::VIP_SUCCESS);
+    vipl::VipDescriptor* done = nullptr;
+    ASSERT_EQ(nic.pollSend(vi, done), vipl::VipResult::VIP_SUCCESS);
+  };
+  auto server = [&](suite::NodeEnv& env) {
+    vipl::Provider& nic = env.nic;
+    auto ptag = vipl::VipCreatePtag(nic);
+    auto buf = nic.memory().alloc(8192, mem::kPageSize);
+    mem::MemHandle h = 0;
+    ASSERT_EQ(vipl::VipRegisterMem(nic, buf, 8192, {ptag, false, false}, h),
+              vipl::VipResult::VIP_SUCCESS);
+    vipl::Vi* vi = nullptr;
+    vipl::VipViAttributes va;
+    va.ptag = ptag;
+    va.reliabilityLevel = nic::Reliability::ReliableDelivery;
+    ASSERT_EQ(vipl::VipCreateVi(nic, va, nullptr, nullptr, vi),
+              vipl::VipResult::VIP_SUCCESS);
+    vipl::VipDescriptor d = vipl::VipDescriptor::recv(buf, h, 8192);
+    ASSERT_EQ(vipl::VipPostRecv(nic, vi, &d), vipl::VipResult::VIP_SUCCESS);
+    vipl::PendingConn conn;
+    ASSERT_EQ(vipl::VipConnectWait(nic, {1, 9}, sim::kSecond, conn),
+              vipl::VipResult::VIP_SUCCESS);
+    ASSERT_EQ(vipl::VipConnectAccept(nic, conn, vi),
+              vipl::VipResult::VIP_SUCCESS);
+    vipl::VipDescriptor* done = nullptr;
+    ASSERT_EQ(nic.pollRecv(vi, done), vipl::VipResult::VIP_SUCCESS);
+  };
+  cluster.run({client, server});
+
+  bool sawDoorbell = false;
+  bool sawWire = false;
+  bool sawRx = false;
+  bool sawCompletion = false;
+  for (const auto& rec : tracer.snapshot()) {
+    sawDoorbell |= rec.category == TraceCategory::Doorbell;
+    sawWire |= rec.category == TraceCategory::Wire;
+    sawRx |= rec.category == TraceCategory::Rx;
+    sawCompletion |= rec.category == TraceCategory::Completion;
+  }
+  EXPECT_TRUE(sawDoorbell);
+  EXPECT_TRUE(sawWire);   // a 5000 B message on a 2 KB MTU: 3 fragments
+  EXPECT_TRUE(sawRx);
+  EXPECT_TRUE(sawCompletion);
+  // 3 data fragments from node 0 -> at least 3 Wire records.
+  int wireCount = 0;
+  for (const auto& rec : tracer.snapshot()) {
+    if (rec.category == TraceCategory::Wire && rec.component == 0) {
+      ++wireCount;
+    }
+  }
+  EXPECT_GE(wireCount, 3);
+}
+
+TEST(TracerIntegration, RetransmissionsAreTraced) {
+  suite::ClusterConfig cfg;
+  cfg.profile = nic::clanProfile();
+  cfg.lossRate = 0.5;  // brutal loss to force RTOs
+  cfg.seed = 11;
+  suite::Cluster cluster(cfg);
+  Tracer tracer;
+  tracer.enable(TraceCategory::Reliability);
+  cluster.node(0).device().setTracer(&tracer);
+
+  auto client = [&](suite::NodeEnv& env) {
+    vipl::Provider& nic = env.nic;
+    auto ptag = vipl::VipCreatePtag(nic);
+    auto buf = nic.memory().alloc(4096, mem::kPageSize);
+    mem::MemHandle h = 0;
+    ASSERT_EQ(vipl::VipRegisterMem(nic, buf, 4096, {ptag, false, false}, h),
+              vipl::VipResult::VIP_SUCCESS);
+    vipl::Vi* vi = nullptr;
+    vipl::VipViAttributes va;
+    va.ptag = ptag;
+    va.reliabilityLevel = nic::Reliability::ReliableDelivery;
+    ASSERT_EQ(vipl::VipCreateVi(nic, va, nullptr, nullptr, vi),
+              vipl::VipResult::VIP_SUCCESS);
+    ASSERT_EQ(vipl::VipConnectRequest(nic, vi, {1, 9}, sim::kSecond * 30),
+              vipl::VipResult::VIP_SUCCESS);
+    vipl::VipDescriptor d = vipl::VipDescriptor::send(buf, h, 4096);
+    ASSERT_EQ(vipl::VipPostSend(nic, vi, &d), vipl::VipResult::VIP_SUCCESS);
+    vipl::VipDescriptor* done = nullptr;
+    ASSERT_EQ(nic.sendWait(vi, sim::kSecond * 30, done),
+              vipl::VipResult::VIP_SUCCESS);
+  };
+  auto server = [&](suite::NodeEnv& env) {
+    vipl::Provider& nic = env.nic;
+    auto ptag = vipl::VipCreatePtag(nic);
+    auto buf = nic.memory().alloc(4096, mem::kPageSize);
+    mem::MemHandle h = 0;
+    ASSERT_EQ(vipl::VipRegisterMem(nic, buf, 4096, {ptag, false, false}, h),
+              vipl::VipResult::VIP_SUCCESS);
+    vipl::Vi* vi = nullptr;
+    vipl::VipViAttributes va;
+    va.ptag = ptag;
+    va.reliabilityLevel = nic::Reliability::ReliableDelivery;
+    ASSERT_EQ(vipl::VipCreateVi(nic, va, nullptr, nullptr, vi),
+              vipl::VipResult::VIP_SUCCESS);
+    vipl::VipDescriptor d = vipl::VipDescriptor::recv(buf, h, 4096);
+    ASSERT_EQ(vipl::VipPostRecv(nic, vi, &d), vipl::VipResult::VIP_SUCCESS);
+    vipl::PendingConn conn;
+    ASSERT_EQ(vipl::VipConnectWait(nic, {1, 9}, sim::kSecond * 30, conn),
+              vipl::VipResult::VIP_SUCCESS);
+    ASSERT_EQ(vipl::VipConnectAccept(nic, conn, vi),
+              vipl::VipResult::VIP_SUCCESS);
+    vipl::VipDescriptor* done = nullptr;
+    ASSERT_EQ(nic.recvWait(vi, sim::kSecond * 30, done),
+              vipl::VipResult::VIP_SUCCESS);
+  };
+  cluster.run({client, server});
+  EXPECT_GT(tracer.totalRecorded(), 0u) << "50% loss but no RTO traces";
+}
+
+}  // namespace
+}  // namespace vibe
