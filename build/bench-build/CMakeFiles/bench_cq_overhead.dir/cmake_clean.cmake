@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cq_overhead"
+  "../bench/bench_cq_overhead.pdb"
+  "CMakeFiles/bench_cq_overhead.dir/bench_cq_overhead.cpp.o"
+  "CMakeFiles/bench_cq_overhead.dir/bench_cq_overhead.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cq_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

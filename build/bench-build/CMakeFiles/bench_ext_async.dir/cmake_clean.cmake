@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_async"
+  "../bench/bench_ext_async.pdb"
+  "CMakeFiles/bench_ext_async.dir/bench_ext_async.cpp.o"
+  "CMakeFiles/bench_ext_async.dir/bench_ext_async.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_async.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

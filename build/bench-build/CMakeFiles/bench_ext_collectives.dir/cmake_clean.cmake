@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_collectives"
+  "../bench/bench_ext_collectives.pdb"
+  "CMakeFiles/bench_ext_collectives.dir/bench_ext_collectives.cpp.o"
+  "CMakeFiles/bench_ext_collectives.dir/bench_ext_collectives.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_collectives.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_infiniband"
+  "../bench/bench_ext_infiniband.pdb"
+  "CMakeFiles/bench_ext_infiniband.dir/bench_ext_infiniband.cpp.o"
+  "CMakeFiles/bench_ext_infiniband.dir/bench_ext_infiniband.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_infiniband.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

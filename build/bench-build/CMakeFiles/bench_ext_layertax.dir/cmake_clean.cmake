@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_layertax"
+  "../bench/bench_ext_layertax.pdb"
+  "CMakeFiles/bench_ext_layertax.dir/bench_ext_layertax.cpp.o"
+  "CMakeFiles/bench_ext_layertax.dir/bench_ext_layertax.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_layertax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

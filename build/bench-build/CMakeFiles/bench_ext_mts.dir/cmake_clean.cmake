@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_mts"
+  "../bench/bench_ext_mts.pdb"
+  "CMakeFiles/bench_ext_mts.dir/bench_ext_mts.cpp.o"
+  "CMakeFiles/bench_ext_mts.dir/bench_ext_mts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_mts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_multiclient"
+  "../bench/bench_ext_multiclient.pdb"
+  "CMakeFiles/bench_ext_multiclient.dir/bench_ext_multiclient.cpp.o"
+  "CMakeFiles/bench_ext_multiclient.dir/bench_ext_multiclient.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multiclient.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

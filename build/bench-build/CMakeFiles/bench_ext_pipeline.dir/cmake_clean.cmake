@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_pipeline"
+  "../bench/bench_ext_pipeline.pdb"
+  "CMakeFiles/bench_ext_pipeline.dir/bench_ext_pipeline.cpp.o"
+  "CMakeFiles/bench_ext_pipeline.dir/bench_ext_pipeline.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_rdma"
+  "../bench/bench_ext_rdma.pdb"
+  "CMakeFiles/bench_ext_rdma.dir/bench_ext_rdma.cpp.o"
+  "CMakeFiles/bench_ext_rdma.dir/bench_ext_rdma.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rdma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

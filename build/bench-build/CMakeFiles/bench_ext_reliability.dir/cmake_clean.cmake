@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_reliability"
+  "../bench/bench_ext_reliability.pdb"
+  "CMakeFiles/bench_ext_reliability.dir/bench_ext_reliability.cpp.o"
+  "CMakeFiles/bench_ext_reliability.dir/bench_ext_reliability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

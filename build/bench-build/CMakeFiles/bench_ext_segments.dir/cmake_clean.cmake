@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_segments"
+  "../bench/bench_ext_segments.pdb"
+  "CMakeFiles/bench_ext_segments.dir/bench_ext_segments.cpp.o"
+  "CMakeFiles/bench_ext_segments.dir/bench_ext_segments.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

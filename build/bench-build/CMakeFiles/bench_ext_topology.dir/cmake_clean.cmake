@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_topology"
+  "../bench/bench_ext_topology.pdb"
+  "CMakeFiles/bench_ext_topology.dir/bench_ext_topology.cpp.o"
+  "CMakeFiles/bench_ext_topology.dir/bench_ext_topology.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_topology.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_memreg"
+  "../bench/bench_fig1_memreg.pdb"
+  "CMakeFiles/bench_fig1_memreg.dir/bench_fig1_memreg.cpp.o"
+  "CMakeFiles/bench_fig1_memreg.dir/bench_fig1_memreg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_memreg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

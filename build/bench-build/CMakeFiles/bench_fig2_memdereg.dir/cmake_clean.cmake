@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_memdereg"
+  "../bench/bench_fig2_memdereg.pdb"
+  "CMakeFiles/bench_fig2_memdereg.dir/bench_fig2_memdereg.cpp.o"
+  "CMakeFiles/bench_fig2_memdereg.dir/bench_fig2_memdereg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_memdereg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_base_polling"
+  "../bench/bench_fig3_base_polling.pdb"
+  "CMakeFiles/bench_fig3_base_polling.dir/bench_fig3_base_polling.cpp.o"
+  "CMakeFiles/bench_fig3_base_polling.dir/bench_fig3_base_polling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_base_polling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_base_blocking"
+  "../bench/bench_fig4_base_blocking.pdb"
+  "CMakeFiles/bench_fig4_base_blocking.dir/bench_fig4_base_blocking.cpp.o"
+  "CMakeFiles/bench_fig4_base_blocking.dir/bench_fig4_base_blocking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_base_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

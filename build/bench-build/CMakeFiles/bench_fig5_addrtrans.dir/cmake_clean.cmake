@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_addrtrans"
+  "../bench/bench_fig5_addrtrans.pdb"
+  "CMakeFiles/bench_fig5_addrtrans.dir/bench_fig5_addrtrans.cpp.o"
+  "CMakeFiles/bench_fig5_addrtrans.dir/bench_fig5_addrtrans.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_addrtrans.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

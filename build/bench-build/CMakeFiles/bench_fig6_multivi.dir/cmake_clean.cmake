@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_multivi"
+  "../bench/bench_fig6_multivi.pdb"
+  "CMakeFiles/bench_fig6_multivi.dir/bench_fig6_multivi.cpp.o"
+  "CMakeFiles/bench_fig6_multivi.dir/bench_fig6_multivi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_multivi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

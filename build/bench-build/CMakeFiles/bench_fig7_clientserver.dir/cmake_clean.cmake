@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_clientserver"
+  "../bench/bench_fig7_clientserver.pdb"
+  "CMakeFiles/bench_fig7_clientserver.dir/bench_fig7_clientserver.cpp.o"
+  "CMakeFiles/bench_fig7_clientserver.dir/bench_fig7_clientserver.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_clientserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_logp"
+  "../bench/bench_logp.pdb"
+  "CMakeFiles/bench_logp.dir/bench_logp.cpp.o"
+  "CMakeFiles/bench_logp.dir/bench_logp.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_logp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

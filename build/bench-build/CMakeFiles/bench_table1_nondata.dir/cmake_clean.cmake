@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table1_nondata"
+  "../bench/bench_table1_nondata.pdb"
+  "CMakeFiles/bench_table1_nondata.dir/bench_table1_nondata.cpp.o"
+  "CMakeFiles/bench_table1_nondata.dir/bench_table1_nondata.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_nondata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gbench_simcore"
+  "../bench/gbench_simcore.pdb"
+  "CMakeFiles/gbench_simcore.dir/gbench_simcore.cpp.o"
+  "CMakeFiles/gbench_simcore.dir/gbench_simcore.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

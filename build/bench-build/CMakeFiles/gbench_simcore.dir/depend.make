@@ -1,0 +1,2 @@
+# Empty dependencies file for gbench_simcore.
+# This may be replaced when dependencies are built.

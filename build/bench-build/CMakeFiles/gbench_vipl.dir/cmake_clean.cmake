@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/gbench_vipl"
+  "../bench/gbench_vipl.pdb"
+  "CMakeFiles/gbench_vipl.dir/gbench_vipl.cpp.o"
+  "CMakeFiles/gbench_vipl.dir/gbench_vipl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gbench_vipl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allreduce_dot.dir/allreduce_dot.cpp.o"
+  "CMakeFiles/allreduce_dot.dir/allreduce_dot.cpp.o.d"
+  "allreduce_dot"
+  "allreduce_dot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allreduce_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

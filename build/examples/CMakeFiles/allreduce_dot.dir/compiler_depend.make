@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for allreduce_dot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsm_sor.dir/dsm_sor.cpp.o"
+  "CMakeFiles/dsm_sor.dir/dsm_sor.cpp.o.d"
+  "dsm_sor"
+  "dsm_sor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsm_sor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

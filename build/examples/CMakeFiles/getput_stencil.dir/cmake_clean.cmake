@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/getput_stencil.dir/getput_stencil.cpp.o"
+  "CMakeFiles/getput_stencil.dir/getput_stencil.cpp.o.d"
+  "getput_stencil"
+  "getput_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/getput_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

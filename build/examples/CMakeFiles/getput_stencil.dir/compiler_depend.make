@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for getput_stencil.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for getput_stencil.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpc_kv_store.dir/rpc_kv_store.cpp.o"
+  "CMakeFiles/rpc_kv_store.dir/rpc_kv_store.cpp.o.d"
+  "rpc_kv_store"
+  "rpc_kv_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpc_kv_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/socket_fileserver.dir/socket_fileserver.cpp.o"
+  "CMakeFiles/socket_fileserver.dir/socket_fileserver.cpp.o.d"
+  "socket_fileserver"
+  "socket_fileserver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/socket_fileserver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for socket_fileserver.
+# This may be replaced when dependencies are built.

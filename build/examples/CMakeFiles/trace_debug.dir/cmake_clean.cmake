@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_debug.dir/trace_debug.cpp.o"
+  "CMakeFiles/trace_debug.dir/trace_debug.cpp.o.d"
+  "trace_debug"
+  "trace_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibe_survey.dir/vibe_survey.cpp.o"
+  "CMakeFiles/vibe_survey.dir/vibe_survey.cpp.o.d"
+  "vibe_survey"
+  "vibe_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibe_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

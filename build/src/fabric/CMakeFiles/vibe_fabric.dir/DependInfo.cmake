@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fabric/link.cpp" "src/fabric/CMakeFiles/vibe_fabric.dir/link.cpp.o" "gcc" "src/fabric/CMakeFiles/vibe_fabric.dir/link.cpp.o.d"
+  "/root/repo/src/fabric/network.cpp" "src/fabric/CMakeFiles/vibe_fabric.dir/network.cpp.o" "gcc" "src/fabric/CMakeFiles/vibe_fabric.dir/network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/vibe_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibe_fabric.dir/link.cpp.o"
+  "CMakeFiles/vibe_fabric.dir/link.cpp.o.d"
+  "CMakeFiles/vibe_fabric.dir/network.cpp.o"
+  "CMakeFiles/vibe_fabric.dir/network.cpp.o.d"
+  "libvibe_fabric.a"
+  "libvibe_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibe_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

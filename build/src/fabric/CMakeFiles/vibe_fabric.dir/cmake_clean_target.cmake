@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvibe_fabric.a"
+)

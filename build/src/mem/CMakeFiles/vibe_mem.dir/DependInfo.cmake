@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/host_memory.cpp" "src/mem/CMakeFiles/vibe_mem.dir/host_memory.cpp.o" "gcc" "src/mem/CMakeFiles/vibe_mem.dir/host_memory.cpp.o.d"
+  "/root/repo/src/mem/memory_registry.cpp" "src/mem/CMakeFiles/vibe_mem.dir/memory_registry.cpp.o" "gcc" "src/mem/CMakeFiles/vibe_mem.dir/memory_registry.cpp.o.d"
+  "/root/repo/src/mem/tlb.cpp" "src/mem/CMakeFiles/vibe_mem.dir/tlb.cpp.o" "gcc" "src/mem/CMakeFiles/vibe_mem.dir/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/vibe_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibe_mem.dir/host_memory.cpp.o"
+  "CMakeFiles/vibe_mem.dir/host_memory.cpp.o.d"
+  "CMakeFiles/vibe_mem.dir/memory_registry.cpp.o"
+  "CMakeFiles/vibe_mem.dir/memory_registry.cpp.o.d"
+  "CMakeFiles/vibe_mem.dir/tlb.cpp.o"
+  "CMakeFiles/vibe_mem.dir/tlb.cpp.o.d"
+  "libvibe_mem.a"
+  "libvibe_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibe_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibe_nic.dir/nic_device.cpp.o"
+  "CMakeFiles/vibe_nic.dir/nic_device.cpp.o.d"
+  "CMakeFiles/vibe_nic.dir/profiles.cpp.o"
+  "CMakeFiles/vibe_nic.dir/profiles.cpp.o.d"
+  "libvibe_nic.a"
+  "libvibe_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibe_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

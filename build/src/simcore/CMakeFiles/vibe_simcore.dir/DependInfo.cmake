@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simcore/engine.cpp" "src/simcore/CMakeFiles/vibe_simcore.dir/engine.cpp.o" "gcc" "src/simcore/CMakeFiles/vibe_simcore.dir/engine.cpp.o.d"
+  "/root/repo/src/simcore/process.cpp" "src/simcore/CMakeFiles/vibe_simcore.dir/process.cpp.o" "gcc" "src/simcore/CMakeFiles/vibe_simcore.dir/process.cpp.o.d"
+  "/root/repo/src/simcore/stats.cpp" "src/simcore/CMakeFiles/vibe_simcore.dir/stats.cpp.o" "gcc" "src/simcore/CMakeFiles/vibe_simcore.dir/stats.cpp.o.d"
+  "/root/repo/src/simcore/trace.cpp" "src/simcore/CMakeFiles/vibe_simcore.dir/trace.cpp.o" "gcc" "src/simcore/CMakeFiles/vibe_simcore.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

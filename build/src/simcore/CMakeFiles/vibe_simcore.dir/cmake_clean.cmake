@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibe_simcore.dir/engine.cpp.o"
+  "CMakeFiles/vibe_simcore.dir/engine.cpp.o.d"
+  "CMakeFiles/vibe_simcore.dir/process.cpp.o"
+  "CMakeFiles/vibe_simcore.dir/process.cpp.o.d"
+  "CMakeFiles/vibe_simcore.dir/stats.cpp.o"
+  "CMakeFiles/vibe_simcore.dir/stats.cpp.o.d"
+  "CMakeFiles/vibe_simcore.dir/trace.cpp.o"
+  "CMakeFiles/vibe_simcore.dir/trace.cpp.o.d"
+  "libvibe_simcore.a"
+  "libvibe_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibe_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

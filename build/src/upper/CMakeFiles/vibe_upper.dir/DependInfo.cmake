@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/upper/dsm/dsm.cpp" "src/upper/CMakeFiles/vibe_upper.dir/dsm/dsm.cpp.o" "gcc" "src/upper/CMakeFiles/vibe_upper.dir/dsm/dsm.cpp.o.d"
+  "/root/repo/src/upper/getput/window.cpp" "src/upper/CMakeFiles/vibe_upper.dir/getput/window.cpp.o" "gcc" "src/upper/CMakeFiles/vibe_upper.dir/getput/window.cpp.o.d"
+  "/root/repo/src/upper/msg/communicator.cpp" "src/upper/CMakeFiles/vibe_upper.dir/msg/communicator.cpp.o" "gcc" "src/upper/CMakeFiles/vibe_upper.dir/msg/communicator.cpp.o.d"
+  "/root/repo/src/upper/rpc/rpc.cpp" "src/upper/CMakeFiles/vibe_upper.dir/rpc/rpc.cpp.o" "gcc" "src/upper/CMakeFiles/vibe_upper.dir/rpc/rpc.cpp.o.d"
+  "/root/repo/src/upper/sockets/stream.cpp" "src/upper/CMakeFiles/vibe_upper.dir/sockets/stream.cpp.o" "gcc" "src/upper/CMakeFiles/vibe_upper.dir/sockets/stream.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vibe/CMakeFiles/vibe_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/vipl/CMakeFiles/vibe_vipl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/vibe_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/vibe_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vibe_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/vibe_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

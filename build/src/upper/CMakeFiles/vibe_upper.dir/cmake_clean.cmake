@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibe_upper.dir/dsm/dsm.cpp.o"
+  "CMakeFiles/vibe_upper.dir/dsm/dsm.cpp.o.d"
+  "CMakeFiles/vibe_upper.dir/getput/window.cpp.o"
+  "CMakeFiles/vibe_upper.dir/getput/window.cpp.o.d"
+  "CMakeFiles/vibe_upper.dir/msg/communicator.cpp.o"
+  "CMakeFiles/vibe_upper.dir/msg/communicator.cpp.o.d"
+  "CMakeFiles/vibe_upper.dir/rpc/rpc.cpp.o"
+  "CMakeFiles/vibe_upper.dir/rpc/rpc.cpp.o.d"
+  "CMakeFiles/vibe_upper.dir/sockets/stream.cpp.o"
+  "CMakeFiles/vibe_upper.dir/sockets/stream.cpp.o.d"
+  "libvibe_upper.a"
+  "libvibe_upper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibe_upper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vibe_upper.
+# This may be replaced when dependencies are built.

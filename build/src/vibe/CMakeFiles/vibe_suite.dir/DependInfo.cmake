@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vibe/clientserver.cpp" "src/vibe/CMakeFiles/vibe_suite.dir/clientserver.cpp.o" "gcc" "src/vibe/CMakeFiles/vibe_suite.dir/clientserver.cpp.o.d"
+  "/root/repo/src/vibe/cluster.cpp" "src/vibe/CMakeFiles/vibe_suite.dir/cluster.cpp.o" "gcc" "src/vibe/CMakeFiles/vibe_suite.dir/cluster.cpp.o.d"
+  "/root/repo/src/vibe/datatransfer.cpp" "src/vibe/CMakeFiles/vibe_suite.dir/datatransfer.cpp.o" "gcc" "src/vibe/CMakeFiles/vibe_suite.dir/datatransfer.cpp.o.d"
+  "/root/repo/src/vibe/nondata.cpp" "src/vibe/CMakeFiles/vibe_suite.dir/nondata.cpp.o" "gcc" "src/vibe/CMakeFiles/vibe_suite.dir/nondata.cpp.o.d"
+  "/root/repo/src/vibe/report.cpp" "src/vibe/CMakeFiles/vibe_suite.dir/report.cpp.o" "gcc" "src/vibe/CMakeFiles/vibe_suite.dir/report.cpp.o.d"
+  "/root/repo/src/vibe/results.cpp" "src/vibe/CMakeFiles/vibe_suite.dir/results.cpp.o" "gcc" "src/vibe/CMakeFiles/vibe_suite.dir/results.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vipl/CMakeFiles/vibe_vipl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/vibe_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/vibe_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vibe_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/vibe_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

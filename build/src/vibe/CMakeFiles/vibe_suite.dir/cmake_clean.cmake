@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibe_suite.dir/clientserver.cpp.o"
+  "CMakeFiles/vibe_suite.dir/clientserver.cpp.o.d"
+  "CMakeFiles/vibe_suite.dir/cluster.cpp.o"
+  "CMakeFiles/vibe_suite.dir/cluster.cpp.o.d"
+  "CMakeFiles/vibe_suite.dir/datatransfer.cpp.o"
+  "CMakeFiles/vibe_suite.dir/datatransfer.cpp.o.d"
+  "CMakeFiles/vibe_suite.dir/nondata.cpp.o"
+  "CMakeFiles/vibe_suite.dir/nondata.cpp.o.d"
+  "CMakeFiles/vibe_suite.dir/report.cpp.o"
+  "CMakeFiles/vibe_suite.dir/report.cpp.o.d"
+  "CMakeFiles/vibe_suite.dir/results.cpp.o"
+  "CMakeFiles/vibe_suite.dir/results.cpp.o.d"
+  "libvibe_suite.a"
+  "libvibe_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibe_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vibe_vipl.dir/provider.cpp.o"
+  "CMakeFiles/vibe_vipl.dir/provider.cpp.o.d"
+  "libvibe_vipl.a"
+  "libvibe_vipl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vibe_vipl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for vibe_vipl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsm.dir/test_dsm.cpp.o"
+  "CMakeFiles/test_dsm.dir/test_dsm.cpp.o.d"
+  "test_dsm"
+  "test_dsm.pdb"
+  "test_dsm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

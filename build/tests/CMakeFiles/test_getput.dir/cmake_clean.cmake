@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_getput.dir/test_getput.cpp.o"
+  "CMakeFiles/test_getput.dir/test_getput.cpp.o.d"
+  "test_getput"
+  "test_getput.pdb"
+  "test_getput[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_getput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

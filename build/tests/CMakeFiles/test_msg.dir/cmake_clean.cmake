@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_msg.dir/test_msg.cpp.o"
+  "CMakeFiles/test_msg.dir/test_msg.cpp.o.d"
+  "test_msg"
+  "test_msg.pdb"
+  "test_msg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_msg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

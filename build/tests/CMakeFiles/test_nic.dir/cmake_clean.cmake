@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nic.dir/test_nic.cpp.o"
+  "CMakeFiles/test_nic.dir/test_nic.cpp.o.d"
+  "test_nic"
+  "test_nic.pdb"
+  "test_nic[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

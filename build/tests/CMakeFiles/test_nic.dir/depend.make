@@ -1,0 +1,2 @@
+# Empty dependencies file for test_nic.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_raii.cpp" "tests/CMakeFiles/test_raii.dir/test_raii.cpp.o" "gcc" "tests/CMakeFiles/test_raii.dir/test_raii.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vibe/CMakeFiles/vibe_suite.dir/DependInfo.cmake"
+  "/root/repo/build/src/nic/CMakeFiles/vibe_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/vipl/CMakeFiles/vibe_vipl.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/vibe_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/vibe_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/vibe_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_raii.dir/test_raii.cpp.o"
+  "CMakeFiles/test_raii.dir/test_raii.cpp.o.d"
+  "test_raii"
+  "test_raii.pdb"
+  "test_raii[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_raii.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reliability.dir/test_reliability.cpp.o"
+  "CMakeFiles/test_reliability.dir/test_reliability.cpp.o.d"
+  "test_reliability"
+  "test_reliability.pdb"
+  "test_reliability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simcore.dir/test_simcore.cpp.o"
+  "CMakeFiles/test_simcore.dir/test_simcore.cpp.o.d"
+  "test_simcore"
+  "test_simcore.pdb"
+  "test_simcore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

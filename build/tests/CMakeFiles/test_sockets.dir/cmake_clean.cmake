@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sockets.dir/test_sockets.cpp.o"
+  "CMakeFiles/test_sockets.dir/test_sockets.cpp.o.d"
+  "test_sockets"
+  "test_sockets.pdb"
+  "test_sockets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vibe_suite.dir/test_vibe_suite.cpp.o"
+  "CMakeFiles/test_vibe_suite.dir/test_vibe_suite.cpp.o.d"
+  "test_vibe_suite"
+  "test_vibe_suite.pdb"
+  "test_vibe_suite[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vibe_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

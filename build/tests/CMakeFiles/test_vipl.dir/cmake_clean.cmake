@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vipl.dir/test_vipl.cpp.o"
+  "CMakeFiles/test_vipl.dir/test_vipl.cpp.o.d"
+  "test_vipl"
+  "test_vipl.pdb"
+  "test_vipl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vipl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
