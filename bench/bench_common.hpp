@@ -33,13 +33,19 @@ inline suite::ClusterConfig clusterFor(const nic::NicProfile& p,
 }
 
 /// Prints a table; with VIBE_CSV=1 in the environment, also emits the
-/// machine-readable CSV block (for plotting scripts).
+/// machine-readable CSV block (for plotting scripts), and with VIBE_JSON=1
+/// a one-line JSON block (for trajectory/regression tooling).
 inline void emit(const suite::ResultTable& table, int precision = 2) {
   std::printf("%s\n", table.renderText(precision).c_str());
   const char* csv = std::getenv("VIBE_CSV");
   if (csv != nullptr && csv[0] == '1') {
     std::printf("--- csv: %s ---\n%s--- end csv ---\n\n",
                 table.title().c_str(), table.renderCsv().c_str());
+  }
+  const char* json = std::getenv("VIBE_JSON");
+  if (json != nullptr && json[0] == '1') {
+    std::printf("--- json: %s ---\n%s\n--- end json ---\n\n",
+                table.title().c_str(), table.renderJson().c_str());
   }
 }
 

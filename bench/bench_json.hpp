@@ -1,0 +1,48 @@
+// Perf-trajectory JSON output for the gbench_* binaries.
+//
+// With VIBE_JSON=1 each gbench writes a flat BENCH_<name>.json file of
+// named scalar metrics (events/sec, ping-pong latency, ...) into the
+// current directory, so every PR leaves a recorded wall-clock trajectory
+// of the simulator substrate next to the virtual-time paper tables.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vibe::bench {
+
+inline bool jsonRequested() {
+  const char* v = std::getenv("VIBE_JSON");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Writes {"bench":<name>, "<metric>":<value>, ...} to BENCH_<name>.json.
+/// Non-finite values are emitted as null. Returns false on I/O failure.
+inline bool writeBenchJson(
+    const std::string& name,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\"", name.c_str());
+  for (const auto& [key, value] : metrics) {
+    if (std::isnan(value) || std::isinf(value)) {
+      std::fprintf(f, ",\n  \"%s\": null", key.c_str());
+    } else {
+      std::fprintf(f, ",\n  \"%s\": %.17g", key.c_str(), value);
+    }
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace vibe::bench

@@ -4,10 +4,15 @@
 // VIBe suite itself runs — useful when extending the workloads.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bench_json.hpp"
 #include "simcore/engine.hpp"
 #include "simcore/process.hpp"
 #include "simcore/prng.hpp"
 #include "simcore/resource.hpp"
+#include "vibe/datatransfer.hpp"
+#include "nic/profiles.hpp"
 
 namespace {
 
@@ -82,6 +87,76 @@ void BM_PrngUniform(benchmark::State& state) {
 }
 BENCHMARK(BM_PrngUniform);
 
+// --- VIBE_JSON=1 trajectory: direct wall-clock measurements, written to
+// BENCH_simcore.json so successive PRs have a recorded perf history. ---
+
+double secondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Best-of-3 wall-clock events/sec: batches of timer posts drained by run(),
+/// the same shape as BM_EventDispatch.
+double measureEventsPerSec() {
+  constexpr int kBatch = 10000;
+  constexpr int kBatches = 100;
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int b = 0; b < kBatches; ++b) {
+      Engine eng;
+      for (int i = 0; i < kBatch; ++i) {
+        eng.post(i, [] {});
+      }
+      eng.run();
+      benchmark::DoNotOptimize(eng.executedEvents());
+    }
+    best = std::max(best, kBatch * kBatches / secondsSince(t0));
+  }
+  return best;
+}
+
+/// Best-of-3 post+cancel pairs/sec: the retransmit-timer pattern.
+double measureCancelsPerSec() {
+  constexpr int kPairs = 1000000;
+  double best = 0;
+  for (int rep = 0; rep < 3; ++rep) {
+    Engine eng;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < kPairs; ++i) {
+      const EventId id = eng.post(1000000, [] {});
+      eng.cancel(id);
+    }
+    best = std::max(best, kPairs / secondsSince(t0));
+    eng.run();
+  }
+  return best;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (vibe::bench::jsonRequested()) {
+    // Simulated 64-byte cLAN ping-pong: wall cost of the full stack plus
+    // the (deterministic) virtual-time latency it reports.
+    vibe::suite::ClusterConfig cluster;
+    cluster.profile = vibe::nic::clanProfile();
+    vibe::suite::TransferConfig cfg;
+    cfg.msgBytes = 64;
+    cfg.iterations = 200;
+    cfg.warmup = 4;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto pp = vibe::suite::runPingPong(cluster, cfg);
+    const double ppWall = secondsSince(t0);
+    vibe::bench::writeBenchJson(
+        "simcore", {{"events_per_sec", measureEventsPerSec()},
+                    {"post_cancel_pairs_per_sec", measureCancelsPerSec()},
+                    {"pingpong_sim_usec", pp.latencyUsec},
+                    {"pingpong_wall_sec", ppWall}});
+  }
+  return 0;
+}

@@ -17,10 +17,10 @@ void Link::send(Packet&& p) {
     ++framesDropped_;
     return;  // the wire time is still consumed; the frame just never arrives
   }
-  // Move the packet into a shared holder so the std::function is copyable.
-  auto held = std::make_shared<Packet>(std::move(p));
+  // The packet rides inside the event callback itself (EventFn is
+  // move-capable), so delivery costs no shared_ptr round-trip.
   engine_.postAt(done + params_.propagation,
-                 [this, held] { sink_(std::move(*held)); });
+                 [this, p = std::move(p)]() mutable { sink_(std::move(p)); });
 }
 
 }  // namespace vibe::fabric

@@ -19,9 +19,7 @@ Network::Network(sim::Engine& engine, const NetworkParams& params)
     // then route (down a local port, or via the root for cross-leaf).
     up->connect([this](Packet&& p) {
       engine_.post(params_.switchLatency,
-                   [this, held = std::make_shared<Packet>(std::move(p))] {
-                     forward(std::move(*held));
-                   });
+                   [this, p = std::move(p)]() mutable { forward(std::move(p)); });
     });
     down->connect([this, n](Packet&& p) {
       if (!receivers_[n]) {
@@ -48,17 +46,15 @@ Network::Network(sim::Engine& engine, const NetworkParams& params)
       // Trunk up terminates at the root: root latency, then down the
       // destination leaf's trunk.
       upTrunk->connect([this](Packet&& p) {
-        engine_.post(params_.rootSwitchLatency,
-                     [this, held = std::make_shared<Packet>(std::move(p))] {
-                       forwardFromRoot(std::move(*held));
-                     });
+        engine_.post(params_.rootSwitchLatency, [this, p = std::move(p)]() mutable {
+          forwardFromRoot(std::move(p));
+        });
       });
       // Trunk down terminates at the leaf: leaf latency, then the host port.
       downTrunk->connect([this](Packet&& p) {
-        engine_.post(params_.switchLatency,
-                     [this, held = std::make_shared<Packet>(std::move(p))] {
-                       downlinks_.at(held->dst)->send(std::move(*held));
-                     });
+        engine_.post(params_.switchLatency, [this, p = std::move(p)]() mutable {
+          downlinks_.at(p.dst)->send(std::move(p));
+        });
       });
       trunkUp_.push_back(std::move(upTrunk));
       trunkDown_.push_back(std::move(downTrunk));

@@ -1,5 +1,7 @@
 #include "mem/tlb.hpp"
 
+#include <algorithm>
+
 namespace vibe::mem {
 
 bool Tlb::lookup(std::uint64_t page) {
@@ -26,9 +28,27 @@ void Tlb::insert(std::uint64_t page) {
   }
   lru_.push_front(page);
   map_[page] = lru_.begin();
+  pagesSeenMin_ = std::min(pagesSeenMin_, page);
+  pagesSeenMax_ = std::max(pagesSeenMax_, page);
 }
 
 void Tlb::invalidateRange(std::uint64_t firstPage, std::uint64_t lastPage) {
+  if (map_.empty() || lastPage < firstPage) return;
+  // Hull check: pagesSeen* track the widest range ever inserted, so a
+  // deregistration of pages the cache has never held costs O(1) instead of
+  // a full LRU walk (the Fig. 2 extended 32 MB sweep hits this constantly).
+  if (firstPage > pagesSeenMax_ || lastPage < pagesSeenMin_) return;
+  const std::uint64_t span = lastPage - firstPage + 1;
+  if (span <= map_.size()) {
+    // Narrow range: probe each page directly instead of scanning the LRU.
+    for (std::uint64_t page = firstPage; page <= lastPage; ++page) {
+      auto it = map_.find(page);
+      if (it == map_.end()) continue;
+      lru_.erase(it->second);
+      map_.erase(it);
+    }
+    return;
+  }
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (*it >= firstPage && *it <= lastPage) {
       map_.erase(*it);
@@ -42,6 +62,8 @@ void Tlb::invalidateRange(std::uint64_t firstPage, std::uint64_t lastPage) {
 void Tlb::flush() {
   lru_.clear();
   map_.clear();
+  pagesSeenMin_ = ~std::uint64_t{0};
+  pagesSeenMax_ = 0;
 }
 
 }  // namespace vibe::mem

@@ -28,6 +28,10 @@ class Tlb {
   void insert(std::uint64_t page);
 
   /// Removes translations for pages in [firstPage, lastPage] (deregister).
+  /// Cost: O(1) when the range cannot intersect anything ever cached,
+  /// O(range) by direct probe when the range is narrower than the current
+  /// population, O(size) LRU scan otherwise — never quadratic across a
+  /// deregistration sweep.
   void invalidateRange(std::uint64_t firstPage, std::uint64_t lastPage);
 
   void flush();
@@ -44,6 +48,12 @@ class Tlb {
   std::unordered_map<std::uint64_t, std::list<std::uint64_t>::iterator> map_;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  // Hull of every page ever inserted (reset by flush); lets
+  // invalidateRange reject non-intersecting ranges in O(1). May be wider
+  // than the current population after evictions — that only costs a
+  // missed fast path, never correctness.
+  std::uint64_t pagesSeenMin_ = ~std::uint64_t{0};
+  std::uint64_t pagesSeenMax_ = 0;
 };
 
 }  // namespace vibe::mem

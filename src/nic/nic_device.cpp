@@ -106,9 +106,8 @@ void NicDevice::postCompletion(ViEndpointId id, Completion c, sim::SimTime at) {
   sim::trace(tracer_, at, sim::TraceCategory::Completion, node_,
              std::string(c.isSend ? "send" : "recv") + " completion vi=" +
                  std::to_string(id) + " status=" + toString(c.status));
-  auto held = std::make_shared<Completion>(std::move(c));
-  engine_.postAt(at, [this, id, held] {
-    if (handlers_.completion) handlers_.completion(id, std::move(*held));
+  engine_.postAt(at, [this, id, c = std::move(c)]() mutable {
+    if (handlers_.completion) handlers_.completion(id, std::move(c));
   });
 }
 
@@ -292,8 +291,9 @@ void NicDevice::tryProcessSendQueue(ViEndpointId id) {
       const sim::SimTime tProc = nicProc_.acquire(
           engine_.now(), profile_.nicPerMsgCost + profile_.nicPerFragCost);
       if (reliable) e->unacked.push_back(req);
-      auto held = std::make_shared<Packet>(std::move(req));
-      engine_.postAt(tProc, [this, held] { net_.send(std::move(*held)); });
+      engine_.postAt(tProc, [this, p = std::move(req)]() mutable {
+        net_.send(std::move(p));
+      });
       ++stats_.fragsTx;
       if (reliable) armRto(id, *e);
       continue;
@@ -383,8 +383,8 @@ void NicDevice::processSendWrHostInline(ViEndpointId id, Endpoint& e,
       e.unacked.push_back(p);
       e.lastFrag = p;
     }
-    auto held = std::make_shared<Packet>(std::move(p));
-    engine_.postAt(tDma, [this, held] { net_.send(std::move(*held)); });
+    engine_.postAt(tDma,
+                   [this, p = std::move(p)]() mutable { net_.send(std::move(p)); });
     ++stats_.fragsTx;
     stats_.bytesTx += fragBytes;
   }
@@ -460,8 +460,8 @@ void NicDevice::launchFragments(ViEndpointId id, Endpoint& e,
                "frag " + std::to_string(i + 1) + "/" + std::to_string(frags) +
                    " seq=" + std::to_string(p.fragSeq) + " vi=" +
                    std::to_string(id));
-    auto held = std::make_shared<Packet>(std::move(p));
-    engine_.postAt(tDma, [this, held] { net_.send(std::move(*held)); });
+    engine_.postAt(tDma,
+                   [this, p = std::move(p)]() mutable { net_.send(std::move(p)); });
     ++stats_.fragsTx;
     stats_.bytesTx += fragBytes;
   }
@@ -618,12 +618,12 @@ void NicDevice::acceptFragment(ViEndpointId id, Endpoint& e, Packet&& p) {
     placeTime = dma_.acquire(tProc, profile_.dmaTime(fragBytes));
   }
 
-  auto held = std::make_shared<Packet>(std::move(p));
-  engine_.postAt(placeTime, [this, id, held, r, last, placeTime] {
-    if (r->discard) return;
-    placeFragment(id, *r, *held);
-    if (last) finishMessage(id, r, placeTime);
-  });
+  engine_.postAt(placeTime,
+                 [this, id, p = std::move(p), r, last, placeTime]() mutable {
+                   if (r->discard) return;
+                   placeFragment(id, *r, p);
+                   if (last) finishMessage(id, r, placeTime);
+                 });
 }
 
 std::shared_ptr<NicDevice::Reassembly> NicDevice::beginMessage(
@@ -763,8 +763,8 @@ void NicDevice::sendAck(ViEndpointId id, Endpoint& e, WorkStatus error) {
   ack.rxError = static_cast<std::uint8_t>(error);
   const sim::SimTime t =
       nicProc_.acquire(engine_.now(), profile_.ackProcessingCost);
-  auto held = std::make_shared<Packet>(std::move(ack));
-  engine_.postAt(t, [this, held] { net_.send(std::move(*held)); });
+  engine_.postAt(
+      t, [this, p = std::move(ack)]() mutable { net_.send(std::move(p)); });
   ++stats_.acksTx;
 }
 
@@ -878,8 +878,9 @@ void NicDevice::handleRdmaRead(Packet&& p) {
       e.unacked.push_back(out);
       e.lastFrag = out;
     }
-    auto held = std::make_shared<Packet>(std::move(out));
-    engine_.postAt(tDma, [this, held] { net_.send(std::move(*held)); });
+    engine_.postAt(tDma, [this, p = std::move(out)]() mutable {
+      net_.send(std::move(p));
+    });
     ++stats_.fragsTx;
     stats_.bytesTx += fragBytes;
   }
@@ -916,8 +917,9 @@ void NicDevice::onRto(ViEndpointId id) {
       // dup-ack carrying the receiver's current placement sequence.
       const sim::SimTime tDma = dma_.acquire(
           engine_.now(), profile_.dmaTime(e.lastFrag->payload.size()));
-      auto held = std::make_shared<Packet>(*e.lastFrag);
-      engine_.postAt(tDma, [this, held] { net_.send(std::move(*held)); });
+      engine_.postAt(tDma, [this, p = Packet(*e.lastFrag)]() mutable {
+        net_.send(std::move(p));
+      });
       ++stats_.retransmits;
       armRto(id, e);
     }
@@ -933,8 +935,9 @@ void NicDevice::onRto(ViEndpointId id) {
     ready = tProc;
     const sim::SimTime tDma =
         dma_.acquire(tProc, profile_.dmaTime(stored.payload.size()));
-    auto held = std::make_shared<Packet>(stored);
-    engine_.postAt(tDma, [this, held] { net_.send(std::move(*held)); });
+    engine_.postAt(tDma, [this, p = Packet(stored)]() mutable {
+      net_.send(std::move(p));
+    });
     ++stats_.retransmits;
   }
   e.rtoBackoff = std::min<std::uint32_t>(e.rtoBackoff * 2, 8);

@@ -1,7 +1,6 @@
 #include "simcore/engine.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <sstream>
 #include <utility>
 
@@ -9,57 +8,103 @@
 
 namespace vibe::sim {
 
-EventId Engine::postAt(SimTime t, std::function<void()> fn) {
+std::uint32_t Engine::allocSlot() {
+  if (freeHead_ != kNoSlot) {
+    const std::uint32_t s = freeHead_;
+    freeHead_ = slotAt(s).nextFree;
+    return s;
+  }
+  if ((slotCount_ & (kSlabSize - 1)) == 0) {
+    slabs_.push_back(std::make_unique<Slot[]>(kSlabSize));
+  }
+  return slotCount_++;
+}
+
+EventId Engine::postAt(SimTime t, EventFn fn) {
+  if (!fn) {
+    throw SimError("Engine::postAt: null callable");
+  }
   if (t < now_) {
     throw SimError("Engine::postAt: scheduling into the past");
   }
-  auto ev = std::make_shared<Event>();
-  ev->time = t;
-  ev->id = nextId_++;
-  ev->fn = std::move(fn);
-  pending_.emplace(ev->id, ev);
-  queue_.push(ev);
-  return ev->id;
+  const std::uint32_t slot = allocSlot();
+  Slot& s = slotAt(slot);
+  s.fn = std::move(fn);
+  heap_.push_back(Handle{t, nextSeq_++, slot, s.gen});
+  std::push_heap(heap_.begin(), heap_.end(), HandleAfter{});
+  ++live_;
+  return (static_cast<EventId>(s.gen) << 32) | (slot + 1);
 }
 
 bool Engine::cancel(EventId id) {
-  auto it = pending_.find(id);
-  if (it == pending_.end()) return false;
-  it->second->fn = nullptr;  // tombstone; the queue entry is skipped later
-  pending_.erase(it);
+  const std::uint32_t slotPlus1 = static_cast<std::uint32_t>(id);
+  const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
+  if (slotPlus1 == 0 || slotPlus1 > slotCount_) return false;
+  const std::uint32_t slot = slotPlus1 - 1;
+  Slot& s = slotAt(slot);
+  if (s.gen != gen || !s.fn) return false;
+  s.fn.reset();  // destroy the callback now, not at fire time
+  ++s.gen;       // invalidates the id and the heap handle
+  freeSlot(slot);
+  --live_;
+  ++staleInHeap_;
+  compactIfStale();
   return true;
 }
 
-void Engine::dispatch(const std::shared_ptr<Event>& ev) {
-  now_ = ev->time;
-  pending_.erase(ev->id);
-  ++executed_;
-  ev->fn();
+void Engine::compactIfStale() {
+  if (staleInHeap_ <= 64 || staleInHeap_ <= live_) return;
+  std::erase_if(heap_, [this](const Handle& h) {
+    return slotAt(h.slot).gen != h.gen;
+  });
+  std::make_heap(heap_.begin(), heap_.end(), HandleAfter{});
+  staleInHeap_ = 0;
 }
 
 void Engine::run() {
-  while (!queue_.empty()) {
-    auto ev = queue_.top();
-    queue_.pop();
-    if (!ev->fn) continue;  // cancelled
-    dispatch(ev);
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), HandleAfter{});
+    const Handle h = heap_.back();
+    heap_.pop_back();
+    Slot& s = slotAt(h.slot);
+    if (s.gen != h.gen) {  // cancelled; handle predates compaction
+      --staleInHeap_;
+      continue;
+    }
+    now_ = h.time;
+    ++executed_;
+    --live_;
+    EventFn fn = std::move(s.fn);
+    ++s.gen;
+    freeSlot(h.slot);
+    fn();
   }
   checkDeadlock();
 }
 
 bool Engine::runUntil(SimTime until) {
-  while (!queue_.empty()) {
-    auto ev = queue_.top();
-    if (!ev->fn) {
-      queue_.pop();
+  while (!heap_.empty()) {
+    const Handle top = heap_.front();
+    if (slotAt(top.slot).gen != top.gen) {  // stale handle at the top
+      std::pop_heap(heap_.begin(), heap_.end(), HandleAfter{});
+      heap_.pop_back();
+      --staleInHeap_;
       continue;
     }
-    if (ev->time > until) {
+    if (top.time > until) {
       now_ = std::max(now_, until);
       return false;
     }
-    queue_.pop();
-    dispatch(ev);
+    std::pop_heap(heap_.begin(), heap_.end(), HandleAfter{});
+    heap_.pop_back();
+    Slot& s = slotAt(top.slot);
+    now_ = top.time;
+    ++executed_;
+    --live_;
+    EventFn fn = std::move(s.fn);
+    ++s.gen;
+    freeSlot(top.slot);
+    fn();
   }
   now_ = std::max(now_, until);
   checkDeadlock();

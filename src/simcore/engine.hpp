@@ -5,24 +5,33 @@
 // ever executing simulation code: either the engine's run loop or one
 // cooperative Process (see process.hpp) that the run loop has handed control
 // to. All simulation state can therefore be touched without locks.
+//
+// Storage layout: event callbacks live in a slab/free-list pool and the
+// queue is a binary heap of small POD handles {time, seq, slot, gen}. An
+// EventId encodes (generation << 32 | slot + 1); cancel() bumps the slot's
+// generation and returns the slot to the free list in O(1) — the callback
+// is destroyed immediately, so a cancelled event never pins memory until
+// its fire time. Stale heap handles (generation mismatch) are skipped on
+// pop and compacted away once they outnumber live events, keeping the heap
+// within a constant factor of the live event count under post+cancel-heavy
+// workloads (e.g. retransmission timers).
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
 #include <stdexcept>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "simcore/event_fn.hpp"
 #include "simcore/time.hpp"
 
 namespace vibe::sim {
 
 class Process;
 
-/// Identifier for a scheduled event; usable with Engine::cancel.
+/// Identifier for a scheduled event; usable with Engine::cancel. The value
+/// 0 is never issued and is safe to use as a "no event" sentinel.
 using EventId = std::uint64_t;
 
 /// Base class for simulator errors.
@@ -47,15 +56,18 @@ class Engine {
   /// Current virtual time.
   SimTime now() const { return now_; }
 
-  /// Schedules `fn` to run `delay` from now. `delay` must be >= 0.
-  EventId post(Duration delay, std::function<void()> fn) {
+  /// Schedules `fn` to run `delay` from now. `delay` must be >= 0 and `fn`
+  /// must be a non-null callable (a null std::function throws SimError).
+  EventId post(Duration delay, EventFn fn) {
     return postAt(now_ + delay, std::move(fn));
   }
 
   /// Schedules `fn` at absolute time `t`. `t` must be >= now().
-  EventId postAt(SimTime t, std::function<void()> fn);
+  EventId postAt(SimTime t, EventFn fn);
 
-  /// Cancels a pending event. Returns true if the event had not yet fired.
+  /// Cancels a pending event in O(1). Returns true if the event had not yet
+  /// fired (nor been cancelled). The callback is destroyed immediately and
+  /// its pool slot recycled; a later cancel of the same id returns false.
   bool cancel(EventId id);
 
   /// Runs events until the queue drains. Throws DeadlockError if blocked
@@ -65,7 +77,8 @@ class Engine {
 
   /// Runs events with time <= `until` (absolute). Used by tests and by
   /// open-ended workloads that want a horizon. Returns true if the queue
-  /// drained completely.
+  /// drained completely. now() never moves backwards: a horizon earlier
+  /// than the current time leaves the clock where it is.
   bool runUntil(SimTime until);
 
   /// The process currently executing, or nullptr when the engine itself
@@ -76,35 +89,72 @@ class Engine {
   /// Total events executed so far (diagnostics / gbench).
   std::uint64_t executedEvents() const { return executed_; }
 
+  /// --- Introspection for tests and diagnostics ---
+
+  /// Events scheduled and not yet fired or cancelled.
+  std::size_t pendingEvents() const { return live_; }
+  /// Heap entries, including stale handles awaiting compaction. Bounded by
+  /// 2 * pendingEvents() + a small constant.
+  std::size_t queuedHandles() const { return heap_.size(); }
+  /// Pool slots ever allocated (high-water mark of concurrently pending
+  /// events, rounded up to the slab size). Freed slots are recycled.
+  std::size_t poolSlots() const { return slotCount_; }
+
  private:
   friend class Process;
 
-  struct Event {
-    SimTime time = 0;
-    EventId id = 0;
-    std::function<void()> fn;
+  // 24-byte POD heap entry; the callback lives in the pool.
+  struct Handle {
+    SimTime time;
+    std::uint64_t seq;   // insertion order; total tie-break
+    std::uint32_t slot;  // pool index
+    std::uint32_t gen;   // matches Slot::gen while the event is live
   };
-  struct EventOrder {
-    // std::priority_queue is a max-heap; invert for earliest-first.
-    bool operator()(const std::shared_ptr<Event>& a,
-                    const std::shared_ptr<Event>& b) const {
-      if (a->time != b->time) return a->time > b->time;
-      return a->id > b->id;
+  struct HandleAfter {
+    // std::*_heap build a max-heap; invert for earliest-(time, seq)-first.
+    bool operator()(const Handle& a, const Handle& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
     }
   };
+  struct Slot {
+    EventFn fn;
+    std::uint32_t gen = 1;
+    std::uint32_t nextFree = kNoSlot;
+  };
 
-  void dispatch(const std::shared_ptr<Event>& ev);
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  static constexpr std::uint32_t kSlabBits = 8;
+  static constexpr std::uint32_t kSlabSize = 1u << kSlabBits;
+
+  Slot& slotAt(std::uint32_t s) {
+    return slabs_[s >> kSlabBits][s & (kSlabSize - 1)];
+  }
+  std::uint32_t allocSlot();
+  void freeSlot(std::uint32_t s) {
+    Slot& sl = slotAt(s);
+    sl.nextFree = freeHead_;
+    freeHead_ = s;
+  }
+  /// Rebuilds the heap without stale handles once they dominate. O(n),
+  /// amortized O(1) per cancel; ordering is unaffected because
+  /// (time, seq) is a total order.
+  void compactIfStale();
   void checkDeadlock() const;
   void registerProcess(Process* p) { processes_.push_back(p); }
   void unregisterProcess(Process* p);
 
   SimTime now_ = 0;
-  EventId nextId_ = 1;
+  std::uint64_t nextSeq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<std::shared_ptr<Event>, std::vector<std::shared_ptr<Event>>,
-                      EventOrder>
-      queue_;
-  std::unordered_map<EventId, std::shared_ptr<Event>> pending_;
+
+  std::vector<Handle> heap_;
+  std::vector<std::unique_ptr<Slot[]>> slabs_;
+  std::uint32_t freeHead_ = kNoSlot;
+  std::uint32_t slotCount_ = 0;
+  std::size_t live_ = 0;
+  std::size_t staleInHeap_ = 0;
+
   std::vector<Process*> processes_;
   Process* current_ = nullptr;
 };

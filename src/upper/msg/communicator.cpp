@@ -126,7 +126,16 @@ Communicator::Communicator(suite::NodeEnv& env, std::uint32_t rank,
   }
 }
 
-Communicator::~Communicator() = default;
+Communicator::~Communicator() {
+  // The eager pool and rendezvous descriptors die with this object while
+  // the VIs stay connected; completions still in flight must become
+  // no-ops rather than write through pointers into the freed pool.
+  for (const auto& p : peers_) {
+    if (!p) continue;
+    nic_->flushViPending(p->vi);
+    nic_->flushViPending(p->bulkVi);
+  }
+}
 
 std::uint64_t Communicator::discriminatorFor(std::uint32_t a,
                                              std::uint32_t b) const {

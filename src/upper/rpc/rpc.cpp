@@ -151,8 +151,10 @@ void RpcServer::handleRequest(Client& c, VipDescriptor* done) {
 
   std::vector<std::byte> frame(kHeaderBytes + replyPayload.size());
   packHeader(reply, frame.data());
-  std::memcpy(frame.data() + kHeaderBytes, replyPayload.data(),
-              replyPayload.size());
+  if (!replyPayload.empty()) {
+    std::memcpy(frame.data() + kHeaderBytes, replyPayload.data(),
+                replyPayload.size());
+  }
   nic_->memory().write(c.replyVa, frame);
 
   // Repost the consumed ring slot before replying, so a pipelined client
@@ -231,7 +233,9 @@ std::vector<std::byte> RpcClient::call(std::uint32_t method,
   h.size = args.size();
   std::vector<std::byte> frame(kHeaderBytes + args.size());
   packHeader(h, frame.data());
-  std::memcpy(frame.data() + kHeaderBytes, args.data(), args.size());
+  if (!args.empty()) {
+    std::memcpy(frame.data() + kHeaderBytes, args.data(), args.size());
+  }
   nic_->memory().write(sendVa_, frame);
   VipDescriptor sendDesc = VipDescriptor::send(
       sendVa_, arenaHandle_, static_cast<std::uint32_t>(frame.size()));

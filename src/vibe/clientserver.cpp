@@ -114,6 +114,9 @@ ClientServerResult runClientServer(const ClusterConfig& clusterCfg,
 
     sim::SimTime t0 = 0;
     sim::Duration cpu0 = 0;
+    // Posted at iteration `it`, reaped by the pollRecv at the top of
+    // `it + 1` — must outlive the loop body.
+    VipDescriptor recvD;
     for (int it = 0; it < total; ++it) {
       VipDescriptor* done = nullptr;
       require(nic.pollRecv(vi, done), "poll request");
@@ -121,8 +124,7 @@ ClientServerResult runClientServer(const ClusterConfig& clusterCfg,
         t0 = env.now();
         cpu0 = env.cpuBusy();
       }
-      VipDescriptor recvD = VipDescriptor::recv(reqBuf, reqH,
-                                                cfg.requestBytes);
+      recvD = VipDescriptor::recv(reqBuf, reqH, cfg.requestBytes);
       if (it + 1 < total) {
         require(vipl::VipPostRecv(nic, vi, &recvD), "repost request recv");
       }

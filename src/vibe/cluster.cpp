@@ -44,6 +44,10 @@ void Cluster::run(std::vector<std::function<void(NodeEnv&)>> programs) {
         [this, i, fn = std::move(programs[i])] {
           NodeEnv env{i, *providers_[i], *engine_.currentProcess(), engine_};
           fn(env);
+          // The program's stack frames (and any descriptors on them) are
+          // dead once fn returns; abandon its pending work so completions
+          // still in flight do not write through dangling pointers.
+          providers_[i]->quiesce();
         }));
   }
   engine_.run();

@@ -280,6 +280,9 @@ TransferResult runPingPong(const ClusterConfig& clusterCfg,
 
     sim::SimTime t0 = 0;
     sim::Duration cpu0 = 0;
+    // Posted at iteration `it` but only reaped at the top of `it + 1`, so
+    // this descriptor must outlive the loop body.
+    VipDescriptor recvD;
     for (int it = 0; it < total; ++it) {
       reapRecv(s, cfg);
       if (it == cfg.warmup) {
@@ -287,7 +290,7 @@ TransferResult runPingPong(const ClusterConfig& clusterCfg,
         cpu0 = env.cpuBusy();
       }
       const int b = pickBuffer(s, cfg, it + 1);
-      VipDescriptor recvD = makeRecvDesc(s, cfg, b);
+      recvD = makeRecvDesc(s, cfg, b);
       if (it + 1 < total) {
         require(vipl::VipPostRecv(*s.nic, s.vi, &recvD), "repost recv");
       }

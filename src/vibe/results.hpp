@@ -29,8 +29,12 @@ class ResultTable {
 
   /// Paper-style aligned text table.
   std::string renderText(int precision = 2) const;
-  /// Machine-readable CSV (header + rows).
+  /// Machine-readable CSV (header + rows). "Not supported" (NaN) cells are
+  /// emitted as empty cells — never the human-readable "n/s" marker.
   std::string renderCsv(int precision = 6) const;
+  /// Machine-readable JSON object: {"title","columns","rows"}; NaN cells
+  /// become null (JSON has no NaN literal). Enabled per-bench by VIBE_JSON=1.
+  std::string renderJson() const;
 
  private:
   std::string title_;

@@ -248,6 +248,13 @@ VipResult Provider::destroyVi(Vi* vi) {
   return VipResult::VIP_SUCCESS;
 }
 
+void Provider::flushViPending(Vi* vi) noexcept {
+  if (vi == nullptr) return;
+  std::erase_if(pending_, [vi](const auto& kv) { return kv.second.vi == vi; });
+}
+
+void Provider::quiesce() noexcept { pending_.clear(); }
+
 VipResult Provider::queryVi(Vi* vi, ViState& state, VipViAttributes& attrs,
                             bool& sendQueueEmpty, bool& recvQueueEmpty) {
   charge(profile_.viplCallOverhead);

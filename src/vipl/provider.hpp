@@ -157,6 +157,20 @@ class Provider {
   VipResult destroyCq(Cq* cq);
   VipResult resizeCq(Cq* cq, std::size_t entries);
 
+  /// Forgets every posted-but-uncompleted descriptor on `vi` without
+  /// destroying it. For owners (e.g. upper-layer destructors) whose
+  /// descriptor memory is about to be freed while the VI stays connected:
+  /// completions still in flight become no-ops instead of writing through
+  /// dangling pointers. Charges nothing and sends nothing, so simulated
+  /// timing is unaffected.
+  void flushViPending(Vi* vi) noexcept;
+
+  /// Models OS cleanup at node-program exit: every descriptor still
+  /// pending on this host is abandoned, so completion events that arrive
+  /// after the program returned cannot write into its dead stack frames or
+  /// freed buffers. Called by Cluster::run when a node program returns.
+  void quiesce() noexcept;
+
   // --- connection management ---
   VipResult connectWait(const VipNetAddress& local, sim::Duration timeout,
                         PendingConn& out);

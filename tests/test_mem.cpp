@@ -186,6 +186,70 @@ TEST(TlbTest, InvalidateRange) {
   EXPECT_TRUE(tlb.lookup(5));
 }
 
+TEST(TlbTest, EvictionThenRangeInvalidateInteract) {
+  // Eviction must not confuse the range-invalidate bookkeeping: pages that
+  // were evicted are already gone, pages still resident must go, and the
+  // LRU order of survivors must be intact afterwards.
+  Tlb tlb(4);
+  for (std::uint64_t p = 1; p <= 6; ++p) tlb.insert(p);  // 1,2 evicted
+  EXPECT_EQ(tlb.size(), 4u);                             // {3,4,5,6}
+  tlb.invalidateRange(1, 4);  // 1,2 already evicted; removes 3,4
+  EXPECT_EQ(tlb.size(), 2u);
+  EXPECT_FALSE(tlb.lookup(3));
+  EXPECT_FALSE(tlb.lookup(4));
+  EXPECT_TRUE(tlb.lookup(5));
+  EXPECT_TRUE(tlb.lookup(6));
+  // Refill: LRU must evict in the expected order (7,8 push out nothing
+  // until capacity, then the oldest survivor goes first).
+  tlb.insert(7);
+  tlb.insert(8);
+  EXPECT_EQ(tlb.size(), 4u);
+  tlb.insert(9);  // evicts 5 (LRU after the lookups above)
+  EXPECT_FALSE(tlb.lookup(5));
+  EXPECT_TRUE(tlb.lookup(6));
+  EXPECT_TRUE(tlb.lookup(9));
+}
+
+TEST(TlbTest, InvalidateRangeOutsideHullIsNoOp) {
+  Tlb tlb(4);
+  for (std::uint64_t p = 100; p < 104; ++p) tlb.insert(p);
+  tlb.invalidateRange(0, 99);       // entirely below — O(1) early-out
+  tlb.invalidateRange(105, 1'000'000'000);  // entirely above
+  tlb.invalidateRange(50, 10);      // inverted range
+  EXPECT_EQ(tlb.size(), 4u);
+  for (std::uint64_t p = 100; p < 104; ++p) EXPECT_TRUE(tlb.lookup(p));
+}
+
+TEST(TlbTest, WideAndNarrowInvalidatePathsAgree) {
+  // The narrow range takes the per-page probe path, the wide one the LRU
+  // scan; both must produce the same result.
+  Tlb narrow(8), wide(8);
+  for (std::uint64_t p = 0; p < 8; ++p) {
+    narrow.insert(p * 10);
+    wide.insert(p * 10);
+  }
+  narrow.invalidateRange(20, 21);        // span 2 <= size: probe path
+  wide.invalidateRange(20, 1'000'000);   // span > size: scan path
+  EXPECT_FALSE(narrow.lookup(20));
+  EXPECT_FALSE(wide.lookup(20));
+  EXPECT_TRUE(narrow.lookup(30));
+  EXPECT_FALSE(wide.lookup(30));
+  EXPECT_EQ(narrow.size(), 7u);
+  EXPECT_EQ(wide.size(), 2u);  // 0 and 10 survive
+}
+
+TEST(TlbTest, RepeatedDeregistrationSweepIsCheap) {
+  // The Fig. 2 extended sweep shape: register/deregister a huge region
+  // while the TLB holds unrelated pages. Before the hull fast path this
+  // walked the whole LRU per call.
+  Tlb tlb(1024);
+  for (std::uint64_t p = 0; p < 1024; ++p) tlb.insert(p);
+  for (int sweep = 0; sweep < 10000; ++sweep) {
+    tlb.invalidateRange(1u << 20, (1u << 20) + 8192);  // never cached
+  }
+  EXPECT_EQ(tlb.size(), 1024u);
+}
+
 TEST(TlbTest, ZeroCapacityNeverHits) {
   Tlb tlb(0);
   tlb.insert(1);

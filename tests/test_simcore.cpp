@@ -64,6 +64,90 @@ TEST(EngineTest, CancelPreventsExecution) {
   EXPECT_FALSE(eng.cancel(id));  // already gone
 }
 
+TEST(EngineTest, MoveOnlyCallbacksArePostable) {
+  // EventFn (unlike std::function) accepts move-only captures, so payloads
+  // ride inside the event itself — the fabric layer depends on this.
+  Engine eng;
+  auto payload = std::make_unique<int>(41);
+  int got = 0;
+  eng.post(5, [&got, p = std::move(payload)] { got = *p + 1; });
+  eng.run();
+  EXPECT_EQ(got, 42);
+}
+
+TEST(EngineTest, NullCallableThrowsAtPostTime) {
+  Engine eng;
+  EXPECT_THROW(eng.post(10, std::function<void()>{}), SimError);
+  EXPECT_THROW(eng.postAt(10, EventFn{}), SimError);
+  EXPECT_THROW(eng.post(10, nullptr), SimError);
+  // Nothing leaked into the queue and the engine still runs cleanly.
+  EXPECT_EQ(eng.pendingEvents(), 0u);
+  eng.run();
+  // Cancel of never-issued ids (including the 0 sentinel) is well-defined.
+  EXPECT_FALSE(eng.cancel(0));
+  EXPECT_FALSE(eng.cancel(12345));
+  EXPECT_FALSE(eng.cancel(~EventId{0}));
+}
+
+TEST(EngineTest, CancelledEventsDoNotLingerInQueue) {
+  // Regression: cancel used to tombstone the queue entry until fire time,
+  // so far-future post+cancel cycles grew the queue without bound.
+  Engine eng;
+  for (int i = 0; i < 100000; ++i) {
+    const EventId id = eng.post(1'000'000'000, [] {});
+    ASSERT_TRUE(eng.cancel(id));
+  }
+  EXPECT_EQ(eng.pendingEvents(), 0u);
+  EXPECT_LT(eng.queuedHandles(), 200u);  // compaction keeps stale handles small
+  EXPECT_LE(eng.poolSlots(), 256u);      // slots recycle; one slab suffices
+  eng.run();
+  EXPECT_EQ(eng.executedEvents(), 0u);
+}
+
+TEST(EngineTest, PostCancelStormStaysBounded) {
+  // The reliability layer's retransmit-timer pattern: a live timer per
+  // endpoint, constantly rearmed. 1M rearms must not grow queue or pool.
+  Engine eng;
+  constexpr std::size_t kEndpoints = 32;
+  EventId timers[kEndpoints] = {};
+  for (int i = 0; i < 1'000'000; ++i) {
+    const std::size_t ep = static_cast<std::size_t>(i) % kEndpoints;
+    if (timers[ep] != 0) {
+      EXPECT_TRUE(eng.cancel(timers[ep]));
+    }
+    timers[ep] = eng.post(1'000'000 + i, [] {});
+  }
+  EXPECT_EQ(eng.pendingEvents(), kEndpoints);
+  EXPECT_LT(eng.queuedHandles(), 1000u);
+  EXPECT_LT(eng.poolSlots(), 1000u);
+  eng.run();
+  EXPECT_EQ(eng.executedEvents(), kEndpoints);
+}
+
+TEST(EngineTest, CancelInsideOwnCallbackReturnsFalse) {
+  Engine eng;
+  EventId id = 0;
+  bool sawFalse = false;
+  id = eng.post(10, [&] { sawFalse = !eng.cancel(id); });
+  eng.run();
+  EXPECT_TRUE(sawFalse);
+}
+
+TEST(EngineTest, StaleIdDoesNotCancelRecycledSlot) {
+  // Generation tags: after an event fires, its pool slot is recycled; the
+  // old id must not cancel the new occupant.
+  Engine eng;
+  const EventId first = eng.post(1, [] {});
+  eng.run();
+  EXPECT_FALSE(eng.cancel(first));
+  int fired = 0;
+  const EventId second = eng.post(1, [&] { ++fired; });
+  EXPECT_NE(first, second);        // same slot, new generation
+  EXPECT_FALSE(eng.cancel(first)); // stale id is inert
+  eng.run();
+  EXPECT_EQ(fired, 1);
+}
+
 TEST(EngineTest, PostIntoPastThrows) {
   Engine eng;
   eng.post(10, [&] {
@@ -92,6 +176,41 @@ TEST(EngineTest, RunUntilStopsAtHorizon) {
   EXPECT_EQ(eng.now(), 50);
   EXPECT_TRUE(eng.runUntil(200));
   EXPECT_EQ(fired, 2);
+}
+
+TEST(EngineTest, RunUntilFiresEventExactlyAtHorizon) {
+  Engine eng;
+  int fired = 0;
+  eng.post(50, [&] { ++fired; });
+  EXPECT_TRUE(eng.runUntil(50));  // inclusive horizon; queue drains
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(eng.now(), 50);
+}
+
+TEST(EngineTest, RunUntilSkipsCancelledEventAtTopOfHeap) {
+  Engine eng;
+  int fired = 0;
+  const EventId early = eng.post(10, [&] { ++fired; });
+  eng.post(100, [&] { ++fired; });
+  ASSERT_TRUE(eng.cancel(early));
+  // The earliest handle is stale; runUntil must skip it, see that the next
+  // live event is beyond the horizon, and stop at the horizon time.
+  EXPECT_FALSE(eng.runUntil(50));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(eng.now(), 50);
+  EXPECT_TRUE(eng.runUntil(100));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EngineTest, RunUntilNeverMovesTimeBackwards) {
+  Engine eng;
+  eng.post(80, [] {});
+  EXPECT_TRUE(eng.runUntil(100));
+  EXPECT_EQ(eng.now(), 100);
+  EXPECT_TRUE(eng.runUntil(50));  // horizon in the past: clock stays put
+  EXPECT_EQ(eng.now(), 100);
+  // And posting still measures against the unchanged now().
+  EXPECT_THROW(eng.postAt(99, [] {}), SimError);
 }
 
 TEST(ProcessTest, AdvanceMovesVirtualTimeAndAccountsCpu) {

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <string>
+#include <vector>
 
 #include "nic/profiles.hpp"
 #include "vibe/clientserver.hpp"
@@ -34,6 +36,43 @@ TEST(ResultTableTest, NanRendersAsNotSupported) {
   t.addRow({std::numeric_limits<double>::quiet_NaN()});
   EXPECT_NE(t.renderText().find("n/s"), std::string::npos);
   EXPECT_EQ(t.renderCsv().find("nan"), std::string::npos);
+  // Machine-readable output must never carry the human-readable marker.
+  EXPECT_EQ(t.renderCsv().find("n/s"), std::string::npos);
+  EXPECT_EQ(t.renderJson().find("n/s"), std::string::npos);
+}
+
+TEST(ResultTableTest, CsvNanCellsRoundTripAsEmpty) {
+  // A NaN ("not supported") cell must come back as an empty field that a
+  // CSV reader can turn into NaN — not as text it would choke on.
+  ResultTable t("demo", {"a", "b", "c"});
+  t.addRow({1.5, std::numeric_limits<double>::quiet_NaN(), 28672});
+  std::istringstream csv(t.renderCsv());
+  std::string header, row;
+  std::getline(csv, header);
+  std::getline(csv, row);
+  EXPECT_EQ(header, "a,b,c");
+  // Re-parse the row the way a plotting script would.
+  std::istringstream cells(row);
+  std::string cell;
+  std::vector<double> parsed;
+  while (std::getline(cells, cell, ',')) {
+    parsed.push_back(cell.empty() ? std::numeric_limits<double>::quiet_NaN()
+                                  : std::stod(cell));
+  }
+  ASSERT_EQ(parsed.size(), 3u);
+  EXPECT_DOUBLE_EQ(parsed[0], 1.5);
+  EXPECT_TRUE(std::isnan(parsed[1]));
+  EXPECT_DOUBLE_EQ(parsed[2], 28672.0);
+}
+
+TEST(ResultTableTest, JsonRendersTitleColumnsAndNullForNan) {
+  ResultTable t("demo \"quoted\"", {"size", "lat"});
+  t.addRow({4, 33.5});
+  t.addRow({16, std::numeric_limits<double>::quiet_NaN()});
+  const std::string json = t.renderJson();
+  EXPECT_EQ(json, "{\"title\":\"demo \\\"quoted\\\"\","
+                  "\"columns\":[\"size\",\"lat\"],"
+                  "\"rows\":[[4,33.5],[16,null]]}");
 }
 
 TEST(ResultTableTest, CsvRoundTripsValues) {
