@@ -1,25 +1,75 @@
 #include "fabric/link.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <utility>
 
 namespace vibe::fabric {
 
+double Link::effectiveRate(std::vector<RateWindow>& windows, double base,
+                           sim::SimTime now) {
+  if (windows.empty()) return base;
+  std::erase_if(windows, [now](const RateWindow& w) { return w.end <= now; });
+  double rate = base;
+  // Later entries were scheduled later: last covering window wins.
+  for (const RateWindow& w : windows) {
+    if (w.start <= now && now < w.end) rate = w.rate;
+  }
+  return rate;
+}
+
+void Link::scheduleLossWindow(sim::SimTime start, sim::SimTime end,
+                              double rate) {
+  if (end <= start) return;
+  lossWindows_.push_back({start, end, rate});
+}
+
+void Link::scheduleCorruptWindow(sim::SimTime start, sim::SimTime end,
+                                 double rate) {
+  if (end <= start) return;
+  corruptWindows_.push_back({start, end, rate});
+}
+
+void Link::scheduleLatencyWindow(sim::SimTime start, sim::SimTime end,
+                                 sim::Duration extra) {
+  if (end <= start) return;
+  latencyWindows_.push_back({start, end, extra});
+}
+
 void Link::send(Packet&& p) {
   if (!sink_) throw sim::SimError("Link::send on unconnected link " + name_);
+  const sim::SimTime now = engine_.now();
   const std::uint64_t wire = p.wireBytes(params_.headerBytes);
   const sim::Duration ser = sim::transferTime(wire, params_.bandwidthMBps);
-  const sim::SimTime done = tx_.acquire(engine_.now(), ser);
+  const sim::SimTime done = tx_.acquire(now, ser);
   ++framesSent_;
   bytesCarried_ += wire;
-  if (params_.lossRate > 0.0 && !isConnectionManagement(p.kind) &&
-      rng_.chance(params_.lossRate)) {
+  // All fault decisions happen at send() entry time: with no windows
+  // scheduled this reduces to exactly the base Bernoulli model, drawing
+  // the same PRNG sequence (byte-identical runs).
+  const double loss = effectiveRate(lossWindows_, params_.lossRate, now);
+  if (loss > 0.0 && !isConnectionManagement(p.kind) && rng_.chance(loss)) {
     ++framesDropped_;
     return;  // the wire time is still consumed; the frame just never arrives
   }
+  if (!corruptWindows_.empty() && !isConnectionManagement(p.kind)) {
+    const double corrupt = effectiveRate(corruptWindows_, 0.0, now);
+    if (corrupt > 0.0 && corruptRng_.chance(corrupt)) {
+      ++framesCorrupted_;
+      p.corrupted = true;  // delivered; the receiving NIC detects and drops
+    }
+  }
+  sim::Duration prop = params_.propagation;
+  if (!latencyWindows_.empty()) {
+    std::erase_if(latencyWindows_,
+                  [now](const LatencyWindow& w) { return w.end <= now; });
+    for (const LatencyWindow& w : latencyWindows_) {
+      if (w.start <= now && now < w.end) prop = params_.propagation + w.extra;
+    }
+  }
   // The packet rides inside the event callback itself (EventFn is
   // move-capable), so delivery costs no shared_ptr round-trip.
-  engine_.postAt(done + params_.propagation,
+  engine_.postAt(done + prop,
                  [this, p = std::move(p)]() mutable { sink_(std::move(p)); });
 }
 

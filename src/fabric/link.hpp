@@ -2,12 +2,19 @@
 //
 // A link serializes frames at its bandwidth (FIFO through a Resource),
 // then delivers each frame after a fixed propagation delay. Bernoulli loss
-// can be injected for reliability testing; drops are counted.
+// can be injected for reliability testing; drops are counted. For
+// fault-injection scenarios, time-bounded overrides can be scheduled:
+// loss-rate windows (bursts, flaps, partitions), corruption windows
+// (frames delivered with the corrupted flag set), and latency windows
+// (extra propagation delay). All window decisions are evaluated at
+// send() entry time, so they compose deterministically with the FIFO
+// serialization model.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "fabric/packet.hpp"
 #include "simcore/engine.hpp"
@@ -34,7 +41,8 @@ class Link {
         name_(std::move(name)),
         params_(params),
         tx_(name_ + ".tx"),
-        rng_(params.seed, name_) {}
+        rng_(params.seed, name_),
+        corruptRng_(params.seed, name_ + "/corrupt") {}
 
   Link(const Link&) = delete;
   Link& operator=(const Link&) = delete;
@@ -46,27 +54,82 @@ class Link {
   /// serialization-complete + propagation, unless the frame is dropped.
   void send(Packet&& p);
 
-  /// Changes the loss rate mid-run (failure-injection tests).
+  /// Changes the base loss rate mid-run (failure-injection tests).
+  ///
+  /// Timing semantics: the loss decision for a frame is made when send()
+  /// is called for it, so the new rate applies only to frames sent after
+  /// this call. Frames already serializing or propagating are unaffected —
+  /// exactly like unplugging a cable cannot retroactively drop a frame
+  /// that already left the NIC.
   void setLossRate(double rate) { params_.lossRate = rate; }
+
+  /// Schedules a loss-rate override for virtual times [start, end).
+  /// While a window covers the send() entry time, its rate replaces the
+  /// base lossRate (rate=1.0 models a link-down flap or partition leg;
+  /// rate=0.0 forces a loss-free window over a lossy base). Overlapping
+  /// windows: the most recently scheduled one wins. Expired windows are
+  /// pruned lazily. Like setLossRate, only frames sent inside the window
+  /// are affected.
+  void scheduleLossWindow(sim::SimTime start, sim::SimTime end, double rate);
+
+  /// Schedules a corruption window for [start, end): frames sent while it
+  /// covers now() are delivered with `Packet::corrupted` set with
+  /// probability `rate`. Corruption draws from an independent PRNG stream,
+  /// so scheduling it does not perturb the loss sequence. Connection-
+  /// management frames are exempt (they ride the reliable dialog channel,
+  /// same as the loss exemption).
+  void scheduleCorruptWindow(sim::SimTime start, sim::SimTime end,
+                             double rate);
+
+  /// Schedules extra one-way latency for frames sent during [start, end)
+  /// (a congestion / rerouting spike). Applies to every frame, including
+  /// connection management: the extra delay models the wire itself.
+  void scheduleLatencyWindow(sim::SimTime start, sim::SimTime end,
+                             sim::Duration extra);
 
   const std::string& name() const { return name_; }
   double bandwidthMBps() const { return params_.bandwidthMBps; }
   std::uint64_t framesSent() const { return framesSent_; }
   std::uint64_t framesDropped() const { return framesDropped_; }
+  /// Frames delivered with the corrupted flag set (the receiver counts
+  /// and discards them; see Packet::corrupted).
+  std::uint64_t framesCorrupted() const { return framesCorrupted_; }
   std::uint64_t bytesCarried() const { return bytesCarried_; }
   /// Cumulative serialization busy time (wire utilization numerator).
   sim::Duration busyTime() const { return tx_.busyTime(); }
 
  private:
+  struct RateWindow {
+    sim::SimTime start = 0;
+    sim::SimTime end = 0;
+    double rate = 0.0;
+  };
+  struct LatencyWindow {
+    sim::SimTime start = 0;
+    sim::SimTime end = 0;
+    sim::Duration extra = 0;
+  };
+
+  /// Effective rate at `now`: the latest-scheduled window covering `now`,
+  /// else `base`. Prunes windows that can no longer apply.
+  static double effectiveRate(std::vector<RateWindow>& windows, double base,
+                              sim::SimTime now);
+
   sim::Engine& engine_;
   std::string name_;
   LinkParams params_;
   sim::Resource tx_;
   sim::Xoshiro256 rng_;
+  sim::Xoshiro256 corruptRng_;
   Deliver sink_;
   std::uint64_t framesSent_ = 0;
   std::uint64_t framesDropped_ = 0;
+  std::uint64_t framesCorrupted_ = 0;
   std::uint64_t bytesCarried_ = 0;
+  // Scheduled in order; later entries override earlier ones on overlap.
+  std::vector<RateWindow> lossWindows_;
+  std::vector<RateWindow> corruptWindows_;
+  std::vector<LatencyWindow> latencyWindows_;
 };
 
 }  // namespace vibe::fabric

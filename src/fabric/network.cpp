@@ -62,6 +62,24 @@ Network::Network(sim::Engine& engine, const NetworkParams& params)
   }
 }
 
+std::uint64_t Network::framesDropped() const {
+  std::uint64_t n = 0;
+  for (const auto& l : uplinks_) n += l->framesDropped();
+  for (const auto& l : downlinks_) n += l->framesDropped();
+  for (const auto& l : trunkUp_) n += l->framesDropped();
+  for (const auto& l : trunkDown_) n += l->framesDropped();
+  return n;
+}
+
+std::uint64_t Network::framesCorrupted() const {
+  std::uint64_t n = 0;
+  for (const auto& l : uplinks_) n += l->framesCorrupted();
+  for (const auto& l : downlinks_) n += l->framesCorrupted();
+  for (const auto& l : trunkUp_) n += l->framesCorrupted();
+  for (const auto& l : trunkDown_) n += l->framesCorrupted();
+  return n;
+}
+
 void Network::setReceiver(NodeId node, Receiver rx) {
   receivers_.at(node) = std::move(rx);
 }

@@ -59,6 +59,11 @@ class Network {
   Link& uplink(NodeId node) { return *uplinks_.at(node); }
   Link& downlink(NodeId node) { return *downlinks_.at(node); }
 
+  /// Frames dropped / corrupted summed across every link in the topology
+  /// (host links and, in a tree, the trunks).
+  std::uint64_t framesDropped() const;
+  std::uint64_t framesCorrupted() const;
+
   std::uint64_t packetsForwarded() const { return forwarded_; }
   /// Packets that crossed the root switch (two-level topology only).
   std::uint64_t packetsViaRoot() const { return viaRoot_; }

@@ -86,6 +86,12 @@ struct Packet {
 
   ConnInfo conn;
 
+  // Fault injection: the frame was damaged in flight. The payload bytes are
+  // left intact (the simulator does not scramble memory); the flag models a
+  // CRC failure that the receiving NIC detects and drops, exactly like a
+  // loss except that the receiver sees and counts the mangled frame.
+  bool corrupted = false;
+
   std::vector<std::byte> payload;
 
   /// Bytes occupying the wire: payload plus a fixed per-frame header.

@@ -1,0 +1,58 @@
+#include "fault/fault_injector.hpp"
+
+#include <string>
+
+#include "simcore/trace.hpp"
+
+namespace vibe::fault {
+
+void FaultInjector::arm(suite::Cluster& cluster) {
+  if (armed_) throw sim::SimError("FaultInjector::arm called twice");
+  armed_ = true;
+  cluster.attachFaultInjector(this);
+  for (const FaultAction& a : plan_.actions) {
+    if (a.node >= cluster.nodeCount()) {
+      throw sim::SimError("FaultInjector: action targets node " +
+                          std::to_string(a.node) + " of a " +
+                          std::to_string(cluster.nodeCount()) +
+                          "-node cluster");
+    }
+    apply(cluster, a);
+    sim::trace(cluster.tracer(), a.start, sim::TraceCategory::User, a.node,
+               "fault " + std::string(toString(a.kind)) + " side=" +
+                   toString(a.side) + " dur=" + std::to_string(a.duration));
+  }
+}
+
+void FaultInjector::apply(suite::Cluster& cluster, const FaultAction& a) {
+  fabric::Network& net = cluster.network();
+  fabric::Link& up = net.uplink(a.node);
+  fabric::Link& down = net.downlink(a.node);
+  const bool onUp = a.side != LinkSide::Downlink;
+  const bool onDown = a.side != LinkSide::Uplink;
+  switch (a.kind) {
+    case FaultKind::LossBurst:
+      if (onUp) up.scheduleLossWindow(a.start, a.end(), a.rate);
+      if (onDown) down.scheduleLossWindow(a.start, a.end(), a.rate);
+      break;
+    case FaultKind::LinkFlap:
+      if (onUp) up.scheduleLossWindow(a.start, a.end(), 1.0);
+      if (onDown) down.scheduleLossWindow(a.start, a.end(), 1.0);
+      break;
+    case FaultKind::LatencySpike:
+      if (onUp) up.scheduleLatencyWindow(a.start, a.end(), a.extraLatency);
+      if (onDown) down.scheduleLatencyWindow(a.start, a.end(), a.extraLatency);
+      break;
+    case FaultKind::Corruption:
+      if (onUp) up.scheduleCorruptWindow(a.start, a.end(), a.rate);
+      if (onDown) down.scheduleCorruptWindow(a.start, a.end(), a.rate);
+      break;
+    case FaultKind::Partition:
+      // Isolate the node entirely: nothing in, nothing out.
+      up.scheduleLossWindow(a.start, a.end(), 1.0);
+      down.scheduleLossWindow(a.start, a.end(), 1.0);
+      break;
+  }
+}
+
+}  // namespace vibe::fault

@@ -1,0 +1,166 @@
+#include "fault/fault_plan.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+#include "simcore/engine.hpp"
+#include "simcore/prng.hpp"
+
+namespace vibe::fault {
+
+const char* toString(FaultKind k) {
+  switch (k) {
+    case FaultKind::LossBurst: return "lossburst";
+    case FaultKind::LinkFlap: return "linkflap";
+    case FaultKind::LatencySpike: return "latencyspike";
+    case FaultKind::Corruption: return "corruption";
+    case FaultKind::Partition: return "partition";
+  }
+  return "?";
+}
+
+const char* toString(LinkSide s) {
+  switch (s) {
+    case LinkSide::Uplink: return "up";
+    case LinkSide::Downlink: return "down";
+    case LinkSide::Both: return "both";
+  }
+  return "?";
+}
+
+namespace {
+
+FaultKind kindFromString(const std::string& s) {
+  if (s == "lossburst") return FaultKind::LossBurst;
+  if (s == "linkflap") return FaultKind::LinkFlap;
+  if (s == "latencyspike") return FaultKind::LatencySpike;
+  if (s == "corruption") return FaultKind::Corruption;
+  if (s == "partition") return FaultKind::Partition;
+  throw sim::SimError("FaultPlan::parse: unknown kind '" + s + "'");
+}
+
+LinkSide sideFromString(const std::string& s) {
+  if (s == "up") return LinkSide::Uplink;
+  if (s == "down") return LinkSide::Downlink;
+  if (s == "both") return LinkSide::Both;
+  throw sim::SimError("FaultPlan::parse: unknown side '" + s + "'");
+}
+
+/// Rates round-trip through text as micro-units (integer millionths), so
+/// toString/parse is exact and locale-independent.
+std::uint64_t rateToMicro(double r) {
+  return static_cast<std::uint64_t>(r * 1e6 + 0.5);
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::generate(std::uint64_t seed, const FaultPlanParams& p) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.actions.reserve(p.actions);
+  sim::Xoshiro256 rng(seed, "faultplan");
+  const std::uint64_t kinds = p.allowPartitions ? 5 : 4;
+  for (std::uint32_t i = 0; i < p.actions; ++i) {
+    // Every field draws unconditionally, in a fixed order, so the PRNG
+    // stream stays aligned no matter which kind is selected.
+    const std::uint64_t kindSel = rng.below(kinds);
+    const std::uint64_t node = rng.below(p.nodes);
+    const std::uint64_t sideSel = rng.below(2);
+    const std::uint64_t start =
+        rng.below(static_cast<std::uint64_t>(p.horizon));
+    const std::uint64_t burst =
+        1 + rng.below(static_cast<std::uint64_t>(p.maxBurst));
+    const double rateDraw = rng.uniform();
+    const std::uint64_t latDraw =
+        1 + rng.below(static_cast<std::uint64_t>(p.maxLatencySpike));
+
+    FaultAction a;
+    a.kind = static_cast<FaultKind>(kindSel);
+    a.node = static_cast<std::uint32_t>(node);
+    a.side = sideSel == 0 ? LinkSide::Uplink : LinkSide::Downlink;
+    a.start = static_cast<sim::SimTime>(start);
+    a.duration = static_cast<sim::Duration>(burst);
+    switch (a.kind) {
+      case FaultKind::LossBurst:
+        a.rate = p.maxLossRate * (0.25 + 0.75 * rateDraw);
+        break;
+      case FaultKind::LinkFlap:
+        a.rate = 1.0;
+        break;
+      case FaultKind::LatencySpike:
+        a.extraLatency = static_cast<sim::Duration>(latDraw);
+        break;
+      case FaultKind::Corruption:
+        a.rate = p.maxCorruptRate * (0.25 + 0.75 * rateDraw);
+        break;
+      case FaultKind::Partition:
+        a.side = LinkSide::Both;
+        a.rate = 1.0;
+        a.duration = p.partitionLength;
+        break;
+    }
+    // Rates pass through the text round-trip on generation too, so a
+    // generated plan and its parsed print are byte-for-byte equivalent.
+    a.rate = static_cast<double>(rateToMicro(a.rate)) / 1e6;
+    plan.actions.push_back(a);
+  }
+  return plan;
+}
+
+std::string FaultPlan::toString() const {
+  std::ostringstream os;
+  os << "seed=" << seed << '\n';
+  for (const FaultAction& a : actions) {
+    os << "kind=" << fault::toString(a.kind) << " node=" << a.node
+       << " side=" << fault::toString(a.side) << " start=" << a.start
+       << " dur=" << a.duration << " rate_ppm=" << rateToMicro(a.rate)
+       << " lat=" << a.extraLatency << '\n';
+  }
+  return os.str();
+}
+
+FaultPlan FaultPlan::parse(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty()) continue;
+    std::istringstream toks(line);
+    std::string tok;
+    FaultAction a;
+    bool isAction = false;
+    while (toks >> tok) {
+      const std::size_t eq = tok.find('=');
+      if (eq == std::string::npos) {
+        throw sim::SimError("FaultPlan::parse: bad token '" + tok + "'");
+      }
+      const std::string key = tok.substr(0, eq);
+      const std::string val = tok.substr(eq + 1);
+      if (key == "seed") {
+        plan.seed = std::stoull(val);
+      } else if (key == "kind") {
+        a.kind = kindFromString(val);
+        isAction = true;
+      } else if (key == "node") {
+        a.node = static_cast<std::uint32_t>(std::stoul(val));
+      } else if (key == "side") {
+        a.side = sideFromString(val);
+      } else if (key == "start") {
+        a.start = std::stoll(val);
+      } else if (key == "dur") {
+        a.duration = std::stoll(val);
+      } else if (key == "rate_ppm") {
+        a.rate = static_cast<double>(std::stoull(val)) / 1e6;
+      } else if (key == "lat") {
+        a.extraLatency = std::stoll(val);
+      } else {
+        throw sim::SimError("FaultPlan::parse: unknown key '" + key + "'");
+      }
+    }
+    if (isAction) plan.actions.push_back(a);
+  }
+  return plan;
+}
+
+}  // namespace vibe::fault

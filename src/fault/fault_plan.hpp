@@ -1,0 +1,77 @@
+// FaultPlan: a declarative, seed-derived schedule of timed fault actions.
+//
+// A plan is pure data — absolute virtual-time windows plus parameters —
+// so it can be generated from a seed, printed, parsed back, and replayed
+// bit-for-bit. The FaultInjector turns a plan into scheduled link-parameter
+// overrides on a Cluster before the simulation starts; nothing about a
+// plan depends on wall-clock state, which is what makes chaos runs
+// reproducible from the seed alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace vibe::fault {
+
+enum class FaultKind : std::uint8_t {
+  LossBurst,     // loss-rate override on one link for a window
+  LinkFlap,      // lossRate=1.0 window: the link is down, then comes back
+  LatencySpike,  // extra one-way latency for a window (congestion/reroute)
+  Corruption,    // frames delivered with the corrupted flag for a window
+  Partition,     // both directions of a node's link pair down: node isolated
+};
+
+const char* toString(FaultKind k);
+
+/// Which half of the target node's full-duplex link pair the action hits.
+enum class LinkSide : std::uint8_t { Uplink, Downlink, Both };
+
+const char* toString(LinkSide s);
+
+struct FaultAction {
+  FaultKind kind = FaultKind::LossBurst;
+  std::uint32_t node = 0;              // target host
+  LinkSide side = LinkSide::Uplink;    // Partition always acts on Both
+  sim::SimTime start = 0;              // window open (absolute virtual time)
+  sim::Duration duration = 0;          // window length
+  double rate = 0.0;                   // LossBurst / Corruption probability
+  sim::Duration extraLatency = 0;      // LatencySpike only
+
+  sim::SimTime end() const { return start + duration; }
+};
+
+/// Knobs for FaultPlan::generate. Defaults produce recoverable chaos:
+/// bursts and flaps far shorter than the reliability engine's retry
+/// budget, so connections always survive. Enable partitions (and stretch
+/// partitionLength past the budget) to exercise the teardown path.
+struct FaultPlanParams {
+  std::uint32_t nodes = 2;
+  std::uint32_t actions = 6;
+  sim::Duration horizon = sim::msec(20);      // action starts in [0, horizon)
+  sim::Duration maxBurst = sim::msec(2);      // max burst/flap/spike length
+  double maxLossRate = 1.0;
+  double maxCorruptRate = 0.5;
+  sim::Duration maxLatencySpike = sim::usec(50);
+  bool allowPartitions = false;
+  sim::Duration partitionLength = sim::msec(3);
+};
+
+struct FaultPlan {
+  std::uint64_t seed = 0;
+  std::vector<FaultAction> actions;
+
+  /// Derives a plan deterministically from `seed`: same seed and params,
+  /// same plan, always.
+  static FaultPlan generate(std::uint64_t seed, const FaultPlanParams& p);
+
+  /// Round-trippable text form (one `key=value ...` line per action);
+  /// parse(toString()) reproduces the plan exactly. Durations are integer
+  /// nanoseconds, rates fixed-point decimals.
+  std::string toString() const;
+  static FaultPlan parse(const std::string& text);
+};
+
+}  // namespace vibe::fault

@@ -1,0 +1,77 @@
+// InvariantChecker: a Tracer consumer that verifies reliability-protocol
+// invariants from the trace stream of a chaos run.
+//
+// Checked online, per (node, VI), in stream order:
+//   1. Exactly-once in-order delivery — on reliable connections, delivered
+//      message sequence numbers are strictly consecutive from 0 (reset by
+//      each connection configure); a duplicate or a gap is a violation.
+//   2. No completion after disconnect — once a VI's connection is torn
+//      down, broken, or destroyed, no further Ok-status completion may
+//      appear for it (error flushes — Aborted/ConnectionLost — are the
+//      expected terminal completions).
+//   3. Bounded retry — the engine may fire at most rtoRetryBudget
+//      consecutive retransmission timeouts without ack progress; a "retry
+//      budget exhausted" mark must be followed by the connection break.
+// And at finalize(), against the NIC statistics:
+//   4. Retransmission count consistency — the retransmissions recorded in
+//      the trace stream sum to exactly NicStats::retransmits per node.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "simcore/trace.hpp"
+#include "vibe/cluster.hpp"
+
+namespace vibe::fault {
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(std::uint32_t rtoRetryBudget = 16)
+      : budget_(rtoRetryBudget) {}
+
+  /// Registers this checker as `tracer`'s sink and enables the categories
+  /// it consumes (Rx, Completion, Reliability, Connection). The tracer
+  /// must outlive the checker's use.
+  void attach(sim::Tracer& tracer);
+
+  /// Consumes one record; normally called through the tracer sink.
+  void onRecord(const sim::TraceRecord& rec);
+
+  /// End-of-run checks against per-node NIC statistics.
+  void finalize(suite::Cluster& cluster);
+
+  bool ok() const { return violations_.empty(); }
+  const std::vector<std::string>& violations() const { return violations_; }
+  /// All violations joined into one printable block (empty when ok).
+  std::string report() const;
+
+  /// Reliable in-order deliveries observed (test-assertion helper).
+  std::uint64_t reliableDeliveries() const { return reliableDeliveries_; }
+  /// Retransmissions observed in the trace stream for `node`.
+  std::uint64_t tracedRetransmits(std::uint32_t node) const;
+
+ private:
+  struct ViState {
+    bool reliable = false;
+    bool closed = false;
+    std::uint64_t nextMsgSeq = 0;
+    std::uint32_t consecutiveRto = 0;
+    bool expectBreak = false;
+  };
+
+  static std::uint64_t key(std::uint32_t node, std::uint64_t vi) {
+    return (static_cast<std::uint64_t>(node) << 32) | vi;
+  }
+  void violation(const sim::TraceRecord& rec, std::string what);
+
+  std::uint32_t budget_;
+  std::unordered_map<std::uint64_t, ViState> vis_;
+  std::unordered_map<std::uint32_t, std::uint64_t> retransmitsByNode_;
+  std::vector<std::string> violations_;
+  std::uint64_t reliableDeliveries_ = 0;
+};
+
+}  // namespace vibe::fault

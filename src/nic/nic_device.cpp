@@ -123,6 +123,8 @@ ViEndpointId NicDevice::createEndpoint(mem::PtagId ptag) {
 
 void NicDevice::destroyEndpoint(ViEndpointId id) {
   Endpoint& e = ep(id);
+  sim::trace(tracer_, engine_.now(), sim::TraceCategory::Connection, node_,
+             "destroy vi=" + std::to_string(id));
   flushEndpoint(id, e, WorkStatus::Aborted);
   e.active = false;
   e.connected = false;
@@ -146,10 +148,19 @@ void NicDevice::configureConnection(ViEndpointId id, NodeId remoteNode,
   e.rxNextFragSeq = 1;
   e.rxPlacedFragSeq = 0;
   e.rtoBackoff = 1;
+  e.rtoStrikes = 0;
+  sim::trace(tracer_, engine_.now(), sim::TraceCategory::Connection, node_,
+             "configure vi=" + std::to_string(id) + " remote=" +
+                 std::to_string(remoteNode) + "/" + std::to_string(remoteVi) +
+                 " rel=" + toString(rel));
 }
 
 void NicDevice::teardownConnection(ViEndpointId id) {
   Endpoint& e = ep(id);
+  // Trace before the flush so the Aborted completions it generates appear
+  // after the teardown mark in the stream (invariant checkers rely on it).
+  sim::trace(tracer_, engine_.now(), sim::TraceCategory::Connection, node_,
+             "teardown vi=" + std::to_string(id));
   flushEndpoint(id, e, WorkStatus::Aborted);
   e.connected = false;
 }
@@ -182,6 +193,8 @@ void NicDevice::breakConnection(ViEndpointId id, Endpoint& e, WorkStatus why) {
   if (e.broken) return;
   e.broken = true;
   ++stats_.protocolErrors;
+  sim::trace(tracer_, engine_.now(), sim::TraceCategory::Connection, node_,
+             "break vi=" + std::to_string(id) + " why=" + toString(why));
   flushEndpoint(id, e, why);
   if (handlers_.connectionError) {
     engine_.post(0, [this, id, why] { handlers_.connectionError(id, why); });
@@ -487,6 +500,16 @@ void NicDevice::launchFragments(ViEndpointId id, Endpoint& e,
 // ---------------------------------------------------------------------------
 
 void NicDevice::handleRx(Packet&& p) {
+  if (p.corrupted) {
+    // CRC failure: the frame is discarded before any protocol processing,
+    // exactly like a wire loss except that the receiving NIC observed it.
+    // The reliability layer recovers through the normal RTO path.
+    ++stats_.rxCorrupted;
+    sim::trace(tracer_, engine_.now(), sim::TraceCategory::Rx, node_,
+               "corrupt frame dropped seq=" + std::to_string(p.fragSeq) +
+                   " vi=" + std::to_string(p.dstVi));
+    return;
+  }
   switch (p.kind) {
     case fabric::PacketKind::ConnRequest:
     case fabric::PacketKind::ConnAccept:
@@ -706,6 +729,16 @@ void NicDevice::finishMessage(ViEndpointId id,
   Endpoint* eptr = epIfActive(id);
   Reassembly& r = *rp;
   const bool isReadResp = r.kind == fabric::PacketKind::RdmaReadResp;
+  if (eptr != nullptr && (!eptr->connected || eptr->broken) && !r.discard) {
+    // The connection went away while this message's tail was still in the
+    // placement pipeline (its Reassembly had already left the endpoint, so
+    // the flush could not poison it). Completing Ok through a dead
+    // connection would violate the no-completion-after-disconnect
+    // invariant; surface the descriptor as Aborted like the flush did for
+    // its queued siblings.
+    r.discard = true;
+    r.errorStatus = WorkStatus::Aborted;
+  }
 
   // RDMA write with immediate data consumes a receive descriptor.
   bool consumeRecv = r.kind == fabric::PacketKind::Data;
@@ -723,6 +756,14 @@ void NicDevice::finishMessage(ViEndpointId id,
     }
   }
 
+  if (eptr != nullptr && !r.discard) {
+    // Delivery mark: on a reliable connection msgSeq is consecutive per VI
+    // (the invariant checker verifies exactly-once in-order delivery).
+    sim::trace(tracer_, at, sim::TraceCategory::Rx, node_,
+               "deliver vi=" + std::to_string(id) + " msg=" +
+                   std::to_string(r.msgSeq) + " rel=" + toString(eptr->rel));
+  }
+
   if ((consumeRecv && r.haveDescriptor) || isReadResp) {
     Completion c;
     c.cookie = r.desc.cookie;
@@ -735,8 +776,11 @@ void NicDevice::finishMessage(ViEndpointId id,
     postCompletion(id, std::move(c), at + profile_.completionWriteCost);
   }
 
-  if (eptr != nullptr && eptr->rel != Reliability::Unreliable &&
-      !isReadResp) {
+  if (eptr == nullptr || !eptr->connected || eptr->broken ||
+      eptr->rel == Reliability::Unreliable) {
+    return;  // no reliability dialog on a dead or unreliable connection
+  }
+  if (!isReadResp) {
     const WorkStatus err = r.discard ? r.errorStatus : WorkStatus::Ok;
     if (err != WorkStatus::Ok && err != WorkStatus::Aborted) {
       sendAck(id, *eptr, err);
@@ -746,7 +790,7 @@ void NicDevice::finishMessage(ViEndpointId id,
       // Placement acknowledgment: completes ReliableReception sends.
       sendAck(id, *eptr);
     }
-  } else if (eptr != nullptr && eptr->rel != Reliability::Unreliable) {
+  } else {
     sendAck(id, *eptr);  // acknowledge the read-response stream
   }
 }
@@ -786,6 +830,11 @@ void NicDevice::handleAck(const Packet& p) {
   e.placedFragSeq = std::max(e.placedFragSeq, p.ackPlacedSeq);
   if (progressed) {
     e.rtoBackoff = 1;
+    e.rtoStrikes = 0;
+    sim::trace(tracer_, engine_.now(), sim::TraceCategory::Reliability, node_,
+               "ack progress vi=" + std::to_string(p.dstVi) + " acked=" +
+                   std::to_string(e.ackedFragSeq) + " placed=" +
+                   std::to_string(e.placedFragSeq));
     drainAcked(p.dstVi, e);
   }
 }
@@ -910,11 +959,26 @@ void NicDevice::onRto(ViEndpointId id) {
   Endpoint& e = *eptr;
   e.rtoEvent = 0;
   if (e.broken) return;
+  const bool hasWork = !e.unacked.empty() || !e.awaitingAck.empty();
+  if (hasWork && ++e.rtoStrikes > profile_.rtoRetryBudget) {
+    // Retry budget exhausted: the peer has been silent through every
+    // backoff level. Declare the connection dead instead of retrying
+    // forever — outstanding work completes with ConnectionLost and the
+    // provider's error callback fires, so callers never hang on a
+    // partition that outlasts the budget.
+    sim::trace(tracer_, engine_.now(), sim::TraceCategory::Reliability, node_,
+               "retry budget exhausted vi=" + std::to_string(id) +
+                   " strikes=" + std::to_string(e.rtoStrikes - 1));
+    breakConnection(id, e, WorkStatus::ConnectionLost);
+    return;
+  }
   if (e.unacked.empty()) {
     if (!e.awaitingAck.empty() && e.lastFrag) {
       // Everything was receipt-acked but a placement ack went missing:
       // probe by resending the last fragment; the duplicate triggers a
       // dup-ack carrying the receiver's current placement sequence.
+      sim::trace(tracer_, engine_.now(), sim::TraceCategory::Reliability,
+                 node_, "RTO vi=" + std::to_string(id) + " probe retransmit");
       const sim::SimTime tDma = dma_.acquire(
           engine_.now(), profile_.dmaTime(e.lastFrag->payload.size()));
       engine_.postAt(tDma, [this, p = Packet(*e.lastFrag)]() mutable {

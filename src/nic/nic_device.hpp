@@ -49,6 +49,7 @@ struct NicStats {
   std::uint64_t acksTx = 0;
   std::uint64_t acksRx = 0;
   std::uint64_t retransmits = 0;
+  std::uint64_t rxCorrupted = 0;  // frames failing the CRC check, dropped
   std::uint64_t rxDroppedNoDescriptor = 0;
   std::uint64_t rxDroppedBadEndpoint = 0;
   std::uint64_t rxOutOfOrderDropped = 0;
@@ -154,6 +155,7 @@ class NicDevice {
     std::deque<PendingSendCompletion> awaitingAck;
     sim::EventId rtoEvent = 0;
     std::uint32_t rtoBackoff = 1;
+    std::uint32_t rtoStrikes = 0;  // consecutive RTOs without ack progress
 
     // Receiver state.
     std::uint64_t rxNextFragSeq = 1;   // next in-order fragment expected

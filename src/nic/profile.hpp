@@ -93,6 +93,12 @@ struct NicProfile {
   sim::Duration ackProcessingCost = sim::usec(0.5);
   sim::Duration rtoBase = sim::msec(1);  // go-back-N retransmit timeout
   std::uint32_t sendWindowFrags = 64;    // in-flight fragments (RD/RR)
+  /// Consecutive no-progress retransmission timeouts tolerated before the
+  /// connection is declared dead and torn down with ConnectionLost. With
+  /// rtoBase=1ms and the 2x/ cap-8 backoff this is ~119ms of total silence
+  /// — far beyond anything Bernoulli loss produces, so only a genuine
+  /// partition (or an injected one) trips it.
+  std::uint32_t rtoRetryBudget = 16;
   bool supportsRdmaWrite = true;
   bool supportsRdmaRead = false;
 

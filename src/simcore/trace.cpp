@@ -31,11 +31,35 @@ void Tracer::enableAll() {
   for (auto& e : enabled_) e = true;
 }
 
+namespace {
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+inline std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+template <typename T>
+inline std::uint64_t fnv1aValue(std::uint64_t h, T v) {
+  return fnv1a(h, &v, sizeof(v));
+}
+}  // namespace
+
 void Tracer::record(SimTime time, TraceCategory c, std::uint32_t component,
                     std::string message) {
   if (!enabled(c)) return;
   ++total_;
+  digest_ = fnv1aValue(digest_, time);
+  digest_ = fnv1aValue(digest_, static_cast<std::uint8_t>(c));
+  digest_ = fnv1aValue(digest_, component);
+  digest_ = fnv1a(digest_, message.data(), message.size());
+  digest_ = fnv1aValue(digest_, static_cast<std::uint32_t>(message.size()));
   TraceRecord rec{time, c, component, std::move(message)};
+  if (sink_) sink_(rec);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(rec));
   } else {
@@ -73,6 +97,7 @@ void Tracer::clear() {
   ring_.clear();
   next_ = 0;
   total_ = 0;
+  digest_ = 0xcbf29ce484222325ull;
 }
 
 }  // namespace vibe::sim

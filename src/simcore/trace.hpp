@@ -10,6 +10,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -44,6 +45,10 @@ struct TraceRecord {
 
 class Tracer {
  public:
+  /// Observes every record accepted by `record` (enabled categories only),
+  /// in record order, including records later overwritten by the ring.
+  using Sink = std::function<void(const TraceRecord&)>;
+
   /// `capacity`: ring size; the newest records win.
   explicit Tracer(std::size_t capacity = 4096);
 
@@ -57,8 +62,19 @@ class Tracer {
   void record(SimTime time, TraceCategory c, std::uint32_t component,
               std::string message);
 
+  /// Streams accepted records to `sink` as they are recorded. The sink
+  /// sees the full stream regardless of ring capacity; invariant checkers
+  /// consume this. Pass nullptr to detach.
+  void setSink(Sink sink) { sink_ = std::move(sink); }
+
   /// Records seen (including overwritten ones).
   std::uint64_t totalRecorded() const { return total_; }
+  /// Running FNV-1a hash over every accepted record — time, category,
+  /// component, and message bytes — independent of ring capacity. Two runs
+  /// of a deterministic simulation with identical category enablement
+  /// produce identical digests; use it to compare runs byte-for-byte
+  /// without retaining the full stream.
+  std::uint64_t digest() const { return digest_; }
   /// Records currently retained, oldest first.
   std::vector<TraceRecord> snapshot() const;
   /// Renders the retained records as aligned text.
@@ -75,6 +91,8 @@ class Tracer {
   std::size_t capacity_;
   std::size_t next_ = 0;
   std::uint64_t total_ = 0;
+  std::uint64_t digest_ = 0xcbf29ce484222325ull;  // FNV-1a offset basis
+  Sink sink_;
 };
 
 /// Convenience: record into an optional tracer (no-op when null).

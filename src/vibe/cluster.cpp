@@ -31,6 +31,11 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   }
 }
 
+void Cluster::setTracer(sim::Tracer* tracer) {
+  tracer_ = tracer;
+  for (auto& p : providers_) p->device().setTracer(tracer);
+}
+
 void Cluster::run(std::vector<std::function<void(NodeEnv&)>> programs) {
   if (programs.size() > config_.nodes) {
     throw sim::SimError("Cluster::run: more programs than nodes");

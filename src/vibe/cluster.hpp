@@ -12,7 +12,12 @@
 #include "nic/profile.hpp"
 #include "simcore/engine.hpp"
 #include "simcore/process.hpp"
+#include "simcore/trace.hpp"
 #include "vipl/provider.hpp"
+
+namespace vibe::fault {
+class FaultInjector;
+}
 
 namespace vibe::suite {
 
@@ -52,6 +57,17 @@ class Cluster {
   std::uint32_t nodeCount() const { return config_.nodes; }
   const ClusterConfig& config() const { return config_; }
 
+  /// Attaches one tracer to every node's NIC device (and detaches with
+  /// nullptr). Chaos/invariant harnesses consume the merged stream.
+  void setTracer(sim::Tracer* tracer);
+  sim::Tracer* tracer() const { return tracer_; }
+
+  /// Records the fault injector driving this cluster (called by
+  /// fault::FaultInjector::arm). Purely an attachment registry — the
+  /// injector acts on the network links directly.
+  void attachFaultInjector(fault::FaultInjector* inj) { injector_ = inj; }
+  fault::FaultInjector* faultInjector() const { return injector_; }
+
   /// Runs one program per entry (program i on node i) to completion.
   /// Throws if the simulation deadlocks or a program throws.
   void run(std::vector<std::function<void(NodeEnv&)>> programs);
@@ -62,6 +78,8 @@ class Cluster {
   std::shared_ptr<vipl::NameService> ns_;
   std::unique_ptr<fabric::Network> net_;
   std::vector<std::unique_ptr<vipl::Provider>> providers_;
+  sim::Tracer* tracer_ = nullptr;
+  fault::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace vibe::suite

@@ -83,6 +83,137 @@ TEST(LinkTest, LossRateDropsApproximatelyTheRequestedFraction) {
   EXPECT_EQ(delivered + static_cast<int>(link.framesDropped()), n);
 }
 
+TEST(LinkTest, SetLossRateAppliesOnlyToFramesSentAfterTheCall) {
+  // The loss decision is made at send() time: raising the rate to 1.0
+  // cannot retroactively drop frames already queued on the wire, and
+  // frames sent after the call all drop.
+  sim::Engine eng;
+  LinkParams lp;
+  lp.bandwidthMBps = 100.0;
+  lp.propagation = sim::usec(5);
+  lp.headerBytes = 0;
+  Link link(eng, "l", lp);
+  int delivered = 0;
+  link.connect([&](Packet&&) { ++delivered; });
+  for (int i = 0; i < 4; ++i) link.send(makeData(0, 1, 100));
+  link.setLossRate(1.0);  // in-flight frames are already committed
+  for (int i = 0; i < 4; ++i) link.send(makeData(0, 1, 100));
+  eng.run();
+  EXPECT_EQ(delivered, 4);
+  EXPECT_EQ(link.framesDropped(), 4u);
+}
+
+TEST(LinkTest, LossWindowCoversExactlyItsHalfOpenInterval) {
+  sim::Engine eng;
+  LinkParams lp;
+  lp.bandwidthMBps = 100.0;  // 1 us per 100-byte frame
+  lp.propagation = 0;
+  lp.headerBytes = 0;
+  Link link(eng, "l", lp);
+  std::vector<sim::SimTime> arrivals;
+  link.connect([&](Packet&&) { arrivals.push_back(eng.now()); });
+  link.scheduleLossWindow(sim::usec(10), sim::usec(20), 1.0);
+  // One frame before, one inside, one at the (exclusive) end, one after.
+  eng.postAt(sim::usec(5), [&] { link.send(makeData(0, 1, 100)); });
+  eng.postAt(sim::usec(15), [&] { link.send(makeData(0, 1, 100)); });
+  eng.postAt(sim::usec(20), [&] { link.send(makeData(0, 1, 100)); });
+  eng.postAt(sim::usec(25), [&] { link.send(makeData(0, 1, 100)); });
+  eng.run();
+  EXPECT_EQ(link.framesDropped(), 1u);
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], sim::usec(6));
+  EXPECT_EQ(arrivals[1], sim::usec(21));  // end is exclusive
+  EXPECT_EQ(arrivals[2], sim::usec(26));
+}
+
+TEST(LinkTest, OverlappingLossWindowsLatestScheduledWins) {
+  sim::Engine eng;
+  LinkParams lp;
+  lp.bandwidthMBps = 100.0;
+  lp.propagation = 0;
+  lp.headerBytes = 0;
+  lp.lossRate = 1.0;  // base: everything drops
+  Link link(eng, "l", lp);
+  int delivered = 0;
+  link.connect([&](Packet&&) { ++delivered; });
+  // A long 100%-loss window, then a later-scheduled loss-free window
+  // punched into its middle: the newest covering window must win.
+  link.scheduleLossWindow(0, sim::usec(100), 1.0);
+  link.scheduleLossWindow(sim::usec(40), sim::usec(60), 0.0);
+  eng.postAt(sim::usec(10), [&] { link.send(makeData(0, 1, 100)); });
+  eng.postAt(sim::usec(50), [&] { link.send(makeData(0, 1, 100)); });
+  eng.postAt(sim::usec(90), [&] { link.send(makeData(0, 1, 100)); });
+  // After every window expires the base rate applies again (still 1.0).
+  eng.postAt(sim::usec(150), [&] { link.send(makeData(0, 1, 100)); });
+  eng.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(link.framesDropped(), 3u);
+}
+
+TEST(LinkTest, CorruptWindowDeliversFlaggedFramesAndCountsThem) {
+  sim::Engine eng;
+  LinkParams lp;
+  lp.bandwidthMBps = 100.0;
+  lp.propagation = 0;
+  lp.headerBytes = 0;
+  Link link(eng, "l", lp);
+  int corrupted = 0;
+  int clean = 0;
+  link.connect([&](Packet&& p) { (p.corrupted ? corrupted : clean)++; });
+  link.scheduleCorruptWindow(0, sim::usec(50), 1.0);
+  eng.postAt(sim::usec(10), [&] { link.send(makeData(0, 1, 100)); });
+  eng.postAt(sim::usec(20), [&] { link.send(makeData(0, 1, 100)); });
+  eng.postAt(sim::usec(70), [&] { link.send(makeData(0, 1, 100)); });
+  eng.run();
+  // Corrupted frames are still delivered (the receiving NIC drops them);
+  // the wire never discards them, so framesDropped stays zero.
+  EXPECT_EQ(corrupted, 2);
+  EXPECT_EQ(clean, 1);
+  EXPECT_EQ(link.framesCorrupted(), 2u);
+  EXPECT_EQ(link.framesDropped(), 0u);
+}
+
+TEST(LinkTest, LatencyWindowDelaysOnlyFramesSentInside) {
+  sim::Engine eng;
+  LinkParams lp;
+  lp.bandwidthMBps = 100.0;  // 1 us serialization for 100 bytes
+  lp.propagation = sim::usec(1);
+  lp.headerBytes = 0;
+  Link link(eng, "l", lp);
+  std::vector<sim::SimTime> arrivals;
+  link.connect([&](Packet&&) { arrivals.push_back(eng.now()); });
+  link.scheduleLatencyWindow(sim::usec(10), sim::usec(20), sim::usec(7));
+  eng.postAt(0, [&] { link.send(makeData(0, 1, 100)); });
+  eng.postAt(sim::usec(15), [&] { link.send(makeData(0, 1, 100)); });
+  eng.postAt(sim::usec(30), [&] { link.send(makeData(0, 1, 100)); });
+  eng.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  EXPECT_EQ(arrivals[0], sim::usec(2));   // 1 ser + 1 prop
+  EXPECT_EQ(arrivals[1], sim::usec(24));  // + 7 spike
+  EXPECT_EQ(arrivals[2], sim::usec(32));  // window over
+}
+
+TEST(NetworkTest, AggregatesDropAndCorruptionCountsAcrossLinks) {
+  sim::Engine eng;
+  NetworkParams np;
+  np.nodes = 2;
+  Network net(eng, np);
+  net.setReceiver(0, [](Packet&&) {});
+  net.setReceiver(1, [](Packet&&) {});
+  net.uplink(0).scheduleLossWindow(0, sim::usec(1), 1.0);
+  net.downlink(1).scheduleCorruptWindow(0, sim::kSecond, 1.0);
+  // First frame enters inside the loss window and drops on the uplink;
+  // the second enters after it closed, survives, and gets corrupted on
+  // the downlink.
+  eng.postAt(0, [&] { net.send(makeData(0, 1, 64)); });
+  eng.postAt(sim::usec(10), [&] { net.send(makeData(0, 1, 64)); });
+  eng.run();
+  EXPECT_EQ(net.framesDropped(), 1u);
+  EXPECT_EQ(net.framesCorrupted(), 1u);
+  EXPECT_EQ(net.uplink(0).framesDropped(), 1u);
+  EXPECT_EQ(net.downlink(1).framesCorrupted(), 1u);
+}
+
 TEST(LinkTest, SendWithoutSinkThrows) {
   sim::Engine eng;
   Link link(eng, "l", LinkParams{});

@@ -322,6 +322,200 @@ TEST(ReliabilityTest, UnreliableLossDropsButNeverCorrupts) {
   EXPECT_EQ(cluster.node(0).device().stats().retransmits, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Loss bursts: a window of 100% frame loss (link down) that ends before the
+// retry budget runs out. Reliable levels must ride it out and resume
+// exactly-once in-order delivery; Unreliable must lose the burst's messages
+// without ever retransmitting.
+// ---------------------------------------------------------------------------
+
+/// Shared driver: stream kMessages through a 100%-loss window on the
+/// sender's uplink, then assert complete in-order delivery and that the
+/// recovery is visible both in NicStats and in the Reliability trace.
+void runLossBurstRecovery(nic::Reliability rel) {
+  ClusterConfig cfg;
+  cfg.profile = nic::profileByName("clan");
+  cfg.seed = 321;
+  Cluster cluster(cfg);
+
+  sim::Tracer tracer;
+  tracer.enable(sim::TraceCategory::Reliability);
+  cluster.setTracer(&tracer);
+
+  // Connection setup takes ~2.7ms of virtual time (the CM dialog is
+  // loss-exempt), so a [0, 6ms) window blacks out the first ~3ms of data.
+  // The ~3ms outage costs 2-3 RTO strikes, well under the budget of 16.
+  cluster.network().uplink(0).scheduleLossWindow(0, sim::msec(6), 1.0);
+
+  constexpr int kMessages = 40;
+  constexpr std::size_t kBytes = 5000;
+  int completed = 0;
+
+  auto sender = [&](NodeEnv& env) {
+    Provider& nic = env.nic;
+    auto ptag = vipl::VipCreatePtag(nic);
+    Buf buf = makeBuf(nic, ptag, kMessages * kBytes);
+    for (int i = 0; i < kMessages; ++i) {
+      fillSeeded(nic, buf.va + i * kBytes, kBytes,
+                 static_cast<std::uint8_t>(i));
+    }
+    vipl::VipViAttributes va;
+    va.ptag = ptag;
+    va.reliabilityLevel = rel;
+    Vi* vi = nullptr;
+    ASSERT_EQ(vipl::VipCreateVi(nic, va, nullptr, nullptr, vi),
+              VipResult::VIP_SUCCESS);
+    ASSERT_EQ(vipl::VipConnectRequest(nic, vi, {1, kDisc}, kTimeout),
+              VipResult::VIP_SUCCESS);
+    std::vector<std::unique_ptr<VipDescriptor>> sends;
+    for (int i = 0; i < kMessages; ++i) {
+      sends.push_back(std::make_unique<VipDescriptor>(VipDescriptor::send(
+          buf.va + i * kBytes, buf.handle, kBytes)));
+      ASSERT_EQ(vipl::VipPostSend(nic, vi, sends[i].get()),
+                VipResult::VIP_SUCCESS);
+    }
+    for (int i = 0; i < kMessages; ++i) {
+      VipDescriptor* done = nullptr;
+      ASSERT_EQ(nic.sendWait(vi, kTimeout, done), VipResult::VIP_SUCCESS);
+      EXPECT_EQ(done, sends[i].get()) << "send completions out of order";
+    }
+    EXPECT_EQ(vi->state(), vipl::ViState::Connected)
+        << "burst shorter than the retry budget must not break the VI";
+  };
+
+  auto receiver = [&](NodeEnv& env) {
+    Provider& nic = env.nic;
+    auto ptag = vipl::VipCreatePtag(nic);
+    Buf buf = makeBuf(nic, ptag, kMessages * kBytes);
+    vipl::VipViAttributes va;
+    va.ptag = ptag;
+    va.reliabilityLevel = rel;
+    Vi* vi = nullptr;
+    ASSERT_EQ(vipl::VipCreateVi(nic, va, nullptr, nullptr, vi),
+              VipResult::VIP_SUCCESS);
+    std::vector<std::unique_ptr<VipDescriptor>> recvs;
+    for (int i = 0; i < kMessages; ++i) {
+      recvs.push_back(std::make_unique<VipDescriptor>(VipDescriptor::recv(
+          buf.va + i * kBytes, buf.handle, kBytes)));
+      ASSERT_EQ(vipl::VipPostRecv(nic, vi, recvs[i].get()),
+                VipResult::VIP_SUCCESS);
+    }
+    PendingConn conn;
+    ASSERT_EQ(vipl::VipConnectWait(nic, {1, kDisc}, kTimeout, conn),
+              VipResult::VIP_SUCCESS);
+    ASSERT_EQ(vipl::VipConnectAccept(nic, conn, vi), VipResult::VIP_SUCCESS);
+    for (int i = 0; i < kMessages; ++i) {
+      VipDescriptor* done = nullptr;
+      ASSERT_EQ(nic.recvWait(vi, kTimeout, done), VipResult::VIP_SUCCESS);
+      ASSERT_EQ(done, recvs[i].get()) << "delivery out of order after burst";
+      EXPECT_TRUE(checkSeeded(nic, buf.va + i * kBytes, kBytes,
+                              static_cast<std::uint8_t>(i)));
+      ++completed;
+    }
+    VipDescriptor* extra = nullptr;
+    EXPECT_EQ(nic.recvDone(vi, extra), VipResult::VIP_NOT_DONE)
+        << "retransmissions must not duplicate deliveries";
+  };
+
+  cluster.run({sender, receiver});
+  EXPECT_EQ(completed, kMessages);
+
+  // The outage must actually have exercised the retransmission machinery,
+  // and the recovery must be visible in the Reliability trace stream.
+  EXPECT_GT(cluster.node(0).device().stats().retransmits, 0u);
+  int rtoRecords = 0;
+  for (const auto& rec : tracer.snapshot()) {
+    if (rec.category == sim::TraceCategory::Reliability &&
+        rec.message.compare(0, 4, "RTO ") == 0) {
+      ++rtoRecords;
+    }
+  }
+  EXPECT_GT(rtoRecords, 0) << "no RTO retransmissions traced";
+}
+
+TEST(ReliabilityTest, LossBurstRecoveryReliableDelivery) {
+  runLossBurstRecovery(nic::Reliability::ReliableDelivery);
+}
+
+TEST(ReliabilityTest, LossBurstRecoveryReliableReception) {
+  runLossBurstRecovery(nic::Reliability::ReliableReception);
+}
+
+TEST(ReliabilityTest, LossBurstOnUnreliableDropsWithoutRetransmission) {
+  ClusterConfig cfg;
+  cfg.profile = nic::profileByName("clan");
+  cfg.seed = 321;
+  Cluster cluster(cfg);
+
+  // Data flows from ~2.7ms (post-connect); the sender paces one message
+  // per 100us, so a [3ms, 5ms) outage swallows a middle chunk.
+  cluster.network().uplink(0).scheduleLossWindow(sim::msec(3), sim::msec(5),
+                                                 1.0);
+
+  constexpr int kMessages = 40;
+  constexpr std::size_t kBytes = 512;  // single-fragment on every profile
+  int delivered = 0;
+
+  auto sender = [&](NodeEnv& env) {
+    Provider& nic = env.nic;
+    auto ptag = vipl::VipCreatePtag(nic);
+    Buf buf = makeBuf(nic, ptag, kBytes);
+    fillSeeded(nic, buf.va, kBytes, 0x5A);
+    vipl::VipViAttributes va;
+    va.ptag = ptag;
+    va.reliabilityLevel = nic::Reliability::Unreliable;
+    Vi* vi = nullptr;
+    ASSERT_EQ(vipl::VipCreateVi(nic, va, nullptr, nullptr, vi),
+              VipResult::VIP_SUCCESS);
+    ASSERT_EQ(vipl::VipConnectRequest(nic, vi, {1, kDisc}, kTimeout),
+              VipResult::VIP_SUCCESS);
+    for (int i = 0; i < kMessages; ++i) {
+      VipDescriptor d = VipDescriptor::send(buf.va, buf.handle, kBytes);
+      ASSERT_EQ(vipl::VipPostSend(nic, vi, &d), VipResult::VIP_SUCCESS);
+      VipDescriptor* done = nullptr;
+      ASSERT_EQ(nic.sendWait(vi, kTimeout, done), VipResult::VIP_SUCCESS);
+      env.self.advance(sim::usec(100), sim::CpuUse::Idle);
+    }
+  };
+
+  auto receiver = [&](NodeEnv& env) {
+    Provider& nic = env.nic;
+    auto ptag = vipl::VipCreatePtag(nic);
+    Buf buf = makeBuf(nic, ptag, kMessages * kBytes);
+    vipl::VipViAttributes va;
+    va.ptag = ptag;
+    va.reliabilityLevel = nic::Reliability::Unreliable;
+    Vi* vi = nullptr;
+    ASSERT_EQ(vipl::VipCreateVi(nic, va, nullptr, nullptr, vi),
+              VipResult::VIP_SUCCESS);
+    std::vector<std::unique_ptr<VipDescriptor>> recvs;
+    for (int i = 0; i < kMessages; ++i) {
+      recvs.push_back(std::make_unique<VipDescriptor>(VipDescriptor::recv(
+          buf.va + i * kBytes, buf.handle, kBytes)));
+      ASSERT_EQ(vipl::VipPostRecv(nic, vi, recvs[i].get()),
+                VipResult::VIP_SUCCESS);
+    }
+    PendingConn conn;
+    ASSERT_EQ(vipl::VipConnectWait(nic, {1, kDisc}, kTimeout, conn),
+              VipResult::VIP_SUCCESS);
+    ASSERT_EQ(vipl::VipConnectAccept(nic, conn, vi), VipResult::VIP_SUCCESS);
+    for (;;) {
+      VipDescriptor* done = nullptr;
+      const VipResult r = nic.recvWait(vi, sim::msec(20), done);
+      if (r != VipResult::VIP_SUCCESS) break;
+      ++delivered;
+    }
+  };
+
+  cluster.run({sender, receiver});
+  // The burst's messages are gone for good; everything else arrived, and
+  // nothing was ever retransmitted.
+  EXPECT_GT(delivered, 0);
+  EXPECT_LT(delivered, kMessages);
+  EXPECT_EQ(cluster.node(0).device().stats().retransmits, 0u);
+  EXPECT_GT(cluster.network().uplink(0).framesDropped(), 0u);
+}
+
 TEST(ReliabilityTest, ReliableMissingDescriptorBreaksConnection) {
   ClusterConfig cfg;
   cfg.profile = nic::profileByName("clan");
