@@ -5,10 +5,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "nic/profiles.hpp"
+#include "obs/metrics.hpp"
 #include "vibe/cluster.hpp"
+#include "vibe/report.hpp"
 #include "vibe/results.hpp"
 
 namespace vibe::bench {
@@ -24,11 +27,60 @@ inline std::vector<NamedProfile> paperProfiles() {
           {"clan", nic::clanProfile()}};
 }
 
+/// True when a stats appendix was requested (`--stats` flag, which sets
+/// the variable, or VIBE_STATS=1 directly).
+inline bool statsRequested() {
+  const char* v = std::getenv("VIBE_STATS");
+  return v != nullptr && v[0] == '1';
+}
+
+/// Process-wide registry the benchmark clusters publish into when stats
+/// are requested. Owned here so every cluster built via clusterFor()
+/// accumulates into one appendix.
+inline obs::MetricsRegistry& statsRegistry() {
+  static obs::MetricsRegistry registry;
+  return registry;
+}
+
+/// Installs the end-of-run appendix printer (idempotent).
+inline void installStatsAppendix() {
+  static bool installed = false;
+  if (installed) return;
+  installed = true;
+  // Construct the registry static BEFORE registering the atexit handler:
+  // handlers and static destructors unwind together in reverse order, so
+  // the handler must come later to still find the registry alive.
+  statsRegistry();
+  std::atexit([] {
+    const std::string appendix = suite::renderStatsAppendix(statsRegistry());
+    if (!appendix.empty()) std::printf("%s", appendix.c_str());
+  });
+}
+
+/// Strips a `--stats` flag from argv (exporting VIBE_STATS=1 so helpers
+/// and child clusters observe it) and arms the appendix printer. Call at
+/// the top of a bench main before handing argv to other parsers.
+inline void parseStatsFlag(int& argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--stats") {
+      setenv("VIBE_STATS", "1", 1);
+      for (int j = i; j + 1 < argc; ++j) argv[j] = argv[j + 1];
+      --argc;
+      break;
+    }
+  }
+  if (statsRequested()) installStatsAppendix();
+}
+
 inline suite::ClusterConfig clusterFor(const nic::NicProfile& p,
                                        std::uint32_t nodes = 2) {
   suite::ClusterConfig c;
   c.profile = p;
   c.nodes = nodes;
+  if (statsRequested()) {
+    c.metrics = &statsRegistry();
+    installStatsAppendix();
+  }
   return c;
 }
 

@@ -6,9 +6,10 @@
 #include "bench_common.hpp"
 #include "vibe/datatransfer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vibe;
   using namespace vibe::bench;
+  parseStatsFlag(argc, argv);
 
   printHeader("Base latency & bandwidth, polling",
               "Fig. 3: cLAN lowest latency; M-VIA beats BVIA for short "

@@ -8,9 +8,10 @@
 #include "bench_common.hpp"
 #include "vibe/datatransfer.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vibe;
   using namespace vibe::bench;
+  parseStatsFlag(argc, argv);
 
   printHeader("Impact of address translation (buffer reuse %)",
               "Fig. 5: BVIA latency rises and bandwidth falls as reuse "

@@ -1,9 +1,15 @@
 // Perf-trajectory JSON output for the gbench_* binaries.
 //
-// With VIBE_JSON=1 each gbench writes a flat BENCH_<name>.json file of
-// named scalar metrics (events/sec, ping-pong latency, ...) into the
-// current directory, so every PR leaves a recorded wall-clock trajectory
-// of the simulator substrate next to the virtual-time paper tables.
+// With VIBE_JSON=1 each gbench writes a BENCH_<name>.json file of named
+// scalar metrics (events/sec, ping-pong latency, ...) into the current
+// directory, so every PR leaves a recorded wall-clock trajectory of the
+// simulator substrate next to the virtual-time paper tables.
+//
+// Schema 2 (this layout): the flat top-level keys of schema 1 are kept
+// verbatim so existing trajectory tooling keeps working, plus a "schema"
+// version marker and optional named groups of nested metrics (stage
+// attribution, percentile families). Consumers that only know schema 1
+// can ignore both additions.
 #pragma once
 
 #include <cmath>
@@ -20,24 +26,54 @@ inline bool jsonRequested() {
   return v != nullptr && v[0] == '1';
 }
 
-/// Writes {"bench":<name>, "<metric>":<value>, ...} to BENCH_<name>.json.
-/// Non-finite values are emitted as null. Returns false on I/O failure.
+/// A named group of scalar metrics, emitted as one nested JSON object.
+struct MetricGroup {
+  std::string name;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// Writes {"bench":<name>, "schema":2, "<metric>":<value>, ...,
+/// "<group>":{...}} to BENCH_<name>.json. Flat keys come first and are
+/// byte-compatible with schema 1. Non-finite values are emitted as null.
+/// Returns false on I/O failure.
 inline bool writeBenchJson(
     const std::string& name,
-    const std::vector<std::pair<std::string, double>>& metrics) {
+    const std::vector<std::pair<std::string, double>>& metrics,
+    const std::vector<MetricGroup>& groups = {}) {
   const std::string path = "BENCH_" + name + ".json";
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench_json: cannot open %s\n", path.c_str());
     return false;
   }
-  std::fprintf(f, "{\n  \"bench\": \"%s\"", name.c_str());
-  for (const auto& [key, value] : metrics) {
+  const auto emitMetric = [f](const std::string& key, double value,
+                              const char* indent) {
     if (std::isnan(value) || std::isinf(value)) {
-      std::fprintf(f, ",\n  \"%s\": null", key.c_str());
+      std::fprintf(f, ",\n%s\"%s\": null", indent, key.c_str());
     } else {
-      std::fprintf(f, ",\n  \"%s\": %.17g", key.c_str(), value);
+      std::fprintf(f, ",\n%s\"%s\": %.17g", indent, key.c_str(), value);
     }
+  };
+  std::fprintf(f, "{\n  \"bench\": \"%s\"", name.c_str());
+  std::fprintf(f, ",\n  \"schema\": 2");
+  for (const auto& [key, value] : metrics) emitMetric(key, value, "  ");
+  for (const auto& group : groups) {
+    std::fprintf(f, ",\n  \"%s\": {", group.name.c_str());
+    bool first = true;
+    for (const auto& [key, value] : group.metrics) {
+      if (first) {
+        // No leading comma on the first nested entry.
+        if (std::isnan(value) || std::isinf(value)) {
+          std::fprintf(f, "\n    \"%s\": null", key.c_str());
+        } else {
+          std::fprintf(f, "\n    \"%s\": %.17g", key.c_str(), value);
+        }
+        first = false;
+      } else {
+        emitMetric(key, value, "    ");
+      }
+    }
+    std::fprintf(f, "\n  }");
   }
   std::fprintf(f, "\n}\n");
   std::fclose(f);

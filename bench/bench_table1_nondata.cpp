@@ -22,9 +22,10 @@ constexpr PaperRow kPaper[] = {
 };
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace vibe;
   using namespace vibe::bench;
+  parseStatsFlag(argc, argv);
 
   printHeader("Non-data transfer micro-benchmarks",
               "Table 1 (all costs in microseconds)");

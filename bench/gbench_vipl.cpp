@@ -5,23 +5,28 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 
+#include "bench_common.hpp"
 #include "bench_json.hpp"
 #include "nic/profiles.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_export.hpp"
+#include "simcore/trace.hpp"
 #include "vibe/clientserver.hpp"
 #include "vibe/datatransfer.hpp"
 #include "upper/dsm/dsm.hpp"
 #include "upper/msg/communicator.hpp"
 #include "vibe/nondata.hpp"
+#include "vibe/report.hpp"
 
 namespace {
 
 using namespace vibe;
 
 suite::ClusterConfig clanCluster() {
-  suite::ClusterConfig c;
-  c.profile = nic::clanProfile();
-  return c;
+  // clusterFor wires the --stats registry in when stats are requested.
+  return bench::clusterFor(nic::clanProfile());
 }
 
 void BM_SimulatedPingPong(benchmark::State& state) {
@@ -145,13 +150,66 @@ double measureRoundTripsPerSec() {
   return best;
 }
 
+/// Observability pass: one instrumented ping-pong run with a span profiler
+/// (and, with VIBE_TRACE_OUT, a tracer streaming into the Perfetto
+/// exporter) attached. Prints the stage-attribution table and returns the
+/// per-stage means for the schema-2 JSON group.
+bench::MetricGroup runAttributedPingPong() {
+  auto exporter = obs::TraceJsonExporter::fromEnv();
+  obs::SpanProfiler spans;
+  sim::Tracer tracer;
+  suite::ClusterConfig cc = clanCluster();
+  cc.spans = &spans;
+  if (exporter) {
+    spans.setKeepEvents(true);
+    tracer.enableAll();
+    tracer.setSink(exporter->makeSink());
+    cc.tracer = &tracer;
+  }
+  suite::TransferConfig cfg;
+  cfg.msgBytes = 64;
+  cfg.iterations = 200;
+  cfg.warmup = 4;
+  const auto pp = suite::runPingPong(cc, cfg);
+  std::printf("%s", suite::renderStageAttribution(spans).c_str());
+  std::printf("measured one-way ping-pong latency: %.3f us\n\n",
+              pp.latencyUsec);
+  if (exporter) {
+    exporter->exportSpans(spans);
+    const std::size_t n = exporter->eventCount();
+    if (exporter->finish()) {
+      std::printf("wrote %s (%zu trace events)\n", exporter->path().c_str(),
+                  n);
+    }
+  }
+  bench::MetricGroup group{"stage_usec", {}};
+  for (std::size_t s = 0; s < static_cast<std::size_t>(obs::Stage::kCount);
+       ++s) {
+    const auto stage = static_cast<obs::Stage>(s);
+    const obs::Histogram& h = spans.stage(stage);
+    if (h.count() == 0) continue;
+    group.metrics.emplace_back(std::string(obs::toString(stage)) + "_mean",
+                               h.mean() / 1000.0);
+  }
+  group.metrics.emplace_back("stage_mean_sum", spans.stageMeanSumUsec());
+  group.metrics.emplace_back("pingpong_one_way", pp.latencyUsec);
+  return group;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  vibe::bench::parseStatsFlag(argc, argv);
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+
+  std::vector<vibe::bench::MetricGroup> groups;
+  if (vibe::bench::statsRequested() ||
+      vibe::obs::TraceJsonExporter::envPath() != nullptr) {
+    groups.push_back(runAttributedPingPong());
+  }
   if (vibe::bench::jsonRequested()) {
     vibe::suite::TransferConfig cfg;
     cfg.msgBytes = 64;
@@ -159,8 +217,10 @@ int main(int argc, char** argv) {
     cfg.warmup = 4;
     const auto pp = vibe::suite::runPingPong(clanCluster(), cfg);
     vibe::bench::writeBenchJson(
-        "vipl", {{"sim_roundtrips_per_sec", measureRoundTripsPerSec()},
-                 {"pingpong_sim_usec", pp.latencyUsec}});
+        "vipl",
+        {{"sim_roundtrips_per_sec", measureRoundTripsPerSec()},
+         {"pingpong_sim_usec", pp.latencyUsec}},
+        groups);
   }
   return 0;
 }

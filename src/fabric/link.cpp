@@ -67,6 +67,10 @@ void Link::send(Packet&& p) {
       if (w.start <= now && now < w.end) prop = params_.propagation + w.extra;
     }
   }
+  if (spans_ != nullptr && p.kind != PacketKind::Ack &&
+      !isConnectionManagement(p.kind)) {
+    spans_->emit(obs::Stage::Wire, p.src, p.srcVi, now, done + prop, wire);
+  }
   // The packet rides inside the event callback itself (EventFn is
   // move-capable), so delivery costs no shared_ptr round-trip.
   engine_.postAt(done + prop,

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "fabric/packet.hpp"
+#include "obs/span.hpp"
 #include "simcore/engine.hpp"
 #include "simcore/prng.hpp"
 #include "simcore/resource.hpp"
@@ -53,6 +54,12 @@ class Link {
   /// Queues a frame for transmission. Delivery happens at
   /// serialization-complete + propagation, unless the frame is dropped.
   void send(Packet&& p);
+
+  /// Attaches a span profiler: every delivered data-path frame emits a
+  /// Wire span covering serialization + propagation (acks and connection
+  /// management are excluded so stage attribution reflects the message
+  /// path). Detach with nullptr; no-cost when detached.
+  void setSpanProfiler(obs::SpanProfiler* spans) { spans_ = spans; }
 
   /// Changes the base loss rate mid-run (failure-injection tests).
   ///
@@ -122,6 +129,7 @@ class Link {
   sim::Xoshiro256 rng_;
   sim::Xoshiro256 corruptRng_;
   Deliver sink_;
+  obs::SpanProfiler* spans_ = nullptr;
   std::uint64_t framesSent_ = 0;
   std::uint64_t framesDropped_ = 0;
   std::uint64_t framesCorrupted_ = 0;

@@ -18,6 +18,7 @@ Network::Network(sim::Engine& engine, const NetworkParams& params)
     // Uplink terminates at the host's switch: apply forwarding latency,
     // then route (down a local port, or via the root for cross-leaf).
     up->connect([this](Packet&& p) {
+      emitSwitchSpan(p, params_.switchLatency);
       engine_.post(params_.switchLatency,
                    [this, p = std::move(p)]() mutable { forward(std::move(p)); });
     });
@@ -46,12 +47,14 @@ Network::Network(sim::Engine& engine, const NetworkParams& params)
       // Trunk up terminates at the root: root latency, then down the
       // destination leaf's trunk.
       upTrunk->connect([this](Packet&& p) {
+        emitSwitchSpan(p, params_.rootSwitchLatency);
         engine_.post(params_.rootSwitchLatency, [this, p = std::move(p)]() mutable {
           forwardFromRoot(std::move(p));
         });
       });
       // Trunk down terminates at the leaf: leaf latency, then the host port.
       downTrunk->connect([this](Packet&& p) {
+        emitSwitchSpan(p, params_.switchLatency);
         engine_.post(params_.switchLatency, [this, p = std::move(p)]() mutable {
           downlinks_.at(p.dst)->send(std::move(p));
         });
@@ -60,6 +63,22 @@ Network::Network(sim::Engine& engine, const NetworkParams& params)
       trunkDown_.push_back(std::move(downTrunk));
     }
   }
+}
+
+void Network::setSpanProfiler(obs::SpanProfiler* spans) {
+  spans_ = spans;
+  for (auto& l : uplinks_) l->setSpanProfiler(spans);
+  for (auto& l : downlinks_) l->setSpanProfiler(spans);
+  for (auto& l : trunkUp_) l->setSpanProfiler(spans);
+  for (auto& l : trunkDown_) l->setSpanProfiler(spans);
+}
+
+void Network::emitSwitchSpan(const Packet& p, sim::Duration latency) {
+  if (spans_ == nullptr || latency <= 0) return;
+  if (p.kind == PacketKind::Ack || isConnectionManagement(p.kind)) return;
+  const sim::SimTime now = engine_.now();
+  spans_->emit(obs::Stage::Wire, p.src, p.srcVi, now, now + latency,
+               p.wireBytes(params_.link.headerBytes));
 }
 
 std::uint64_t Network::framesDropped() const {

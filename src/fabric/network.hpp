@@ -55,6 +55,11 @@ class Network {
   /// be a valid node other than the source (no loopback on the wire).
   void send(Packet&& p);
 
+  /// Attaches a span profiler to every link in the topology plus the
+  /// switch-forwarding hops, so Wire spans tile the whole wire interval
+  /// (host link, leaf/root forwarding, trunks). nullptr detaches.
+  void setSpanProfiler(obs::SpanProfiler* spans);
+
   /// Per-node links, exposed for failure injection and utilization stats.
   Link& uplink(NodeId node) { return *uplinks_.at(node); }
   Link& downlink(NodeId node) { return *downlinks_.at(node); }
@@ -75,6 +80,9 @@ class Network {
  private:
   void forward(Packet&& p);
   void forwardFromRoot(Packet&& p);
+  /// Wire span for a switch-forwarding hop (cut-through latency), so the
+  /// stage attribution accounts for switch time, not just link time.
+  void emitSwitchSpan(const Packet& p, sim::Duration latency);
 
   sim::Engine& engine_;
   NetworkParams params_;
@@ -83,6 +91,7 @@ class Network {
   std::vector<std::unique_ptr<Link>> trunkUp_;    // leaf -> root
   std::vector<std::unique_ptr<Link>> trunkDown_;  // root -> leaf
   std::vector<Receiver> receivers_;
+  obs::SpanProfiler* spans_ = nullptr;
   std::uint64_t forwarded_ = 0;
   std::uint64_t viaRoot_ = 0;
 };

@@ -86,6 +86,11 @@ struct Packet {
 
   ConnInfo conn;
 
+  // Observability stamp: virtual time the originating descriptor was
+  // posted (copied from the work request into every fragment; pure data,
+  // never consulted by the protocol).
+  std::int64_t postedAt = 0;
+
   // Fault injection: the frame was damaged in flight. The payload bytes are
   // left intact (the simulator does not scramble memory); the flag models a
   // CRC failure that the receiving NIC detects and drops, exactly like a

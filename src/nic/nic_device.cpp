@@ -300,6 +300,7 @@ void NicDevice::tryProcessSendQueue(ViEndpointId id) {
       req.conn.token = token;
       req.fragSeq = ++e->txFragSeq;
       req.fragCount = 1;
+      req.postedAt = wr.postedAt;
       e->pendingReads.emplace(token, std::move(wr));
       const sim::SimTime tProc = nicProc_.acquire(
           engine_.now(), profile_.nicPerMsgCost + profile_.nicPerFragCost);
@@ -339,12 +340,19 @@ void NicDevice::processSendWr(ViEndpointId id, Endpoint& e, WorkRequest wr) {
     case DescriptorPickup::HostInline:
       break;  // handled in processSendWrHostInline
   }
+  if (spans_ != nullptr && discovery > 0) {
+    // Doorbell discovery occupies the head of the first fragment's NIC
+    // service; it is attributed here and excluded from that fragment's
+    // NicTx span (the `doorbell` shift below), so the stages tile.
+    spans_->emit(obs::Stage::Doorbell, node_, id, engine_.now(),
+                 engine_.now() + discovery, wr.totalBytes());
+  }
   const sim::Duration firstExtra =
       discovery + profile_.nicPerMsgCost +
       profile_.nicPerSegCost * static_cast<sim::Duration>(wr.segments.size()) +
       translationCost(wr.segments);
   launchFragments(id, e, wr, gather(wr), engine_.now(), firstExtra,
-                  /*viaNicPipeline=*/true);
+                  /*viaNicPipeline=*/true, discovery);
 }
 
 void NicDevice::processSendWrHostInline(ViEndpointId id, Endpoint& e,
@@ -363,6 +371,7 @@ void NicDevice::processSendWrHostInline(ViEndpointId id, Endpoint& e,
   for (std::uint32_t i = 0; i < frags; ++i) {
     const std::uint64_t off = std::uint64_t{i} * e.mtu;
     const std::uint64_t fragBytes = std::min<std::uint64_t>(e.mtu, bytes - off);
+    const sim::SimTime tKernelStart = engine_.now();
     chargeCaller(profile_.hostPerFragCost + profile_.hostCopyTime(fragBytes));
 
     Packet p;
@@ -382,6 +391,7 @@ void NicDevice::processSendWrHostInline(ViEndpointId id, Endpoint& e,
     p.remoteAddr = wr.remoteAddr;
     p.remoteHandle = wr.remoteHandle;
     p.fragSeq = ++e.txFragSeq;
+    p.postedAt = wr.postedAt;
     lastFragSeq = p.fragSeq;
     if (fragBytes > 0) {
       p.payload.assign(
@@ -392,6 +402,10 @@ void NicDevice::processSendWrHostInline(ViEndpointId id, Endpoint& e,
         engine_.now(),
         profile_.nicPerFragCost + (i == 0 ? profile_.nicPerMsgCost : 0));
     const sim::SimTime tDma = dma_.acquire(tNic, profile_.dmaTime(fragBytes));
+    if (spans_ != nullptr) {
+      // Host-inline tx: kernel copy + NIC handoff + DMA, one span per frag.
+      spans_->emit(obs::Stage::NicTx, node_, id, tKernelStart, tDma, fragBytes);
+    }
     if (reliable) {
       e.unacked.push_back(p);
       e.lastFrag = p;
@@ -423,7 +437,8 @@ void NicDevice::launchFragments(ViEndpointId id, Endpoint& e,
                                 std::vector<std::byte> message,
                                 sim::SimTime nicReady,
                                 sim::Duration firstFragExtra,
-                                bool /*viaNicPipeline*/) {
+                                bool /*viaNicPipeline*/,
+                                sim::Duration doorbell) {
   const std::uint64_t bytes = message.size();
   const std::uint32_t frags = fragCountFor(bytes, e.mtu);
   const bool reliable = e.rel != Reliability::Unreliable;
@@ -441,6 +456,13 @@ void NicDevice::launchFragments(ViEndpointId id, Endpoint& e,
     ready = tProc;
     const sim::SimTime tDma = dma_.acquire(tProc, profile_.dmaTime(fragBytes));
     lastDma = tDma;
+    if (spans_ != nullptr) {
+      // The NIC service interval starts at tProc - service; the first
+      // fragment's head is doorbell discovery, already attributed to the
+      // Doorbell stage, so the NicTx span starts after it.
+      const sim::SimTime segStart = tProc - service + (i == 0 ? doorbell : 0);
+      spans_->emit(obs::Stage::NicTx, node_, id, segStart, tDma, fragBytes);
+    }
 
     Packet p;
     p.kind = wr.op == WorkOp::RdmaWrite ? fabric::PacketKind::RdmaWrite
@@ -459,6 +481,7 @@ void NicDevice::launchFragments(ViEndpointId id, Endpoint& e,
     p.remoteAddr = wr.remoteAddr;
     p.remoteHandle = wr.remoteHandle;
     p.fragSeq = ++e.txFragSeq;
+    p.postedAt = wr.postedAt;
     lastFragSeq = p.fragSeq;
     if (fragBytes > 0) {
       p.payload.assign(
@@ -616,6 +639,7 @@ void NicDevice::acceptFragment(ViEndpointId id, Endpoint& e, Packet&& p) {
   // Schedule placement through the RX pipeline.
   const bool first = p.fragIndex == 0;
   const std::uint64_t fragBytes = p.payload.size();
+  const sim::SimTime rxStart = engine_.now();
   sim::SimTime placeTime;
   if (profile_.hostRxProcessing) {
     // M-VIA: DMA into the kernel ring, then ISR + copy on the host CPU.
@@ -626,6 +650,11 @@ void NicDevice::acceptFragment(ViEndpointId id, Endpoint& e, Packet&& p) {
                                   (first ? profile_.hostRxPerMsgCost : 0);
     placeTime = hostKernel_.acquire(tDma, service);
     r->hostCpu += service;
+    if (spans_ != nullptr) {
+      spans_->emit(obs::Stage::Rx, node_, id, rxStart, tDma, fragBytes);
+      spans_->emit(obs::Stage::Reassembly, node_, id, tDma, placeTime,
+                   fragBytes);
+    }
   } else {
     sim::Duration firstExtra = 0;
     if (first) {
@@ -639,6 +668,11 @@ void NicDevice::acceptFragment(ViEndpointId id, Endpoint& e, Packet&& p) {
     const sim::SimTime tProc =
         nicProc_.acquire(engine_.now(), profile_.nicPerFragCost + firstExtra);
     placeTime = dma_.acquire(tProc, profile_.dmaTime(fragBytes));
+    if (spans_ != nullptr) {
+      spans_->emit(obs::Stage::Rx, node_, id, rxStart, tProc, fragBytes);
+      spans_->emit(obs::Stage::Reassembly, node_, id, tProc, placeTime,
+                   fragBytes);
+    }
   }
 
   engine_.postAt(placeTime,
@@ -658,6 +692,7 @@ std::shared_ptr<NicDevice::Reassembly> NicDevice::beginMessage(
   r->msgBytes = first.msgBytes;
   r->hasImmediate = first.hasImmediate;
   r->immediate = first.immediate;
+  r->postedAt = first.postedAt;
 
   switch (first.kind) {
     case fabric::PacketKind::Data: {
@@ -702,6 +737,9 @@ std::shared_ptr<NicDevice::Reassembly> NicDevice::beginMessage(
       r->desc = std::move(it->second);
       e.pendingReads.erase(it);
       r->haveDescriptor = true;
+      // End-to-end attribution for reads starts at the read request's
+      // post, not the (internal) response work request's.
+      r->postedAt = r->desc.postedAt;
       break;
     }
     default:
@@ -765,6 +803,16 @@ void NicDevice::finishMessage(ViEndpointId id,
   }
 
   if ((consumeRecv && r.haveDescriptor) || isReadResp) {
+    if (spans_ != nullptr) {
+      spans_->emit(obs::Stage::Completion, node_, id, at,
+                   at + profile_.completionWriteCost, r.msgBytes);
+      if (!r.discard && r.postedAt > 0) {
+        // Full message path: sender's descriptor post to receiver-side
+        // completion writeback (the quantity stage spans should sum to).
+        spans_->emit(obs::Stage::EndToEnd, node_, id, r.postedAt,
+                     at + profile_.completionWriteCost, r.msgBytes);
+      }
+    }
     Completion c;
     c.cookie = r.desc.cookie;
     c.isSend = isReadResp;

@@ -28,6 +28,7 @@
 #include "mem/tlb.hpp"
 #include "nic/profile.hpp"
 #include "nic/work.hpp"
+#include "obs/span.hpp"
 #include "simcore/engine.hpp"
 #include "simcore/process.hpp"
 #include "simcore/resource.hpp"
@@ -80,6 +81,11 @@ class NicDevice {
   /// Reliability/Translation records while one is attached.
   void setTracer(sim::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Attaches a span profiler: the datapath emits stage-attributed spans
+  /// (Doorbell, NicTx, Rx, Reassembly, Completion, EndToEnd) while one is
+  /// attached. nullptr detaches; emission is fully skipped when detached.
+  void setSpanProfiler(obs::SpanProfiler* spans) { spans_ = spans; }
+
   NodeId nodeId() const { return node_; }
   const NicProfile& profile() const { return profile_; }
   mem::MemoryRegistry& registry() { return registry_; }
@@ -128,6 +134,7 @@ class NicDevice {
     std::uint32_t immediate = 0;
     sim::Duration hostCpu = 0;  // accumulated kernel RX time (M-VIA)
     std::uint64_t lastFragSeq = 0;
+    sim::SimTime postedAt = 0;  // sender-side post time (observability)
   };
 
   struct Endpoint {
@@ -185,7 +192,8 @@ class NicDevice {
   std::vector<std::byte> gather(const WorkRequest& wr);
   void launchFragments(ViEndpointId id, Endpoint& e, const WorkRequest& wr,
                        std::vector<std::byte> message, sim::SimTime nicReady,
-                       sim::Duration firstFragExtra, bool viaNicPipeline);
+                       sim::Duration firstFragExtra, bool viaNicPipeline,
+                       sim::Duration doorbell = 0);
 
   // Receive machinery.
   void handleRx(Packet&& p);
@@ -223,6 +231,7 @@ class NicDevice {
 
   Handlers handlers_;
   sim::Tracer* tracer_ = nullptr;
+  obs::SpanProfiler* spans_ = nullptr;
   // unique_ptr values: Endpoint addresses stay stable across map growth,
   // so references held across process yields (host-inline sends advance
   // the caller mid-processing) cannot dangle on a rehash.

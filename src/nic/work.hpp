@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "mem/memory_registry.hpp"
+#include "simcore/time.hpp"
 
 namespace vibe::nic {
 
@@ -41,6 +42,10 @@ struct WorkRequest {
   mem::MemHandle remoteHandle = 0;
   /// Provider cookie identifying the originating VIPL descriptor.
   std::uint64_t cookie = 0;
+  /// Virtual time the application posted the descriptor (observability
+  /// stamp: carried through fragments to the receiver so end-to-end spans
+  /// can be attributed; has no effect on timing).
+  sim::SimTime postedAt = 0;
 
   std::uint64_t totalBytes() const {
     std::uint64_t total = 0;

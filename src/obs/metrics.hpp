@@ -1,0 +1,134 @@
+// Metrics primitives for the observability layer.
+//
+// A MetricsRegistry is a named collection of counters, gauges, and
+// log-bucketed latency histograms. Producers (NIC models, the cluster
+// harness, benchmarks) publish into a registry that the consumer owns;
+// nothing in the simulator allocates or records unless a registry was
+// attached, so the data path stays byte-identical with observability off.
+//
+// Naming convention (see docs/OBSERVABILITY.md): lower_snake metric names,
+// scoped by "/"-joined prefixes, coarsest first — "node0/nic.frags_tx",
+// "node1/vi3/rtt_ns", "bench.pingpong/latency_ns". The registry itself
+// treats names as opaque keys; scopes exist so renderText() groups related
+// metrics and trajectory tooling can diff stable keys.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vibe::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) { value_ += delta; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Log-bucketed histogram of non-negative integer samples (latencies in
+/// nanoseconds by convention).
+//
+// Bucketing is HDR-style: values below 2^kSubBits get exact unit buckets;
+// above that, each power-of-two octave is split into 2^kSubBits sub-buckets,
+// so relative bucket error is bounded by 1/2^kSubBits (~12.5%) at any
+// magnitude. Samples beyond kMaxValue land in a terminal overflow bucket
+// (and are counted separately); quantiles clamp to the recorded min/max, so
+// single-sample and extreme queries are exact.
+class Histogram {
+ public:
+  static constexpr int kSubBits = 3;
+  static constexpr std::uint64_t kMaxValue = 1ull << 62;
+
+  /// Records one sample; negative values clamp to zero.
+  void add(std::int64_t value);
+
+  std::size_t count() const { return count_; }
+  std::uint64_t min() const { return count_ ? min_ : 0; }
+  std::uint64_t max() const { return max_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? sum_ / static_cast<double>(count_) : 0.0; }
+  /// Samples that exceeded kMaxValue and were clamped into the overflow
+  /// bucket (still included in count/sum/max).
+  std::uint64_t overflowCount() const { return overflow_; }
+
+  /// q in [0,1]; interpolates inside the covering bucket and clamps to the
+  /// recorded [min, max]. Returns 0 when empty.
+  double quantile(double q) const;
+  double median() const { return quantile(0.5); }
+
+  /// Merges another histogram into this one.
+  void merge(const Histogram& other);
+
+  void clear();
+
+  /// Bucket index for a value (exposed for tests).
+  static std::size_t bucketIndex(std::uint64_t value);
+  /// Inclusive [lo, hi] value range of a bucket (exposed for tests).
+  static void bucketBounds(std::size_t index, std::uint64_t& lo,
+                           std::uint64_t& hi);
+
+ private:
+  std::vector<std::uint64_t> buckets_;  // grown lazily to the highest index
+  std::size_t count_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+  double sum_ = 0.0;
+  std::uint64_t overflow_ = 0;
+};
+
+/// Named metrics, created on first use. Iteration is name-ordered, so
+/// rendered output and JSON emission are deterministic.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  bool empty() const {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+  void clear();
+
+  /// Aligned text dump: counters, then gauges, then histograms with
+  /// count/mean/p50/p99/max columns (nanosecond samples shown in usec).
+  std::string renderText() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Joins scope and name with the conventional "/" separator.
+inline std::string scoped(std::string_view scope, std::string_view name) {
+  std::string out;
+  out.reserve(scope.size() + 1 + name.size());
+  out.append(scope);
+  out.push_back('/');
+  out.append(name);
+  return out;
+}
+
+}  // namespace vibe::obs

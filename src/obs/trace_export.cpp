@@ -1,0 +1,104 @@
+#include "obs/trace_export.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace vibe::obs {
+
+namespace {
+
+/// JSON string escaping for trace messages (quotes, backslashes, control
+/// characters; everything else passes through byte-for-byte).
+std::string escapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Trace-event timestamps are microseconds; ns-resolution sim times render
+/// with three decimals so nothing is lost.
+void appendUsec(std::ostringstream& os, sim::SimTime t) {
+  os << t / 1000 << '.';
+  const auto frac = static_cast<int>(t % 1000);
+  os << static_cast<char>('0' + frac / 100)
+     << static_cast<char>('0' + (frac / 10) % 10)
+     << static_cast<char>('0' + frac % 10);
+}
+
+}  // namespace
+
+void TraceJsonExporter::instant(const sim::TraceRecord& r) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << escapeJson(r.message) << "\",\"cat\":\""
+     << sim::toString(r.category) << "\",\"ph\":\"i\",\"s\":\"p\",\"ts\":";
+  appendUsec(os, r.time);
+  os << ",\"pid\":" << r.component << ",\"tid\":0}";
+  events_.push_back(os.str());
+}
+
+void TraceJsonExporter::span(const SpanEvent& e) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << toString(e.stage)
+     << "\",\"cat\":\"stage\",\"ph\":\"X\",\"ts\":";
+  appendUsec(os, e.begin);
+  os << ",\"dur\":";
+  appendUsec(os, e.end - e.begin);
+  os << ",\"pid\":" << e.node << ",\"tid\":" << e.vi
+     << ",\"args\":{\"bytes\":" << e.bytes << "}}";
+  events_.push_back(os.str());
+}
+
+void TraceJsonExporter::exportSpans(const SpanProfiler& profiler) {
+  for (const SpanEvent& e : profiler.events()) span(e);
+}
+
+bool TraceJsonExporter::finish() {
+  if (finished_) return true;
+  finished_ = true;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace_export: cannot open %s\n", path_.c_str());
+    return false;
+  }
+  std::fputs("{\"traceEvents\":[", f);
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i != 0) std::fputc(',', f);
+    std::fputs("\n", f);
+    std::fputs(events_[i].c_str(), f);
+  }
+  std::fputs("\n],\"displayTimeUnit\":\"ns\"}\n", f);
+  const bool ok = std::fclose(f) == 0;
+  return ok;
+}
+
+const char* TraceJsonExporter::envPath() {
+  const char* v = std::getenv("VIBE_TRACE_OUT");
+  return (v != nullptr && v[0] != '\0') ? v : nullptr;
+}
+
+std::unique_ptr<TraceJsonExporter> TraceJsonExporter::fromEnv() {
+  const char* path = envPath();
+  if (path == nullptr) return nullptr;
+  return std::make_unique<TraceJsonExporter>(path);
+}
+
+}  // namespace vibe::obs

@@ -1,0 +1,63 @@
+// Chrome trace-event (Perfetto-loadable) JSON export.
+//
+// Bridges the simulator's observability streams into the trace-event JSON
+// format that chrome://tracing and https://ui.perfetto.dev open directly:
+// Tracer records become instant events (ph:"i"), profiler spans become
+// complete duration events (ph:"X"). Events are buffered in memory and
+// written on finish(), so a crashed run loses the file rather than leaving
+// a truncated, unparseable one. Activated in the bench binaries via
+// VIBE_TRACE_OUT=<file> (see docs/OBSERVABILITY.md).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+#include "simcore/trace.hpp"
+
+namespace vibe::obs {
+
+class TraceJsonExporter {
+ public:
+  explicit TraceJsonExporter(std::string path) : path_(std::move(path)) {}
+  ~TraceJsonExporter() { finish(); }
+
+  TraceJsonExporter(const TraceJsonExporter&) = delete;
+  TraceJsonExporter& operator=(const TraceJsonExporter&) = delete;
+
+  const std::string& path() const { return path_; }
+  std::size_t eventCount() const { return events_.size(); }
+
+  /// Adds one instant event (pid = component, name = message).
+  void instant(const sim::TraceRecord& r);
+
+  /// Adds one duration event (pid = node, tid = vi, name = stage).
+  void span(const SpanEvent& e);
+
+  /// Adds every event the profiler retained (needs setKeepEvents(true)).
+  void exportSpans(const SpanProfiler& profiler);
+
+  /// A Tracer sink that streams records into this exporter. The exporter
+  /// must outlive the tracer's use of the sink.
+  sim::Tracer::Sink makeSink() {
+    return [this](const sim::TraceRecord& r) { instant(r); };
+  }
+
+  /// Writes the buffered events as {"traceEvents":[...]} and closes.
+  /// Idempotent; returns false on I/O failure (first call only).
+  bool finish();
+
+  /// VIBE_TRACE_OUT destination, or nullptr when unset/empty.
+  static const char* envPath();
+  /// Exporter for VIBE_TRACE_OUT, or null when the env var is unset.
+  static std::unique_ptr<TraceJsonExporter> fromEnv();
+
+ private:
+  std::string path_;
+  std::vector<std::string> events_;  // pre-rendered JSON objects
+  bool finished_ = false;
+};
+
+}  // namespace vibe::obs

@@ -1,6 +1,10 @@
 #include "vibe/cluster.hpp"
 
+#include <string>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 
 namespace vibe::suite {
 
@@ -29,6 +33,60 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
         engine_, *net_, n, config_.profile, ns_,
         "node" + std::to_string(n)));
   }
+
+  // Config-carried observability attachments (used by runners that build
+  // the Cluster internally). All default to null = disabled.
+  if (config_.tracer != nullptr) setTracer(config_.tracer);
+  if (config_.spans != nullptr) setSpanProfiler(config_.spans);
+  if (config_.metrics != nullptr) setMetricsRegistry(config_.metrics);
+}
+
+void Cluster::setSpanProfiler(obs::SpanProfiler* spans) {
+  spans_ = spans;
+  for (auto& p : providers_) p->setSpanProfiler(spans);
+  net_->setSpanProfiler(spans);
+}
+
+void Cluster::publishStats() {
+  if (metrics_ == nullptr) return;
+  obs::MetricsRegistry& m = *metrics_;
+  lastPublished_.resize(providers_.size());
+  for (std::uint32_t n = 0; n < providers_.size(); ++n) {
+    const nic::NicStats& s = providers_[n]->device().stats();
+    nic::NicStats& prev = lastPublished_[n];
+    const std::string scope = "node" + std::to_string(n);
+    auto pub = [&](const char* name, std::uint64_t cur, std::uint64_t& last) {
+      if (cur > last) {
+        m.counter(obs::scoped(scope, name)).add(cur - last);
+      }
+      last = cur;
+    };
+    pub("nic.sends_posted", s.sendsPosted, prev.sendsPosted);
+    pub("nic.recvs_posted", s.recvsPosted, prev.recvsPosted);
+    pub("nic.frags_tx", s.fragsTx, prev.fragsTx);
+    pub("nic.frags_rx", s.fragsRx, prev.fragsRx);
+    pub("nic.bytes_tx", s.bytesTx, prev.bytesTx);
+    pub("nic.bytes_rx", s.bytesRx, prev.bytesRx);
+    pub("nic.acks_tx", s.acksTx, prev.acksTx);
+    pub("nic.acks_rx", s.acksRx, prev.acksRx);
+    pub("nic.retransmits", s.retransmits, prev.retransmits);
+    pub("nic.rx_corrupted", s.rxCorrupted, prev.rxCorrupted);
+    pub("nic.rx_dropped_no_descriptor", s.rxDroppedNoDescriptor,
+        prev.rxDroppedNoDescriptor);
+    pub("nic.rx_dropped_bad_endpoint", s.rxDroppedBadEndpoint,
+        prev.rxDroppedBadEndpoint);
+    pub("nic.rx_out_of_order_dropped", s.rxOutOfOrderDropped,
+        prev.rxOutOfOrderDropped);
+    pub("nic.protocol_errors", s.protocolErrors, prev.protocolErrors);
+  }
+  auto pubNet = [&](const char* name, std::uint64_t cur,
+                    std::uint64_t& last) {
+    if (cur > last) m.counter(obs::scoped("fabric", name)).add(cur - last);
+    last = cur;
+  };
+  pubNet("frames_dropped", net_->framesDropped(), lastFramesDropped_);
+  pubNet("frames_corrupted", net_->framesCorrupted(), lastFramesCorrupted_);
+  pubNet("packets_forwarded", net_->packetsForwarded(), lastForwarded_);
 }
 
 void Cluster::setTracer(sim::Tracer* tracer) {
@@ -56,6 +114,7 @@ void Cluster::run(std::vector<std::function<void(NodeEnv&)>> programs) {
         }));
   }
   engine_.run();
+  publishStats();
 }
 
 }  // namespace vibe::suite

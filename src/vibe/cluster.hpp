@@ -19,6 +19,11 @@ namespace vibe::fault {
 class FaultInjector;
 }
 
+namespace vibe::obs {
+class MetricsRegistry;
+class SpanProfiler;
+}
+
 namespace vibe::suite {
 
 struct ClusterConfig {
@@ -31,6 +36,14 @@ struct ClusterConfig {
   // switch, with leaf<->root trunks of `trunkMBps` (0 = same as the link).
   std::uint32_t nodesPerSwitch = 0;
   double trunkMBps = 0.0;
+
+  // Observability attachments (all optional; null = zero-cost disabled).
+  // Set before handing the config to a runner that builds its own Cluster
+  // (e.g. runPingPong); the Cluster constructor wires them through the
+  // stack the same way setTracer/setSpanProfiler do.
+  sim::Tracer* tracer = nullptr;
+  obs::SpanProfiler* spans = nullptr;
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Per-node view handed to a node program.
@@ -62,6 +75,25 @@ class Cluster {
   void setTracer(sim::Tracer* tracer);
   sim::Tracer* tracer() const { return tracer_; }
 
+  /// Attaches one span profiler to every provider (Post spans), NIC device
+  /// (Doorbell/NicTx/Rx/Reassembly/Completion/EndToEnd), and the network
+  /// (Wire). nullptr detaches everywhere.
+  void setSpanProfiler(obs::SpanProfiler* spans);
+  obs::SpanProfiler* spanProfiler() const { return spans_; }
+
+  /// Registers a metrics registry; run() publishes per-node NIC and
+  /// fabric counters into it (delta-based, so repeated run() calls and
+  /// multiple clusters sharing one registry accumulate correctly).
+  void setMetricsRegistry(obs::MetricsRegistry* metrics) {
+    metrics_ = metrics;
+  }
+  obs::MetricsRegistry* metricsRegistry() const { return metrics_; }
+
+  /// Publishes NIC/fabric counter deltas since the last publish into the
+  /// registry (no-op when none is attached). Called at the end of run();
+  /// exposed for programs that inspect metrics mid-simulation.
+  void publishStats();
+
   /// Records the fault injector driving this cluster (called by
   /// fault::FaultInjector::arm). Purely an attachment registry — the
   /// injector acts on the network links directly.
@@ -79,7 +111,14 @@ class Cluster {
   std::unique_ptr<fabric::Network> net_;
   std::vector<std::unique_ptr<vipl::Provider>> providers_;
   sim::Tracer* tracer_ = nullptr;
+  obs::SpanProfiler* spans_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   fault::FaultInjector* injector_ = nullptr;
+  // Counter snapshots from the last publishStats() (delta publishing).
+  std::vector<nic::NicStats> lastPublished_;
+  std::uint64_t lastFramesDropped_ = 0;
+  std::uint64_t lastFramesCorrupted_ = 0;
+  std::uint64_t lastForwarded_ = 0;
 };
 
 }  // namespace vibe::suite

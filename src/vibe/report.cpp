@@ -141,4 +141,17 @@ std::string renderSurvey(const SurveyResult& r) {
   return os.str();
 }
 
+std::string renderStatsAppendix(const obs::MetricsRegistry& metrics) {
+  if (metrics.empty()) return {};
+  std::ostringstream os;
+  os << "\n--- stats appendix ---\n" << metrics.renderText();
+  return os.str();
+}
+
+std::string renderStageAttribution(const obs::SpanProfiler& spans) {
+  std::ostringstream os;
+  os << "\n--- stage attribution ---\n" << spans.renderAttribution();
+  return os.str();
+}
+
 }  // namespace vibe::suite

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "nic/profile.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "vibe/clientserver.hpp"
 #include "vibe/datatransfer.hpp"
 #include "vibe/nondata.hpp"
@@ -63,5 +65,13 @@ SurveyResult runSurvey(const nic::NicProfile& profile,
 
 /// Renders a human-readable report.
 std::string renderSurvey(const SurveyResult& result);
+
+/// Renders the registry as a stats appendix (the `--stats` / VIBE_STATS=1
+/// output appended after a suite run). Empty string when the registry
+/// recorded nothing.
+std::string renderStatsAppendix(const obs::MetricsRegistry& metrics);
+
+/// Renders the span profiler's per-stage latency attribution table.
+std::string renderStageAttribution(const obs::SpanProfiler& spans);
 
 }  // namespace vibe::suite

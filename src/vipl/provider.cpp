@@ -511,6 +511,7 @@ std::uint32_t pagesOfSegments(const std::vector<VipDataSegment>& ds) {
 
 VipResult Provider::postSend(Vi* vi, VipDescriptor* desc) {
   if (vi == nullptr || desc == nullptr) return VipResult::VIP_INVALID_PARAMETER;
+  const sim::SimTime postStart = engine_.now();
   charge(profile_.viplCallOverhead + profile_.postSendBase +
          profile_.postSendPerSeg * static_cast<sim::Duration>(desc->ds.size()) +
          profile_.hostTranslationPerPage * pagesOfSegments(desc->ds));
@@ -541,7 +542,14 @@ VipResult Provider::postSend(Vi* vi, VipDescriptor* desc) {
   const std::uint64_t cookie = nextCookie_++;
   pending_.emplace(cookie, PendingWr{desc, vi, /*isSend=*/true});
   charge(profile_.doorbellCost);
-  device_.postSend(vi->ep_, buildWorkRequest(*desc, cookie));
+  nic::WorkRequest wr = buildWorkRequest(*desc, cookie);
+  wr.postedAt = postStart;
+  if (spans_ != nullptr) {
+    // Post stage: VIPL call overhead + descriptor build + doorbell write.
+    spans_->emit(obs::Stage::Post, node_, vi->ep_, postStart, engine_.now(),
+                 wr.totalBytes());
+  }
+  device_.postSend(vi->ep_, std::move(wr));
   return VipResult::VIP_SUCCESS;
 }
 

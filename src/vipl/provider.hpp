@@ -214,6 +214,14 @@ class Provider {
     errorCallback_ = std::move(cb);
   }
 
+  /// Attaches a span profiler: postSend emits a Post span covering the
+  /// host-side posting cost, and the NIC device emits the downstream
+  /// stages. nullptr detaches (and detaches from the device).
+  void setSpanProfiler(obs::SpanProfiler* spans) {
+    spans_ = spans;
+    device_.setSpanProfiler(spans);
+  }
+
   // --- accessors ---
   sim::Engine& engine() { return engine_; }
   mem::HostMemory& memory() { return memory_; }
@@ -286,6 +294,7 @@ class Provider {
   std::uint32_t nextConnToken_ = 1;
 
   std::function<void(Vi*, nic::WorkStatus)> errorCallback_;
+  obs::SpanProfiler* spans_ = nullptr;
 };
 
 }  // namespace vibe::vipl

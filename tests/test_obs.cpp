@@ -1,0 +1,401 @@
+// Tests for the observability layer: histogram bucketing and quantiles,
+// the metrics registry, span-profiler bookkeeping, Chrome trace-event
+// export, and the end-to-end stage-attribution invariant on a live
+// ping-pong run.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "nic/profiles.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace_export.hpp"
+#include "vibe/datatransfer.hpp"
+
+namespace vibe {
+namespace {
+
+using obs::Histogram;
+using obs::MetricsRegistry;
+using obs::SpanProfiler;
+using obs::Stage;
+
+// --- Histogram -----------------------------------------------------------
+
+TEST(HistogramTest, EmptyHistogramIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+}
+
+TEST(HistogramTest, SingleSampleQuantilesAreExact) {
+  Histogram h;
+  h.add(1234567);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234567u);
+  EXPECT_EQ(h.max(), 1234567u);
+  // Quantiles clamp to [min, max], so a lone sample is reported exactly
+  // even though its bucket spans a range.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1234567.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1234567.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1234567.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 1234567.0);
+}
+
+TEST(HistogramTest, NegativeSamplesClampToZero) {
+  Histogram h;
+  h.add(-42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramTest, OverflowBucketCountsAndClamps) {
+  Histogram h;
+  const std::int64_t huge =
+      static_cast<std::int64_t>(Histogram::kMaxValue) + 7;
+  h.add(5);
+  h.add(huge);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.overflowCount(), 1u);
+  EXPECT_EQ(h.max(), static_cast<std::uint64_t>(huge));
+  // The overflow sample still participates in sum/mean and quantiles
+  // clamp to the recorded max rather than the bucket's upper bound.
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), static_cast<double>(huge));
+  // Exactly kMaxValue is representable and not an overflow.
+  Histogram edge;
+  edge.add(static_cast<std::int64_t>(Histogram::kMaxValue));
+  EXPECT_EQ(edge.overflowCount(), 0u);
+}
+
+TEST(HistogramTest, QuantilesAreMonotone) {
+  Histogram h;
+  for (int i = 0; i < 1000; ++i) h.add(i * i);
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), static_cast<double>(h.min()));
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), static_cast<double>(h.max()));
+}
+
+TEST(HistogramTest, BucketIndexAndBoundsAreInverse) {
+  // Every probed value must land inside its bucket's bounds, and above
+  // the unit-bucket region the bucket width must respect the 1/2^kSubBits
+  // relative-error guarantee (width * 2^kSubBits <= lo).
+  const std::uint64_t probes[] = {0,       1,    7,    8,       9,
+                                  15,      16,   17,   255,     256,
+                                  1000,    4095, 4096, 1000000,
+                                  (1ull << 40) + 12345, Histogram::kMaxValue};
+  for (const std::uint64_t v : probes) {
+    const std::size_t idx = Histogram::bucketIndex(v);
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    Histogram::bucketBounds(idx, lo, hi);
+    EXPECT_LE(lo, v) << "value " << v;
+    EXPECT_GE(hi, v) << "value " << v;
+    if (v >= (1ull << Histogram::kSubBits)) {
+      EXPECT_LE((hi - lo + 1) << Histogram::kSubBits, lo) << "value " << v;
+    } else {
+      EXPECT_EQ(lo, hi) << "unit bucket for " << v;
+    }
+  }
+  // Adjacent buckets tile the value axis with no gaps or overlap.
+  std::uint64_t prevHi = 0;
+  for (std::size_t idx = 0; idx < 200; ++idx) {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    Histogram::bucketBounds(idx, lo, hi);
+    if (idx > 0) {
+      EXPECT_EQ(lo, prevHi + 1) << "bucket " << idx;
+    }
+    prevHi = hi;
+  }
+}
+
+TEST(HistogramTest, MergeCombinesCountsAndExtremes) {
+  Histogram a;
+  Histogram b;
+  a.add(10);
+  a.add(20);
+  b.add(5);
+  b.add(1000000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 4u);
+  EXPECT_EQ(a.min(), 5u);
+  EXPECT_EQ(a.max(), 1000000u);
+  EXPECT_DOUBLE_EQ(a.sum(), 10.0 + 20.0 + 5.0 + 1000000.0);
+  // Merging an empty histogram is a no-op.
+  Histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 4u);
+}
+
+// --- MetricsRegistry -----------------------------------------------------
+
+TEST(MetricsRegistryTest, CreatesOnDemandAndRendersSorted) {
+  MetricsRegistry m;
+  EXPECT_TRUE(m.empty());
+  m.counter("node1/nic.frags_tx").add(3);
+  m.counter("node0/nic.frags_tx").add(7);
+  m.gauge("bench/bandwidth_mbps").set(812.5);
+  m.histogram("node0/latency_ns").add(1500);
+  EXPECT_FALSE(m.empty());
+  // Same name resolves to the same instance.
+  m.counter("node0/nic.frags_tx").add(1);
+  EXPECT_EQ(m.counter("node0/nic.frags_tx").value(), 8u);
+  const std::string text = m.renderText();
+  const auto pos0 = text.find("node0/nic.frags_tx");
+  const auto pos1 = text.find("node1/nic.frags_tx");
+  ASSERT_NE(pos0, std::string::npos);
+  ASSERT_NE(pos1, std::string::npos);
+  EXPECT_LT(pos0, pos1) << "renderText must be name-ordered";
+  EXPECT_NE(text.find("bench/bandwidth_mbps"), std::string::npos);
+  EXPECT_NE(text.find("node0/latency_ns"), std::string::npos);
+  m.clear();
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MetricsRegistryTest, ScopedJoinsWithSlash) {
+  EXPECT_EQ(obs::scoped("node0", "nic.frags_tx"), "node0/nic.frags_tx");
+  EXPECT_EQ(obs::scoped("bench.pingpong", "latency_ns"),
+            "bench.pingpong/latency_ns");
+}
+
+// --- SpanProfiler --------------------------------------------------------
+
+TEST(SpanProfilerTest, MalformedSpanCountsAsMismatch) {
+  SpanProfiler p;
+  p.emit(Stage::Wire, 0, 0, /*begin=*/100, /*end=*/50, 64);
+  EXPECT_EQ(p.mismatchCount(), 1u);
+  EXPECT_EQ(p.totalSpans(), 0u);
+  EXPECT_EQ(p.stage(Stage::Wire).count(), 0u);
+  // Zero-length spans are legal (instantaneous stage).
+  p.emit(Stage::Wire, 0, 0, 100, 100, 64);
+  EXPECT_EQ(p.totalSpans(), 1u);
+}
+
+TEST(SpanProfilerTest, BeginEndNestsPerKey) {
+  SpanProfiler p;
+  p.beginSpan(Stage::NicTx, 0, 1, 10);  // outer
+  p.beginSpan(Stage::NicTx, 0, 1, 20);  // inner
+  EXPECT_EQ(p.openSpanCount(), 2u);
+  EXPECT_TRUE(p.endSpan(Stage::NicTx, 0, 1, 30));  // closes inner: 10 ns
+  EXPECT_TRUE(p.endSpan(Stage::NicTx, 0, 1, 50));  // closes outer: 40 ns
+  EXPECT_EQ(p.openSpanCount(), 0u);
+  const Histogram& h = p.stage(Stage::NicTx);
+  ASSERT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.min(), 10u);
+  EXPECT_EQ(h.max(), 40u);
+  // Distinct keys do not close each other's spans.
+  p.beginSpan(Stage::Rx, 2, 0, 100);
+  EXPECT_FALSE(p.endSpan(Stage::Rx, 3, 0, 110));
+  EXPECT_EQ(p.mismatchCount(), 1u);
+  EXPECT_EQ(p.openSpanCount(), 1u);
+}
+
+TEST(SpanProfilerTest, EndWithoutBeginIsAMismatch) {
+  SpanProfiler p;
+  EXPECT_FALSE(p.endSpan(Stage::Post, 0, 0, 5));
+  EXPECT_EQ(p.mismatchCount(), 1u);
+  EXPECT_EQ(p.totalSpans(), 0u);
+}
+
+TEST(SpanProfilerTest, EventRetentionIsBoundedAndOptional) {
+  SpanProfiler off;
+  off.emit(Stage::Wire, 0, 0, 0, 10, 1);
+  EXPECT_TRUE(off.events().empty()) << "keepEvents defaults to off";
+  EXPECT_EQ(off.eventsDropped(), 0u);
+
+  SpanProfiler p(/*maxEvents=*/4);
+  p.setKeepEvents(true);
+  for (int i = 0; i < 6; ++i) {
+    p.emit(Stage::Wire, 0, 0, i * 10, i * 10 + 5, 64);
+  }
+  EXPECT_EQ(p.events().size(), 4u);
+  EXPECT_EQ(p.eventsDropped(), 2u);
+  // Aggregation is unaffected by the retention cap.
+  EXPECT_EQ(p.totalSpans(), 6u);
+  EXPECT_EQ(p.stage(Stage::Wire).count(), 6u);
+}
+
+TEST(SpanProfilerTest, ClearResetsEverything) {
+  SpanProfiler p;
+  p.setKeepEvents(true);
+  p.emit(Stage::Post, 0, 0, 0, 10, 1);
+  p.beginSpan(Stage::Rx, 0, 0, 5);
+  p.endSpan(Stage::Wire, 0, 0, 7);  // mismatch
+  p.clear();
+  EXPECT_EQ(p.totalSpans(), 0u);
+  EXPECT_EQ(p.mismatchCount(), 0u);
+  EXPECT_EQ(p.openSpanCount(), 0u);
+  EXPECT_TRUE(p.events().empty());
+  EXPECT_EQ(p.stage(Stage::Post).count(), 0u);
+  EXPECT_DOUBLE_EQ(p.stageMeanSumUsec(), 0.0);
+}
+
+TEST(SpanProfilerTest, StageToStringIsExhaustive) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Stage::kCount); ++i) {
+    const char* name = obs::toString(static_cast<Stage>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "stage " << i;
+  }
+  EXPECT_STREQ(obs::toString(Stage::kCount), "?");
+  EXPECT_TRUE(obs::isPipelineStage(Stage::Wire));
+  EXPECT_FALSE(obs::isPipelineStage(Stage::EndToEnd));
+}
+
+// --- Trace JSON export ---------------------------------------------------
+
+namespace {
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Counts complete top-level JSON objects inside the traceEvents array by
+/// brace balance — a hand-rolled check that the file is structurally sound
+/// without a JSON library.
+std::size_t countTraceEvents(const std::string& json) {
+  const auto start = json.find('[');
+  const auto end = json.rfind(']');
+  if (start == std::string::npos || end == std::string::npos) return 0;
+  std::size_t events = 0;
+  int depth = 0;
+  bool inString = false;
+  for (std::size_t i = start + 1; i < end; ++i) {
+    const char c = json[i];
+    if (inString) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        inString = false;
+      }
+      continue;
+    }
+    if (c == '"') inString = true;
+    if (c == '{' && depth++ == 0) ++events;
+    if (c == '}') --depth;
+  }
+  return depth == 0 ? events : 0;
+}
+}  // namespace
+
+TEST(TraceExportTest, RoundTripsSpansAndInstants) {
+  const std::string path = ::testing::TempDir() + "vibe_trace_test.json";
+  SpanProfiler p;
+  p.setKeepEvents(true);
+  p.emit(Stage::NicTx, 0, 3, 1000, 2500, 64);
+  p.emit(Stage::Wire, 0, 3, 2500, 4000, 84);
+  {
+    obs::TraceJsonExporter exp(path);
+    exp.exportSpans(p);
+    sim::TraceRecord rec;
+    rec.time = 4200;
+    rec.category = sim::TraceCategory::Completion;
+    rec.component = 1;
+    rec.message = "cq write \"quoted\"\n";
+    exp.instant(rec);
+    EXPECT_EQ(exp.eventCount(), 3u);
+    EXPECT_TRUE(exp.finish());
+    EXPECT_TRUE(exp.finish()) << "finish must be idempotent";
+  }
+  const std::string json = readFile(path);
+  ASSERT_FALSE(json.empty());
+  EXPECT_EQ(countTraceEvents(json), 3u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"nic_tx\""), std::string::npos);
+  // 1000 ns begin renders as 1.000 us; duration 1500 ns as 1.500 us.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":1.500"), std::string::npos);
+  // The quote and newline in the instant's message must be escaped.
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(TraceExportTest, DestructorFlushesBufferedEvents) {
+  const std::string path = ::testing::TempDir() + "vibe_trace_dtor.json";
+  {
+    obs::TraceJsonExporter exp(path);
+    SpanProfiler p;
+    p.setKeepEvents(true);
+    p.emit(Stage::Post, 1, 0, 0, 50, 4);
+    exp.exportSpans(p);
+  }  // destructor calls finish()
+  EXPECT_EQ(countTraceEvents(readFile(path)), 1u);
+  std::remove(path.c_str());
+}
+
+// --- Live stage attribution ----------------------------------------------
+
+TEST(ObsIntegration, StageSumMatchesEndToEndOnPingPong) {
+  SpanProfiler spans;
+  suite::ClusterConfig cc{nic::clanProfile()};
+  cc.spans = &spans;
+  suite::TransferConfig cfg;
+  cfg.msgBytes = 64;
+  cfg.iterations = 100;
+  cfg.warmup = 4;
+  const auto r = suite::runPingPong(cc, cfg);
+  ASSERT_GT(r.latencyUsec, 0.0);
+
+  // Every message (both directions, warmup included) got an envelope.
+  EXPECT_EQ(spans.messageCount(),
+            static_cast<std::size_t>(cfg.iterations + cfg.warmup) * 2);
+  EXPECT_EQ(spans.mismatchCount(), 0u);
+  EXPECT_EQ(spans.openSpanCount(), 0u);
+
+  // The per-message stage sum must account for the full post-to-completion
+  // envelope: the stages tile the journey, so the sum matches the measured
+  // EndToEnd mean closely (small deviations only from pipelining overlap).
+  const double e2eUs = spans.stage(Stage::EndToEnd).mean() / 1e3;
+  const double sumUs = spans.stageMeanSumUsec();
+  ASSERT_GT(e2eUs, 0.0);
+  EXPECT_NEAR(sumUs, e2eUs, 0.1 * e2eUs)
+      << spans.renderAttribution();
+  // ...and the envelope itself sits at or below the measured one-way
+  // latency (which adds the receiver's reap overhead).
+  EXPECT_LE(e2eUs, r.latencyUsec * 1.05) << spans.renderAttribution();
+  EXPECT_GE(r.latencyUsec, e2eUs * 0.75) << spans.renderAttribution();
+
+  const std::string table = spans.renderAttribution();
+  EXPECT_NE(table.find("nic_tx"), std::string::npos);
+  EXPECT_NE(table.find("wire"), std::string::npos);
+  EXPECT_NE(table.find("end-to-end"), std::string::npos);
+}
+
+TEST(ObsIntegration, AttachedProfilerDoesNotPerturbTiming) {
+  suite::TransferConfig cfg;
+  cfg.msgBytes = 1024;
+  cfg.iterations = 50;
+  const auto plain =
+      suite::runPingPong(suite::ClusterConfig{nic::bviaProfile()}, cfg);
+  SpanProfiler spans;
+  suite::ClusterConfig cc{nic::bviaProfile()};
+  cc.spans = &spans;
+  const auto observed = suite::runPingPong(cc, cfg);
+  // Observability is measurement, not load: identical virtual-time result.
+  EXPECT_DOUBLE_EQ(observed.latencyUsec, plain.latencyUsec);
+  EXPECT_DOUBLE_EQ(observed.latencyP99Usec, plain.latencyP99Usec);
+  EXPECT_GT(spans.totalSpans(), 0u);
+}
+
+}  // namespace
+}  // namespace vibe

@@ -2,6 +2,10 @@
 // filtering, and integration with the NIC datapath.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "nic/profiles.hpp"
 #include "simcore/trace.hpp"
 #include "vibe/cluster.hpp"
@@ -58,6 +62,86 @@ TEST(TracerTest, ClearResets) {
   t.clear();
   EXPECT_EQ(t.totalRecorded(), 0u);
   EXPECT_TRUE(t.snapshot().empty());
+}
+
+TEST(TracerTest, ToStringCoversEveryCategory) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(TraceCategory::kCount);
+       ++i) {
+    const char* name = sim::toString(static_cast<TraceCategory>(i));
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "?") << "category " << i << " missing from toString";
+    // Names must be unique (dump output and exporters key on them).
+    for (std::size_t j = 0; j < i; ++j) {
+      EXPECT_STRNE(name, sim::toString(static_cast<TraceCategory>(j)));
+    }
+  }
+  EXPECT_STREQ(sim::toString(TraceCategory::kCount), "?");
+}
+
+TEST(TracerTest, SnapshotIsOldestFirstAcrossWrapBoundaries) {
+  // Exercise the ring at several capacities and fill ratios: partially
+  // full, exactly full, and wrapped one or more times. snapshot() must
+  // always return retained records oldest-first with contiguous times.
+  for (const std::size_t cap : {1u, 2u, 3u, 8u}) {
+    for (const int total : {1, 2, 3, 7, 8, 9, 17}) {
+      Tracer t(cap);
+      t.enableAll();
+      for (int i = 0; i < total; ++i) {
+        t.record(i, TraceCategory::User, 0, std::to_string(i));
+      }
+      const auto snap = t.snapshot();
+      const std::size_t expect =
+          std::min<std::size_t>(cap, static_cast<std::size_t>(total));
+      ASSERT_EQ(snap.size(), expect) << "cap=" << cap << " total=" << total;
+      for (std::size_t i = 0; i < snap.size(); ++i) {
+        EXPECT_EQ(snap[i].time,
+                  static_cast<sim::SimTime>(total - static_cast<int>(expect) +
+                                            static_cast<int>(i)))
+            << "cap=" << cap << " total=" << total << " slot=" << i;
+      }
+    }
+  }
+}
+
+TEST(TracerTest, SinkAttachAndDetachMidRun) {
+  Tracer t(2);  // tiny ring: the sink must still see the full stream
+  t.enableAll();
+  std::vector<std::string> seen;
+  t.record(1, TraceCategory::User, 0, "before-attach");
+  t.setSink([&seen](const sim::TraceRecord& r) { seen.push_back(r.message); });
+  for (int i = 0; i < 5; ++i) {
+    t.record(2 + i, TraceCategory::User, 0, "s" + std::to_string(i));
+  }
+  t.setSink(nullptr);
+  t.record(10, TraceCategory::User, 0, "after-detach");
+  ASSERT_EQ(seen.size(), 5u);
+  EXPECT_EQ(seen.front(), "s0");
+  EXPECT_EQ(seen.back(), "s4");
+  // Detaching does not stop recording proper.
+  EXPECT_EQ(t.totalRecorded(), 7u);
+}
+
+TEST(TracerTest, DigestIsCapacityIndependent) {
+  // The digest hashes the accepted stream, not the ring contents: a
+  // 2-slot tracer and a 1024-slot tracer fed identical records agree.
+  Tracer small(2);
+  Tracer large(1024);
+  small.enableAll();
+  large.enableAll();
+  for (int i = 0; i < 100; ++i) {
+    small.record(i, TraceCategory::Rx, i % 4, "rec" + std::to_string(i));
+    large.record(i, TraceCategory::Rx, i % 4, "rec" + std::to_string(i));
+  }
+  EXPECT_EQ(small.digest(), large.digest());
+  EXPECT_EQ(small.totalRecorded(), large.totalRecorded());
+  // Any divergence in the stream must change the digest.
+  Tracer differs(2);
+  differs.enableAll();
+  for (int i = 0; i < 100; ++i) {
+    differs.record(i, TraceCategory::Rx, i % 4,
+                   i == 50 ? "mutated" : "rec" + std::to_string(i));
+  }
+  EXPECT_NE(small.digest(), differs.digest());
 }
 
 TEST(TracerIntegration, NicDatapathEmitsExpectedCategories) {
