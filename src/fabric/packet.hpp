@@ -51,6 +51,10 @@ struct ConnInfo {
   std::uint8_t reliability = 0;     // vipl reliability level (negotiated)
   std::uint32_t mtu = 0;            // proposed/accepted maximum transfer size
   std::uint32_t token = 0;          // matches request to accept/reject
+  std::uint32_t epoch = 0;          // side's connection incarnation counter
+                                    // (0 on the first connect; reconnects of
+                                    // the same VI bump it — session layers
+                                    // use it to fence stale traffic)
 };
 
 struct Packet {

@@ -40,6 +40,7 @@ void InvariantChecker::attach(sim::Tracer& tracer) {
   tracer.enable(sim::TraceCategory::Completion);
   tracer.enable(sim::TraceCategory::Reliability);
   tracer.enable(sim::TraceCategory::Connection);
+  tracer.enable(sim::TraceCategory::Session);
   tracer.setSink([this](const sim::TraceRecord& rec) { onRecord(rec); });
 }
 
@@ -144,8 +145,62 @@ void InvariantChecker::onRecord(const sim::TraceRecord& rec) {
       return;
     }
 
+    case sim::TraceCategory::Session:
+      onSessionRecord(rec);
+      return;
+
     default:
       return;
+  }
+}
+
+void InvariantChecker::onSessionRecord(const sim::TraceRecord& rec) {
+  const std::string& m = rec.message;
+  std::uint64_t sid = 0;
+  if (!findValue(m, "sid=", sid)) return;
+  SessionAcct& s = sessions_[key(rec.component, sid)];
+
+  if (startsWith(m, "deliver ")) {
+    std::uint64_t seq = 0;
+    if (!findValue(m, "seq=", seq)) {
+      violation(rec, "unparseable session deliver record");
+      return;
+    }
+    ++sessionDeliveries_;
+    if (seq != s.delivered + 1) {
+      violation(rec, "session delivery not consecutive: expected seq=" +
+                         std::to_string(s.delivered + 1));
+      // Resynchronize so one gap is one violation, not a cascade.
+    }
+    s.delivered = seq;
+  } else if (startsWith(m, "dedup ")) {
+    // A duplicate can only be a replay of something already delivered; a
+    // dedup above the watermark means a message was thrown away unseen.
+    std::uint64_t seq = 0;
+    if (findValue(m, "seq=", seq) && seq > s.delivered) {
+      violation(rec, "session deduped an undelivered seq: watermark=" +
+                         std::to_string(s.delivered));
+    }
+  } else if (startsWith(m, "gap ")) {
+    violation(rec, "session delivery gap (lost message)");
+  } else if (startsWith(m, "replay ")) {
+    std::uint64_t n = 0;
+    if (findValue(m, "n=", n)) sessionReplays_ += n;
+  } else if (startsWith(m, "down ")) {
+    s.down = true;
+  } else if (startsWith(m, "up ")) {
+    s.down = false;
+    ++sessionRecoveries_;
+    std::uint64_t mttr = 0;
+    if (mttrBoundUsec_ != 0 && findValue(m, "mttr_us=", mttr) &&
+        mttr > mttrBoundUsec_) {
+      violation(rec, "recovery took " + std::to_string(mttr) +
+                         "us, bound is " + std::to_string(mttrBoundUsec_) +
+                         "us");
+    }
+  } else if (startsWith(m, "halt ")) {
+    s.down = true;
+    s.halted = true;
   }
 }
 
@@ -156,6 +211,16 @@ void InvariantChecker::finalize(suite::Cluster& cluster) {
           "n" + std::to_string(k >> 32) + " vi=" +
           std::to_string(k & 0xffffffffu) +
           ": retry budget exhausted but the connection never broke");
+    }
+  }
+  if (!allowDownAtExit_) {
+    for (const auto& [k, s] : sessions_) {
+      if (!s.down) continue;
+      violations_.push_back(
+          "n" + std::to_string(k >> 32) + " sid=" +
+          std::to_string(k & 0xffffffffu) +
+          (s.halted ? ": circuit breaker tripped (session Down) at exit"
+                    : ": session still recovering at exit"));
     }
   }
   for (std::uint32_t n = 0; n < cluster.nodeCount(); ++n) {

@@ -12,9 +12,18 @@
 //   3. Bounded retry — the engine may fire at most rtoRetryBudget
 //      consecutive retransmission timeouts without ack progress; a "retry
 //      budget exhausted" mark must be followed by the connection break.
+// Per (node, session) from the session layer's records, across epochs:
+//   4. Cross-epoch exactly-once — session-delivered sequence numbers are
+//      strictly consecutive from 1 regardless of how many reconnects
+//      happened in between; a "gap" record or a "dedup" of a sequence the
+//      session never delivered is a violation.
+//   5. Bounded downtime — when an MTTR bound is configured, any recovery
+//      episode ("up" record) that took longer is a violation.
 // And at finalize(), against the NIC statistics:
-//   4. Retransmission count consistency — the retransmissions recorded in
+//   6. Retransmission count consistency — the retransmissions recorded in
 //      the trace stream sum to exactly NicStats::retransmits per node.
+//   7. No session is left mid-outage (Recovering/Down) unless the test
+//      opted in with setAllowDownAtExit.
 #pragma once
 
 #include <cstdint>
@@ -33,9 +42,18 @@ class InvariantChecker {
       : budget_(rtoRetryBudget) {}
 
   /// Registers this checker as `tracer`'s sink and enables the categories
-  /// it consumes (Rx, Completion, Reliability, Connection). The tracer
-  /// must outlive the checker's use.
+  /// it consumes (Rx, Completion, Reliability, Connection, Session). The
+  /// tracer must outlive the checker's use.
   void attach(sim::Tracer& tracer);
+
+  /// Bounded-downtime check: any recovery episode longer than `usec`
+  /// microseconds is a violation. 0 (the default) disables the check.
+  void setMttrBoundUsec(std::uint64_t usec) { mttrBoundUsec_ = usec; }
+
+  /// By default a session still down at finalize() is a violation; tests
+  /// that deliberately end mid-outage (or drive the circuit breaker to
+  /// Down on purpose) opt out here.
+  void setAllowDownAtExit(bool allow) { allowDownAtExit_ = allow; }
 
   /// Consumes one record; normally called through the tracer sink.
   void onRecord(const sim::TraceRecord& rec);
@@ -52,6 +70,10 @@ class InvariantChecker {
   std::uint64_t reliableDeliveries() const { return reliableDeliveries_; }
   /// Retransmissions observed in the trace stream for `node`.
   std::uint64_t tracedRetransmits(std::uint32_t node) const;
+  /// Session-layer accounting observed in the trace stream.
+  std::uint64_t sessionDeliveries() const { return sessionDeliveries_; }
+  std::uint64_t sessionReplays() const { return sessionReplays_; }
+  std::uint64_t sessionRecoveries() const { return sessionRecoveries_; }
 
  private:
   struct ViState {
@@ -62,16 +84,29 @@ class InvariantChecker {
     bool expectBreak = false;
   };
 
+  struct SessionAcct {
+    std::uint64_t delivered = 0;  // receiver watermark: last in-order seq
+    bool down = false;            // saw "down"/"halt" without a later "up"
+    bool halted = false;          // circuit breaker tripped
+  };
+
   static std::uint64_t key(std::uint32_t node, std::uint64_t vi) {
     return (static_cast<std::uint64_t>(node) << 32) | vi;
   }
   void violation(const sim::TraceRecord& rec, std::string what);
+  void onSessionRecord(const sim::TraceRecord& rec);
 
   std::uint32_t budget_;
   std::unordered_map<std::uint64_t, ViState> vis_;
+  std::unordered_map<std::uint64_t, SessionAcct> sessions_;
   std::unordered_map<std::uint32_t, std::uint64_t> retransmitsByNode_;
   std::vector<std::string> violations_;
   std::uint64_t reliableDeliveries_ = 0;
+  std::uint64_t sessionDeliveries_ = 0;
+  std::uint64_t sessionReplays_ = 0;
+  std::uint64_t sessionRecoveries_ = 0;
+  std::uint64_t mttrBoundUsec_ = 0;
+  bool allowDownAtExit_ = false;
 };
 
 }  // namespace vibe::fault

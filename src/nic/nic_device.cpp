@@ -133,7 +133,7 @@ void NicDevice::destroyEndpoint(ViEndpointId id) {
 
 void NicDevice::configureConnection(ViEndpointId id, NodeId remoteNode,
                                     ViEndpointId remoteVi, Reliability rel,
-                                    std::uint32_t mtu) {
+                                    std::uint32_t mtu, std::uint32_t epoch) {
   Endpoint& e = ep(id);
   e.connected = true;
   e.broken = false;
@@ -152,7 +152,7 @@ void NicDevice::configureConnection(ViEndpointId id, NodeId remoteNode,
   sim::trace(tracer_, engine_.now(), sim::TraceCategory::Connection, node_,
              "configure vi=" + std::to_string(id) + " remote=" +
                  std::to_string(remoteNode) + "/" + std::to_string(remoteVi) +
-                 " rel=" + toString(rel));
+                 " rel=" + toString(rel) + " epoch=" + std::to_string(epoch));
 }
 
 void NicDevice::teardownConnection(ViEndpointId id) {
@@ -1052,7 +1052,7 @@ void NicDevice::onRto(ViEndpointId id) {
     });
     ++stats_.retransmits;
   }
-  e.rtoBackoff = std::min<std::uint32_t>(e.rtoBackoff * 2, 8);
+  e.rtoBackoff = std::min<std::uint32_t>(e.rtoBackoff * 2, profile_.rtoBackoffCap);
   armRto(id, e);
 }
 

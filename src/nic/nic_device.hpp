@@ -80,6 +80,9 @@ class NicDevice {
   /// Attaches a tracer; the datapath emits Doorbell/Wire/Rx/Completion/
   /// Reliability/Translation records while one is attached.
   void setTracer(sim::Tracer* tracer) { tracer_ = tracer; }
+  /// The attached tracer (nullptr when none); layers built on top of the
+  /// provider emit into the same stream so one digest covers the whole run.
+  sim::Tracer* tracer() const { return tracer_; }
 
   /// Attaches a span profiler: the datapath emits stage-attributed spans
   /// (Doorbell, NicTx, Rx, Reassembly, Completion, EndToEnd) while one is
@@ -99,9 +102,12 @@ class NicDevice {
   /// VIs the firmware must scan (drives FirmwarePoll discovery cost).
   std::size_t activeEndpoints() const { return activeEndpoints_; }
 
+  /// `epoch` is the connection incarnation negotiated in the connect
+  /// handshake; it only tags the trace stream (cross-epoch invariant
+  /// checks), the data path never consults it.
   void configureConnection(ViEndpointId id, NodeId remoteNode,
                            ViEndpointId remoteVi, Reliability rel,
-                           std::uint32_t mtu);
+                           std::uint32_t mtu, std::uint32_t epoch = 0);
   /// Flushes outstanding work with Aborted and forgets the connection.
   void teardownConnection(ViEndpointId id);
 

@@ -95,10 +95,16 @@ struct NicProfile {
   std::uint32_t sendWindowFrags = 64;    // in-flight fragments (RD/RR)
   /// Consecutive no-progress retransmission timeouts tolerated before the
   /// connection is declared dead and torn down with ConnectionLost. With
-  /// rtoBase=1ms and the 2x/ cap-8 backoff this is ~119ms of total silence
-  /// — far beyond anything Bernoulli loss produces, so only a genuine
-  /// partition (or an injected one) trips it.
+  /// rtoBase=1ms, rtoBackoffCap=8 and the 2x backoff this is ~119ms of
+  /// total silence — far beyond anything Bernoulli loss produces, so only
+  /// a genuine partition (or an injected one) trips it.
   std::uint32_t rtoRetryBudget = 16;
+  /// Ceiling on the exponential RTO backoff multiplier: successive
+  /// no-progress timeouts double the multiplier (1, 2, 4, ...) up to this
+  /// cap, so worst-case silence before ConnectionLost is roughly
+  /// rtoBase * (sum of the doubling ramp + (budget - ramp) * cap).
+  /// Recovery benches sweep this; must be >= 1 (validateProfile).
+  std::uint32_t rtoBackoffCap = 8;
   bool supportsRdmaWrite = true;
   bool supportsRdmaRead = false;
 

@@ -333,13 +333,30 @@ NicProfile ibaProfile() {
   return p;
 }
 
+void validateProfile(const NicProfile& p) {
+  auto fail = [&](const std::string& what) {
+    throw std::invalid_argument("profile '" + p.name + "': " + what);
+  };
+  if (p.rtoBackoffCap < 1) fail("rtoBackoffCap must be >= 1");
+  if (p.rtoRetryBudget < 1) fail("rtoRetryBudget must be >= 1");
+  if (p.rtoBase <= 0) fail("rtoBase must be positive");
+  if (p.sendWindowFrags < 1) fail("sendWindowFrags must be >= 1");
+  if (p.mtu < 1) fail("mtu must be >= 1");
+  if (p.maxTransferSize < p.mtu) fail("maxTransferSize must be >= mtu");
+  if (p.linkMBps <= 0.0) fail("linkMBps must be positive");
+  if (p.dmaMBps <= 0.0) fail("dmaMBps must be positive");
+}
+
 NicProfile profileByName(const std::string& name) {
-  if (name == "mvia") return mviaProfile();
-  if (name == "bvia") return bviaProfile();
-  if (name == "clan") return clanProfile();
-  if (name == "firmvia") return firmviaProfile();
-  if (name == "iba") return ibaProfile();
-  throw std::invalid_argument("unknown NIC profile: " + name);
+  NicProfile p;
+  if (name == "mvia") p = mviaProfile();
+  else if (name == "bvia") p = bviaProfile();
+  else if (name == "clan") p = clanProfile();
+  else if (name == "firmvia") p = firmviaProfile();
+  else if (name == "iba") p = ibaProfile();
+  else throw std::invalid_argument("unknown NIC profile: " + name);
+  validateProfile(p);
+  return p;
 }
 
 }  // namespace vibe::nic

@@ -45,7 +45,12 @@ NicProfile firmviaProfile();
 NicProfile ibaProfile();
 
 /// Looks a profile up by short name
-/// ("mvia", "bvia", "clan", "firmvia", "iba").
+/// ("mvia", "bvia", "clan", "firmvia", "iba"). The result is validated.
 NicProfile profileByName(const std::string& name);
+
+/// Sanity-checks a profile's reliability/link knobs (throws
+/// std::invalid_argument). Call after hand-editing a profile, e.g. before
+/// sweeping rtoBackoffCap in a recovery bench.
+void validateProfile(const NicProfile& p);
 
 }  // namespace vibe::nic

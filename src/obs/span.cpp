@@ -16,6 +16,7 @@ const char* toString(Stage s) {
     case Stage::Reassembly: return "reassembly";
     case Stage::Completion: return "completion";
     case Stage::EndToEnd: return "end_to_end";
+    case Stage::Reconnect: return "reconnect";
     case Stage::kCount: break;
   }
   return "?";

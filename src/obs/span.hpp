@@ -34,15 +34,17 @@ enum class Stage : std::uint8_t {
   Reassembly,  // descriptor match + placement DMA into host memory
   Completion,  // completion writeback to the host
   EndToEnd,    // whole journey: post time -> receive completion written
+  Reconnect,   // session recovery episode: connection loss -> re-established
   kCount,
 };
 
 const char* toString(Stage s);
 
 /// True for the stages that tile a message's one-way journey (everything
-/// except the derived EndToEnd envelope).
+/// except the derived EndToEnd envelope and the out-of-band Reconnect
+/// episodes, which span whole outages rather than one message's hops).
 constexpr bool isPipelineStage(Stage s) {
-  return s != Stage::EndToEnd && s != Stage::kCount;
+  return s != Stage::EndToEnd && s != Stage::Reconnect && s != Stage::kCount;
 }
 
 /// One stage traversal. `node`/`vi` attribute the span to the side that

@@ -17,6 +17,7 @@ const char* toString(TraceCategory c) {
     case TraceCategory::Reliability: return "reliability";
     case TraceCategory::Connection: return "connection";
     case TraceCategory::Translation: return "translation";
+    case TraceCategory::Session: return "session";
     case TraceCategory::User: return "user";
     case TraceCategory::kCount: break;
   }

@@ -30,6 +30,7 @@ enum class TraceCategory : std::uint8_t {
   Reliability,  // acks, retransmissions, window stalls
   Connection,   // connect/accept/disconnect dialogs
   Translation,  // address-translation hits/misses
+  Session,      // session layer: epochs, replay, dedup, recovery phases
   User,         // application-level marks
   kCount,
 };

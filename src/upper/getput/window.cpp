@@ -156,7 +156,12 @@ void Window::put(std::uint32_t target, std::uint64_t offset,
     writeLocal(offset, data);
     return;
   }
-  if (!nic_->profile().supportsRdmaWrite) {
+  // Recovery-mode communicators expose no raw peer VI (peerVi() is null):
+  // a raw RDMA write would bypass the session's replay framing, so the
+  // one-sided op rides the exactly-once service-message path instead.
+  vipl::Vi* vi =
+      nic_->profile().supportsRdmaWrite ? comm_.peerVi(target) : nullptr;
+  if (vi == nullptr) {
     // Active-message fallback (BVIA model: no RDMA): the target applies
     // the write in its progress engine.
     std::vector<std::byte> payload;
@@ -167,7 +172,6 @@ void Window::put(std::uint32_t target, std::uint64_t offset,
     return;
   }
   // RDMA write path: truly one-sided. Chunk at the staging size.
-  vipl::Vi* vi = comm_.peerVi(target);
   std::uint64_t done = 0;
   while (done < data.size()) {
     const std::uint64_t chunk =
@@ -191,8 +195,11 @@ std::vector<std::byte> Window::get(std::uint32_t target, std::uint64_t offset,
   }
   if (target == comm_.rank()) return readLocal(offset, len);
 
-  if (nic_->profile().supportsRdmaRead) {
-    vipl::Vi* vi = comm_.peerVi(target);
+  // As in put(): null peerVi (recovery-mode communicator) forces the
+  // request/reply fallback.
+  vipl::Vi* vi =
+      nic_->profile().supportsRdmaRead ? comm_.peerVi(target) : nullptr;
+  if (vi != nullptr) {
     std::vector<std::byte> out(len);
     std::uint64_t done = 0;
     while (done < len) {

@@ -31,6 +31,10 @@ constexpr std::uint8_t kEager = 1;
 constexpr std::uint8_t kRts = 2;
 constexpr std::uint8_t kCts = 3;
 constexpr std::uint8_t kCredit = 4;
+// Recovery mode only: one piece of a chunked large message. `seq` names
+// the message, `size` carries the total message bytes; the session stream
+// is in-order so pieces concatenate.
+constexpr std::uint8_t kChunk = 5;
 
 constexpr std::uint32_t kHeaderBytes = 24;
 
@@ -130,10 +134,11 @@ Communicator::~Communicator() {
   // The eager pool and rendezvous descriptors die with this object while
   // the VIs stay connected; completions still in flight must become
   // no-ops rather than write through pointers into the freed pool.
+  // (Recovery mode has no raw VIs here; each session flushes its own.)
   for (const auto& p : peers_) {
     if (!p) continue;
-    nic_->flushViPending(p->vi);
-    nic_->flushViPending(p->bulkVi);
+    if (p->vi != nullptr) nic_->flushViPending(p->vi);
+    if (p->bulkVi != nullptr) nic_->flushViPending(p->bulkVi);
   }
 }
 
@@ -144,6 +149,32 @@ std::uint64_t Communicator::discriminatorFor(std::uint32_t a,
 }
 
 void Communicator::connectMesh() {
+  if (config_.recovery) {
+    // One session per peer pair; the lower rank initiates, mirroring the
+    // raw mesh. Session ids are derived from the pair so trace records and
+    // jitter streams are deterministic and collision-free per node.
+    for (std::uint32_t p = 0; p < size_; ++p) {
+      if (p == rank_) continue;
+      Peer& peer = *peers_[p];
+      const std::uint32_t lo = std::min(rank_, p);
+      const std::uint32_t hi = std::max(rank_, p);
+      session::SessionConfig sc;
+      sc.sid = lo * size_ + hi;
+      sc.remoteNode = p;
+      sc.discriminator = discriminatorFor(lo, hi);
+      sc.initiator = rank_ == lo;
+      sc.maxMessageBytes = frameBytes_;
+      sc.policy = config_.reconnect;
+      sc.metrics = config_.metrics;
+      sc.spans = config_.spans;
+      peer.session = std::make_unique<session::Session>(*nic_, sc);
+      if (!peer.session->establish()) {
+        throw std::runtime_error("Communicator: session establish failed");
+      }
+    }
+    return;
+  }
+
   vipl::VipViAttributes va;
   va.ptag = ptag_;
   va.reliabilityLevel = config_.reliability;
@@ -206,6 +237,23 @@ void Communicator::sendFrame(std::uint32_t dst, std::uint8_t kind, int tag,
     throw std::invalid_argument("sendFrame: payload exceeds frame");
   }
   Peer& peer = *peers_[dst];
+  if (config_.recovery) {
+    std::vector<std::byte> frame(kHeaderBytes + payload.size());
+    FrameHeader h;
+    h.kind = kind;
+    h.tag = tag;
+    h.seq = seq;
+    h.size = payload.size();
+    packHeader(h, frame.data());
+    if (!payload.empty()) {
+      std::memcpy(frame.data() + kHeaderBytes, payload.data(),
+                  payload.size());
+    }
+    if (!peer.session->send(frame)) {
+      throw std::runtime_error("Communicator: peer session is down");
+    }
+    return;
+  }
   const mem::VirtAddr slot =
       stagingVa_ + static_cast<std::uint64_t>(stagingSlot_) * frameBytes_;
   stagingSlot_ = (stagingSlot_ + 1) % 4;
@@ -232,6 +280,7 @@ void Communicator::sendFrame(std::uint32_t dst, std::uint8_t kind, int tag,
 
 void Communicator::drainSendCompletions(Peer& peer,
                                         const vipl::VipDescriptor* target) {
+  if (config_.recovery) return;  // sessions track their own completions
   for (;;) {
     VipDescriptor* done = nullptr;
     VipResult r;
@@ -262,16 +311,26 @@ void Communicator::send(std::uint32_t dst, int tag,
   }
   Peer& peer = *peers_[dst];
   if (data.size() <= config_.eagerThreshold) {
-    while (peer.sendCredits == 0) {
-      // Progress every channel while stalled: the rank that owes us
-      // credits may itself be stalled sending to a third rank, and only
-      // global progress breaks such cycles.
-      ++creditStalls_;
-      progressOrWait();
+    if (!config_.recovery) {
+      while (peer.sendCredits == 0) {
+        // Progress every channel while stalled: the rank that owes us
+        // credits may itself be stalled sending to a third rank, and only
+        // global progress breaks such cycles.
+        ++creditStalls_;
+        progressOrWait();
+      }
+      --peer.sendCredits;
     }
-    --peer.sendCredits;
     sendFrame(dst, kEager, tag, 0, data);
     ++eagerSent_;
+    return;
+  }
+
+  if (config_.recovery) {
+    // No rendezvous dialogue over sessions: the stream is in-order and
+    // exactly-once, so the payload simply travels as chunk frames.
+    sendChunkFrames(dst, tag, peer.nextSeq++, data);
+    ++rndvSent_;
     return;
   }
 
@@ -310,6 +369,30 @@ void Communicator::send(std::uint32_t dst, int tag,
   ++rndvSent_;
 }
 
+void Communicator::sendChunkFrames(std::uint32_t dst, int tag,
+                                   std::uint32_t seq,
+                                   std::span<const std::byte> data) {
+  Peer& peer = *peers_[dst];
+  const std::uint64_t total = data.size();
+  std::uint64_t off = 0;
+  do {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(config_.eagerThreshold, total - off);
+    std::vector<std::byte> frame(kHeaderBytes + n);
+    FrameHeader h;
+    h.kind = kChunk;
+    h.tag = tag;
+    h.seq = seq;
+    h.size = total;  // every piece carries the full message size
+    packHeader(h, frame.data());
+    std::memcpy(frame.data() + kHeaderBytes, data.data() + off, n);
+    if (!peer.session->send(frame)) {
+      throw std::runtime_error("Communicator: peer session is down");
+    }
+    off += n;
+  } while (off < total);
+}
+
 Communicator::RequestId Communicator::isend(std::uint32_t dst, int tag,
                                             std::span<const std::byte> data) {
   if (dst >= size_ || dst == rank_) {
@@ -320,6 +403,20 @@ Communicator::RequestId Communicator::isend(std::uint32_t dst, int tag,
         "isend: rendezvous-size message; use the blocking send()");
   }
   Peer& peer = *peers_[dst];
+  if (config_.recovery) {
+    // The session's replay buffer stages the payload immediately, so the
+    // request is complete as soon as the frame is queued.
+    sendFrame(dst, kEager, tag, 0, data);
+    ++eagerSent_;
+    const RequestId id = nextRequest_++;
+    RequestState req;
+    req.isRecv = false;
+    req.peer = dst;
+    req.tag = tag;
+    req.done = true;
+    requests_.emplace(id, std::move(req));
+    return id;
+  }
   while (peer.sendCredits == 0) {
     ++creditStalls_;
     progressOrWait();
@@ -470,6 +567,11 @@ std::vector<std::byte> Communicator::recvServing(std::uint32_t src, int tag) {
         return data;
       }
     }
+    // A circuit-broken session never delivers again; surface that rather
+    // than wait forever (poll() above may have drained its last frames).
+    if (config_.recovery && peer.session->down()) {
+      throw std::runtime_error("Communicator: peer session is down");
+    }
     // Progress every channel; if idle, wait a polling quantum.
     progressOrWait();
   }
@@ -504,9 +606,22 @@ bool Communicator::tryRecvAny(std::uint32_t& src, int& tag,
 }
 
 void Communicator::progressOrWait() {
-  if (!progress()) {
-    env_.self.advance(sim::usec(2), sim::CpuUse::Busy);
+  if (progress()) return;
+  if (config_.recovery) {
+    // Sessions are signal-driven: park on one live session's inbox instead
+    // of spin-advancing. The 1 ms cap bounds how long other peers' traffic
+    // (and each session's own reconnect machinery) can go unprogressed.
+    for (std::uint32_t p = 0; p < size_; ++p) {
+      if (p == rank_) continue;
+      session::Session& s = *peers_[p]->session;
+      if (s.down()) continue;
+      std::vector<std::byte> msg;
+      if (s.recv(msg, sim::msec(1))) handleFrame(p, msg);
+      return;
+    }
+    throw std::runtime_error("Communicator: all peer sessions are down");
   }
+  env_.self.advance(sim::usec(2), sim::CpuUse::Busy);
 }
 
 bool Communicator::progress() {
@@ -521,6 +636,27 @@ bool Communicator::progress() {
 bool Communicator::progressPeer(std::uint32_t peerRank,
                                 bool blockUntilSomething) {
   Peer& peer = *peers_[peerRank];
+  if (config_.recovery) {
+    // Drain the session inbox; poll() also runs the session's own
+    // progress, including inline recovery when the connection dropped.
+    session::Session& s = *peer.session;
+    std::vector<std::byte> msg;
+    bool made = false;
+    while (s.poll(msg)) {
+      handleFrame(peerRank, msg);
+      made = true;
+    }
+    while (blockUntilSomething && !made) {
+      if (s.down()) {
+        throw std::runtime_error("Communicator: peer session is down");
+      }
+      if (s.recv(msg, sim::msec(50))) {
+        handleFrame(peerRank, msg);
+        made = true;
+      }
+    }
+    return made;
+  }
   // Cheap emptiness peek (a user-space read of the CQ ring head) before
   // paying for a real CQDone: progress() sweeps every peer constantly and
   // must not burn poll cost on idle channels.
@@ -595,7 +731,9 @@ void Communicator::handleFrame(std::uint32_t src,
         deliverInbound(src, h.tag, std::move(data));
       }
       // Return eager credits in batches; the count rides in the seq field.
-      if (++peer.pendingCreditReturn >= config_.creditsPerPeer / 2) {
+      // (Recovery mode has no credits: the session ring self-replenishes.)
+      if (!config_.recovery &&
+          ++peer.pendingCreditReturn >= config_.creditsPerPeer / 2) {
         const std::uint32_t returned = peer.pendingCreditReturn;
         peer.pendingCreditReturn = 0;
         ++creditMsgs_;
@@ -643,6 +781,25 @@ void Communicator::handleFrame(std::uint32_t src,
     case kCredit:
       peer.sendCredits += h.seq;  // seq field carries the returned count
       break;
+    case kChunk: {
+      if (!peer.chunk || peer.chunk->seq != h.seq) {
+        peer.chunk.emplace();
+        peer.chunk->seq = h.seq;
+        peer.chunk->tag = h.tag;
+        peer.chunk->total = h.size;
+      }
+      Peer::ChunkAssembly& acc = *peer.chunk;
+      acc.data.insert(acc.data.end(), payload.begin(), payload.end());
+      if (acc.data.size() >= acc.total) {
+        std::vector<std::byte> data = std::move(acc.data);
+        const int tag = acc.tag;
+        peer.chunk.reset();
+        if (!dispatchService(src, tag, std::move(data))) {
+          deliverInbound(src, tag, std::move(data));
+        }
+      }
+      break;
+    }
     default:
       throw std::logic_error("Communicator: unknown frame kind");
   }
@@ -698,6 +855,9 @@ bool Communicator::dispatchService(std::uint32_t src, int tag,
 }
 
 vipl::Vi* Communicator::peerVi(std::uint32_t peer) const {
+  // Recovery mode deliberately returns null: layers that post their own
+  // RDMA descriptors on this VI would bypass the session's replay/dedup
+  // framing and lose exactly-once semantics across reconnects.
   return peers_.at(peer) ? peers_[peer]->vi : nullptr;
 }
 

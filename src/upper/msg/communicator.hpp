@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "session/session.hpp"
 #include "vibe/cluster.hpp"
 #include "vipl/provider.hpp"
 
@@ -35,6 +36,19 @@ struct CommConfig {
   std::uint32_t controlReserve = 8;     // extra preposted buffers for control
   nic::Reliability reliability = nic::Reliability::ReliableDelivery;
   std::uint64_t discriminatorBase = 0x4D50'0000;  // 'MP'
+
+  /// Recovery mode: each peer channel runs over a session::Session, which
+  /// reconnects automatically after connection breaks and replays/dedups
+  /// frames for exactly-once delivery. The raw-VI machinery it replaces is
+  /// bypassed: no bulk VI (large messages travel as chunk frames over the
+  /// session stream), no credit flow control (the session's interrupt-
+  /// driven receive ring cannot starve), and peerVi() returns null — the
+  /// get/put RDMA path requires recovery=false. Off by default; when off,
+  /// behaviour and simulated timing are bit-identical to before.
+  bool recovery = false;
+  session::ReconnectPolicy reconnect;            // used when recovery=true
+  obs::MetricsRegistry* metrics = nullptr;       // session recovery metrics
+  obs::SpanProfiler* spans = nullptr;            // session reconnect spans
 };
 
 class Communicator {
@@ -173,6 +187,17 @@ class Communicator {
     std::deque<Inbound> matched;
     // Rendezvous in flight (sender side): seq -> waiting for CTS.
     std::deque<std::uint32_t> ctsReady;
+    // Recovery mode: the channel itself, plus the in-progress reassembly
+    // of a chunked large message (the session stream is in-order and
+    // exactly-once, so chunks of one message arrive contiguously).
+    std::unique_ptr<session::Session> session;
+    struct ChunkAssembly {
+      std::uint32_t seq = 0;
+      int tag = 0;
+      std::uint64_t total = 0;
+      std::vector<std::byte> data;
+    };
+    std::optional<ChunkAssembly> chunk;
   };
 
   struct RequestState {
@@ -196,6 +221,9 @@ class Communicator {
   /// Sends a framed control/eager message through a staging buffer.
   void sendFrame(std::uint32_t dst, std::uint8_t kind, int tag,
                  std::uint32_t seq, std::span<const std::byte> payload);
+  /// Recovery mode: streams a rendezvous-size message as chunk frames.
+  void sendChunkFrames(std::uint32_t dst, int tag, std::uint32_t seq,
+                       std::span<const std::byte> data);
   /// Drains one peer's receive queue; returns true if progress was made.
   bool progressPeer(std::uint32_t peerRank, bool blockUntilSomething);
   void handleFrame(std::uint32_t src, std::span<const std::byte> frame);

@@ -15,6 +15,27 @@ using vipl::VipResult;
 
 constexpr sim::Duration kConnTimeout = sim::kSecond * 5;
 
+// Recovery-mode sessions: sid base keeps rpc session ids out of the range
+// a msg::Communicator in the same process would use, and each client gets
+// its own discriminator so concurrent reconnects cannot cross-claim.
+constexpr std::uint32_t kRpcSidBase = 0x1000;
+
+session::SessionConfig sessionConfigFor(const RpcConfig& cfg,
+                                        std::uint32_t clientId,
+                                        fabric::NodeId remoteNode,
+                                        bool initiator) {
+  session::SessionConfig sc;
+  sc.sid = kRpcSidBase + clientId;
+  sc.remoteNode = remoteNode;
+  sc.discriminator = cfg.discriminator + 1 + clientId;
+  sc.initiator = initiator;
+  sc.maxMessageBytes = cfg.maxMessageBytes;
+  sc.policy = cfg.reconnect;
+  sc.metrics = cfg.metrics;
+  sc.spans = cfg.spans;
+  return sc;
+}
+
 // Wire header: [method u32][token u32][status u32][size u64] then payload.
 constexpr std::uint32_t kHeaderBytes = 20;
 constexpr std::uint32_t kShutdownMethod = 0;
@@ -70,7 +91,27 @@ void RpcServer::registerMethod(std::uint32_t method, Handler handler) {
   methods_[method] = std::move(handler);
 }
 
+void RpcServer::acceptClients(std::span<const fabric::NodeId> clientNodes) {
+  if (!config_.recovery) {
+    throw std::logic_error("rpc: acceptClients(clientNodes) requires recovery");
+  }
+  for (std::size_t i = 0; i < clientNodes.size(); ++i) {
+    auto client = std::make_unique<Client>();
+    client->session = std::make_unique<session::Session>(
+        *nic_, sessionConfigFor(config_, static_cast<std::uint32_t>(i),
+                                clientNodes[i], /*initiator=*/false));
+    if (!client->session->establish()) {
+      throw std::runtime_error("rpc: server session failed to establish");
+    }
+    clients_.push_back(std::move(client));
+  }
+}
+
 void RpcServer::acceptClients(std::uint32_t n) {
+  if (config_.recovery) {
+    throw std::logic_error(
+        "rpc: recovery mode needs acceptClients(clientNodes)");
+  }
   vipl::VipViAttributes va;
   va.ptag = ptag_;
   va.reliabilityLevel = config_.reliability;
@@ -170,7 +211,79 @@ void RpcServer::handleRequest(Client& c, VipDescriptor* done) {
   ++served_;
 }
 
+void RpcServer::handleSessionRequest(Client& c,
+                                     std::span<const std::byte> request) {
+  const RpcHeader h = unpackHeader(request.data());
+  if (h.method == kShutdownMethod) {
+    c.active = false;
+    return;
+  }
+  RpcHeader reply;
+  reply.method = h.method;
+  reply.token = h.token;
+  std::vector<std::byte> replyPayload;
+  auto it = methods_.find(h.method);
+  if (it == methods_.end()) {
+    reply.status = 1;
+  } else {
+    replyPayload = it->second(request.subspan(kHeaderBytes, h.size));
+  }
+  reply.size = replyPayload.size();
+  if (kHeaderBytes + replyPayload.size() > config_.maxMessageBytes) {
+    throw std::length_error("rpc: reply exceeds maxMessageBytes");
+  }
+  std::vector<std::byte> frame(kHeaderBytes + replyPayload.size());
+  packHeader(reply, frame.data());
+  if (!replyPayload.empty()) {
+    std::memcpy(frame.data() + kHeaderBytes, replyPayload.data(),
+                replyPayload.size());
+  }
+  // The session retains the reply for replay until the client's endpoint
+  // confirms placement, so a connection break here cannot lose it.
+  if (!c.session->send(frame)) c.active = false;
+  ++served_;
+}
+
+void RpcServer::serveSessions() {
+  auto anyActive = [this] {
+    for (const auto& c : clients_) {
+      if (c->active) return true;
+    }
+    return false;
+  };
+  std::vector<std::byte> msg;
+  while (anyActive()) {
+    bool made = false;
+    for (auto& c : clients_) {
+      if (!c->active) continue;
+      if (c->session->down()) {
+        c->active = false;  // circuit breaker tripped: give up on client
+        continue;
+      }
+      while (c->session->poll(msg)) {
+        handleSessionRequest(*c, msg);
+        made = true;
+      }
+    }
+    if (made) continue;
+    // Nothing pending anywhere: block briefly on one live session. Its
+    // recv drives that session's recovery; the other inboxes fill from
+    // interrupts regardless and get drained on the next sweep.
+    for (auto& c : clients_) {
+      if (!c->active || c->session->down()) continue;
+      if (c->session->recv(msg, sim::msec(1))) {
+        handleSessionRequest(*c, msg);
+      }
+      break;
+    }
+  }
+}
+
 void RpcServer::serve() {
+  if (config_.recovery) {
+    serveSessions();
+    return;
+  }
   auto anyActive = [this] {
     for (const auto& c : clients_) {
       if (c->active) return true;
@@ -195,6 +308,15 @@ void RpcServer::serve() {
 RpcClient::RpcClient(suite::NodeEnv& env, fabric::NodeId serverNode,
                      const RpcConfig& config)
     : env_(env), nic_(&env.nic), config_(config) {
+  if (config_.recovery) {
+    session_ = std::make_unique<session::Session>(
+        *nic_, sessionConfigFor(config_, config_.clientId, serverNode,
+                                /*initiator=*/true));
+    if (!session_->establish()) {
+      throw std::runtime_error("rpc: client session failed to establish");
+    }
+    return;
+  }
   ptag_ = nic_->createPtag();
   const std::uint64_t arenaBytes = 2ull * config_.maxMessageBytes;
   const mem::VirtAddr arena = nic_->memory().alloc(arenaBytes, mem::kPageSize);
@@ -223,10 +345,6 @@ std::vector<std::byte> RpcClient::call(std::uint32_t method,
   }
   const sim::SimTime t0 = env_.now();
 
-  VipDescriptor recvDesc =
-      VipDescriptor::recv(recvVa_, arenaHandle_, config_.maxMessageBytes);
-  require(nic_->postRecv(vi_, &recvDesc), "client post recv");
-
   RpcHeader h;
   h.method = method;
   h.token = nextTokenValue_++;
@@ -236,6 +354,34 @@ std::vector<std::byte> RpcClient::call(std::uint32_t method,
   if (!args.empty()) {
     std::memcpy(frame.data() + kHeaderBytes, args.data(), args.size());
   }
+
+  if (config_.recovery) {
+    // The session replays the request across reconnects and the server's
+    // session dedups it, so one call is served exactly once even if the
+    // connection flaps mid-dialog.
+    if (!session_->send(frame)) {
+      throw std::runtime_error("rpc: client session is down");
+    }
+    std::vector<std::byte> reply;
+    while (!session_->recv(reply, sim::msec(100))) {
+      if (session_->down()) {
+        throw std::runtime_error("rpc: client session is down");
+      }
+    }
+    const RpcHeader rh = unpackHeader(reply.data());
+    if (rh.token != h.token) {
+      throw std::logic_error("rpc: reply token mismatch");
+    }
+    if (rh.status != 0) {
+      throw std::runtime_error("rpc: server reports unknown method");
+    }
+    lastRttUsec_ = sim::toUsec(env_.now() - t0);
+    return {reply.begin() + kHeaderBytes, reply.end()};
+  }
+
+  VipDescriptor recvDesc =
+      VipDescriptor::recv(recvVa_, arenaHandle_, config_.maxMessageBytes);
+  require(nic_->postRecv(vi_, &recvDesc), "client post recv");
   nic_->memory().write(sendVa_, frame);
   VipDescriptor sendDesc = VipDescriptor::send(
       sendVa_, arenaHandle_, static_cast<std::uint32_t>(frame.size()));
@@ -263,6 +409,12 @@ void RpcClient::shutdown() {
   h.method = kShutdownMethod;
   std::vector<std::byte> frame(kHeaderBytes);
   packHeader(h, frame.data());
+  if (config_.recovery) {
+    if (!session_->send(frame) || !session_->flush(sim::kSecond)) {
+      throw std::runtime_error("rpc: client session is down");
+    }
+    return;
+  }
   nic_->memory().write(sendVa_, frame);
   VipDescriptor d = VipDescriptor::send(sendVa_, arenaHandle_, kHeaderBytes);
   require(nic_->postSend(vi_, &d), "client shutdown send");

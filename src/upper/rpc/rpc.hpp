@@ -13,6 +13,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "session/session.hpp"
 #include "vibe/cluster.hpp"
 #include "vipl/provider.hpp"
 
@@ -23,6 +24,18 @@ struct RpcConfig {
   std::uint32_t recvRingDepth = 8;            // preposted recvs per client
   std::uint64_t discriminator = 0x5250'4331;  // "RPC1"
   nic::Reliability reliability = nic::Reliability::ReliableDelivery;
+  /// Recovery mode: each client connection rides a session::Session that
+  /// reconnects automatically and replays/dedups requests and replies, so
+  /// calls survive injected connection breaks exactly once. The server must
+  /// use the acceptClients(clientNodes) overload, and each client must set
+  /// a unique clientId (sessions reconnect on a per-client discriminator
+  /// derived from it). When off, nothing below is read and the wire
+  /// behaviour is unchanged.
+  bool recovery = false;
+  session::ReconnectPolicy reconnect{};
+  std::uint32_t clientId = 0;  // recovery only: index in [0, clients)
+  obs::MetricsRegistry* metrics = nullptr;  // optional, recovery only
+  obs::SpanProfiler* spans = nullptr;       // optional, recovery only
 };
 
 /// Server: accepts clients, dispatches registered handlers.
@@ -40,8 +53,13 @@ class RpcServer {
   /// Registers the handler for a method id (before accepting clients).
   void registerMethod(std::uint32_t method, Handler handler);
 
-  /// Blocks until `n` clients have connected.
+  /// Blocks until `n` clients have connected. Non-recovery mode only.
   void acceptClients(std::uint32_t n);
+
+  /// Recovery mode: accepts one recoverable session per listed client
+  /// node. Client i of clientNodes must construct its RpcClient with
+  /// clientId == i.
+  void acceptClients(std::span<const fabric::NodeId> clientNodes);
 
   /// Serves requests until every connected client has sent a shutdown
   /// message (method 0 is reserved for shutdown).
@@ -57,9 +75,12 @@ class RpcServer {
     mem::MemHandle arenaHandle = 0;
     std::vector<vipl::VipDescriptor> ring;
     bool active = true;
+    std::unique_ptr<session::Session> session;  // recovery mode only
   };
 
   void handleRequest(Client& c, vipl::VipDescriptor* done);
+  void handleSessionRequest(Client& c, std::span<const std::byte> request);
+  void serveSessions();
 
   suite::NodeEnv& env_;
   vipl::Provider* nic_;
@@ -103,6 +124,7 @@ class RpcClient {
   mem::VirtAddr recvVa_ = 0;
   std::uint32_t nextTokenValue_ = 1;
   double lastRttUsec_ = 0;
+  std::unique_ptr<session::Session> session_;  // recovery mode only
 };
 
 }  // namespace vibe::upper::rpc

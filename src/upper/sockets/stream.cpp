@@ -62,10 +62,32 @@ void StreamSocket::setupBuffers() {
   }
 }
 
+void StreamSocket::makeSession(fabric::NodeId peer, std::uint64_t port,
+                               bool initiator) {
+  session::SessionConfig sc;
+  sc.sid = config_.sessionId;
+  sc.remoteNode = peer;
+  sc.discriminator = port;
+  sc.initiator = initiator;
+  sc.maxMessageBytes = config_.frameBytes + kHeaderBytes;
+  sc.ringDepth = config_.ringDepth;
+  sc.policy = config_.reconnect;
+  sc.metrics = config_.metrics;
+  sc.spans = config_.spans;
+  session_ = std::make_unique<session::Session>(*nic_, sc);
+  if (!session_->establish()) {
+    throw std::runtime_error("sockets: session failed to establish");
+  }
+}
+
 std::unique_ptr<StreamSocket> StreamSocket::connect(
     suite::NodeEnv& env, fabric::NodeId host, std::uint64_t port,
     const StreamConfig& config) {
   auto sock = std::unique_ptr<StreamSocket>(new StreamSocket(env, config));
+  if (config.recovery) {
+    sock->makeSession(host, port, /*initiator=*/true);
+    return sock;
+  }
   vipl::VipViAttributes va;
   va.ptag = sock->ptag_;
   va.reliabilityLevel = config.reliability;
@@ -80,7 +102,20 @@ StreamListener::StreamListener(suite::NodeEnv& env, std::uint64_t port,
                                const StreamConfig& config)
     : env_(env), port_(port), config_(config) {}
 
+std::unique_ptr<StreamSocket> StreamListener::acceptRecoverable(
+    fabric::NodeId peerNode) {
+  if (!config_.recovery) {
+    throw std::logic_error("sockets: acceptRecoverable requires recovery");
+  }
+  auto sock = std::unique_ptr<StreamSocket>(new StreamSocket(env_, config_));
+  sock->makeSession(peerNode, port_, /*initiator=*/false);
+  return sock;
+}
+
 std::unique_ptr<StreamSocket> StreamListener::accept(sim::Duration timeout) {
+  if (config_.recovery) {
+    throw std::logic_error("sockets: recovery mode needs acceptRecoverable");
+  }
   auto sock =
       std::unique_ptr<StreamSocket>(new StreamSocket(env_, config_));
   vipl::VipViAttributes va;
@@ -97,6 +132,16 @@ std::unique_ptr<StreamSocket> StreamListener::accept(sim::Duration timeout) {
 }
 
 StreamSocket::~StreamSocket() {
+  if (session_) {
+    if (!localClosed_ && !session_->down()) {
+      try {
+        close();
+      } catch (...) {
+        // Destruction must not throw.
+      }
+    }
+    return;
+  }
   if (vi_ == nullptr) return;
   if (!localClosed_ && vi_->state() == vipl::ViState::Connected) {
     try {
@@ -121,6 +166,11 @@ bool StreamSocket::trySendFrame(std::uint8_t kind,
   if (!payload.empty()) {
     std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
   }
+  if (session_) {
+    // The session retains the frame for replay across reconnects; false
+    // only when its circuit breaker has tripped.
+    return session_->send(frame);
+  }
   nic_->memory().write(stagingVa_, frame);
   VipDescriptor d = VipDescriptor::send(
       stagingVa_, arenaHandle_, static_cast<std::uint32_t>(frame.size()));
@@ -141,6 +191,24 @@ void StreamSocket::sendFrame(std::uint8_t kind,
 }
 
 bool StreamSocket::progressOnce(bool blockUntilSomething) {
+  if (session_) {
+    std::vector<std::byte> msg;
+    if (session_->poll(msg)) {
+      handleSessionFrame(msg);
+      return true;
+    }
+    if (!blockUntilSomething) return false;
+    for (;;) {
+      if (session_->down()) {
+        peerClosed_ = true;  // recovery abandoned: surfaces as EOF
+        return true;
+      }
+      if (session_->recv(msg, sim::msec(50))) {
+        handleSessionFrame(msg);
+        return true;
+      }
+    }
+  }
   VipDescriptor* done = nullptr;
   VipResult r = nic_->recvDone(vi_, done);
   if (r == VipResult::VIP_NOT_DONE) {
@@ -156,6 +224,21 @@ bool StreamSocket::progressOnce(bool blockUntilSomething) {
   const auto slot = static_cast<std::size_t>(done - ring_.data());
   handleFrame(slot, done->cs.length);
   return true;
+}
+
+void StreamSocket::handleSessionFrame(std::span<const std::byte> data) {
+  switch (static_cast<std::uint8_t>(data[0])) {
+    case kData:
+      rxBuffer_.insert(rxBuffer_.end(), data.begin() + kHeaderBytes,
+                       data.end());
+      bytesReceived_ += data.size() - kHeaderBytes;
+      break;
+    case kFin:
+      peerClosed_ = true;
+      break;
+    default:
+      throw std::logic_error("sockets: unknown frame kind");
+  }
 }
 
 void StreamSocket::handleFrame(std::size_t slot, std::uint32_t wireBytes) {
@@ -203,6 +286,17 @@ void StreamSocket::returnCreditsIfDue() {
 
 void StreamSocket::sendAll(std::span<const std::byte> data) {
   if (localClosed_) throw std::logic_error("sockets: send after close");
+  if (session_) {
+    std::size_t off = 0;
+    while (off < data.size()) {
+      const std::size_t chunk =
+          std::min<std::size_t>(config_.frameBytes, data.size() - off);
+      sendFrame(kData, data.subspan(off, chunk), 0);
+      bytesSent_ += chunk;
+      off += chunk;
+    }
+    return;
+  }
   std::size_t off = 0;
   while (off < data.size()) {
     while (sendCredits_ == 0) {
@@ -252,6 +346,13 @@ void StreamSocket::recvAll(std::span<std::byte> out) {
 
 void StreamSocket::close() {
   if (localClosed_) return;
+  if (session_) {
+    if (!trySendFrame(kFin, {}, 0) || !session_->flush(sim::kSecond)) {
+      peerClosed_ = true;
+    }
+    localClosed_ = true;
+    return;
+  }
   // FIN needs a window slot too.
   while (sendCredits_ == 0 && !peerClosed_) {
     progressOnce(/*blockUntilSomething=*/true);

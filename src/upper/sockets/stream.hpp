@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "session/session.hpp"
 #include "vibe/cluster.hpp"
 #include "vipl/provider.hpp"
 
@@ -27,6 +28,18 @@ struct StreamConfig {
   std::uint32_t frameBytes = 8192;  // payload per ring frame
   std::uint32_t ringDepth = 16;     // preposted frames (= send window)
   nic::Reliability reliability = nic::Reliability::ReliableDelivery;
+  /// Recovery mode: the byte stream rides a session::Session that
+  /// reconnects automatically with exactly-once frame replay, so the
+  /// stream survives injected connection breaks. The listener side must
+  /// use acceptRecoverable(peerNode); sessionId must be unique per socket
+  /// on a node. Credit flow control is not used (the session's receive
+  /// ring self-replenishes and its replay buffer absorbs bursts). When
+  /// off, nothing below is read and the wire behaviour is unchanged.
+  bool recovery = false;
+  session::ReconnectPolicy reconnect{};
+  std::uint32_t sessionId = 0x2000;
+  obs::MetricsRegistry* metrics = nullptr;  // optional, recovery only
+  obs::SpanProfiler* spans = nullptr;       // optional, recovery only
 };
 
 class StreamSocket {
@@ -61,6 +74,8 @@ class StreamSocket {
   friend class StreamListener;
   StreamSocket(suite::NodeEnv& env, const StreamConfig& config);
   void setupBuffers();
+  void makeSession(fabric::NodeId peer, std::uint64_t port, bool initiator);
+  void handleSessionFrame(std::span<const std::byte> frame);
   /// Drains every completed ring frame; returns true if anything arrived.
   bool progressOnce(bool blockUntilSomething);
   void handleFrame(std::size_t slot, std::uint32_t wireBytes);
@@ -88,6 +103,7 @@ class StreamSocket {
   bool peerClosed_ = false;
   std::uint64_t bytesSent_ = 0;
   std::uint64_t bytesReceived_ = 0;
+  std::unique_ptr<session::Session> session_;  // recovery mode only
 };
 
 class StreamListener {
@@ -96,9 +112,13 @@ class StreamListener {
   StreamListener(suite::NodeEnv& env, std::uint64_t port,
                  const StreamConfig& config = {});
 
-  /// Blocks for the next incoming connection.
+  /// Blocks for the next incoming connection. Non-recovery mode only.
   std::unique_ptr<StreamSocket> accept(sim::Duration timeout = sim::kSecond *
                                                                10);
+
+  /// Recovery mode: accepts a recoverable session from `peerNode` (the
+  /// acceptor must know the peer to reject strays during reconnects).
+  std::unique_ptr<StreamSocket> acceptRecoverable(fabric::NodeId peerNode);
 
  private:
   suite::NodeEnv& env_;

@@ -365,11 +365,14 @@ VipResult Provider::connectAccept(const PendingConn& conn, Vi* vi) {
   }
   const std::uint32_t mts = std::min(vi->attrs_.maxTransferSize,
                                      conn.remoteAttrs.maxTransferSize);
+  ++vi->epoch_;
   device_.configureConnection(vi->ep_, conn.remoteNode, conn.remoteVi,
-                              vi->attrs_.reliabilityLevel, profile_.mtu);
+                              vi->attrs_.reliabilityLevel, profile_.mtu,
+                              vi->epoch_);
   vi->negotiatedMts_ = mts;
   vi->remoteNode_ = conn.remoteNode;
   vi->remoteVi_ = conn.remoteVi;
+  vi->remoteEpoch_ = conn.epoch;
   vi->state_ = ViState::Connected;
 
   fabric::Packet p;
@@ -381,6 +384,7 @@ VipResult Provider::connectAccept(const PendingConn& conn, Vi* vi) {
   p.conn.mtu = mts;
   p.conn.reliability =
       static_cast<std::uint8_t>(vi->attrs_.reliabilityLevel);
+  p.conn.epoch = vi->epoch_;
   device_.sendControl(std::move(p));
   return VipResult::VIP_SUCCESS;
 }
@@ -421,6 +425,7 @@ VipResult Provider::connectRequest(Vi* vi, const VipNetAddress& remote,
   p.conn.token = token;
   p.conn.mtu = vi->attrs_.maxTransferSize;
   p.conn.reliability = static_cast<std::uint8_t>(vi->attrs_.reliabilityLevel);
+  p.conn.epoch = vi->epoch_ + 1;  // the incarnation this connect would start
   device_.sendControl(std::move(p));
 
   const bool fired = proc->awaitFor(signal, timeout);
@@ -441,11 +446,14 @@ VipResult Provider::connectRequest(Vi* vi, const VipNetAddress& remote,
       default: return VipResult::VIP_REJECT;
     }
   }
+  ++vi->epoch_;
   device_.configureConnection(vi->ep_, result.remoteNode, result.remoteVi,
-                              vi->attrs_.reliabilityLevel, profile_.mtu);
+                              vi->attrs_.reliabilityLevel, profile_.mtu,
+                              vi->epoch_);
   vi->negotiatedMts_ = result.mts;
   vi->remoteNode_ = result.remoteNode;
   vi->remoteVi_ = result.remoteVi;
+  vi->remoteEpoch_ = result.epoch;
   vi->state_ = ViState::Connected;
   if (remoteAttrs != nullptr) *remoteAttrs = result.remoteAttrs;
   return VipResult::VIP_SUCCESS;
@@ -463,6 +471,27 @@ VipResult Provider::disconnect(Vi* vi) {
   device_.sendControl(std::move(p));
   device_.teardownConnection(vi->ep_);
   vi->state_ = ViState::Idle;  // a disconnected VI may reconnect
+  return VipResult::VIP_SUCCESS;
+}
+
+VipResult Provider::resetVi(Vi* vi) {
+  charge(profile_.viplCallOverhead + profile_.teardownCost);
+  if (vi == nullptr) return VipResult::VIP_INVALID_PARAMETER;
+  if (vi->state_ != ViState::Error && vi->state_ != ViState::Disconnected &&
+      vi->state_ != ViState::Connected) {
+    return VipResult::VIP_INVALID_STATE;
+  }
+  // Abandon in-flight descriptors first so the Aborted completions the
+  // teardown flush generates find no pending entry and become no-ops.
+  flushViPending(vi);
+  device_.teardownConnection(vi->ep_);
+  vi->sendDone_.clear();
+  vi->recvDone_.clear();
+  vi->recvNotify_.clear();
+  vi->negotiatedMts_ = 0;
+  vi->remoteNode_ = 0;
+  vi->remoteVi_ = 0;
+  vi->state_ = ViState::Idle;
   return VipResult::VIP_SUCCESS;
 }
 
@@ -823,6 +852,7 @@ void Provider::onConnRequest(fabric::Packet&& p) {
   pc.remoteAttrs.maxTransferSize = p.conn.mtu;
   pc.discriminator = p.conn.discriminator;
   pc.token = p.conn.token;
+  pc.epoch = p.conn.epoch;
 
   // A request may arrive before the application reaches connectWait (e.g.
   // the server is still preposting buffers): queue it for a grace period
@@ -878,6 +908,7 @@ void Provider::onConnResponse(fabric::Packet&& p) {
   st.remoteNode = p.src;
   st.remoteVi = p.srcVi;
   st.mts = p.conn.mtu;
+  st.epoch = p.conn.epoch;
   st.remoteAttrs.reliabilityLevel =
       static_cast<nic::Reliability>(p.conn.reliability);
   st.remoteAttrs.maxTransferSize = p.conn.mtu;
@@ -894,7 +925,7 @@ void Provider::onDisconnect(fabric::Packet&& p) {
   }
   device_.teardownConnection(vi->ep_);
   vi->state_ = ViState::Disconnected;
-  if (errorCallback_) errorCallback_(vi, nic::WorkStatus::ConnectionLost);
+  scheduleErrorCallback(vi->ep_, nic::WorkStatus::ConnectionLost);
 }
 
 void Provider::onConnectionError(nic::ViEndpointId ep, nic::WorkStatus why) {
@@ -902,7 +933,17 @@ void Provider::onConnectionError(nic::ViEndpointId ep, nic::WorkStatus why) {
   if (it == byEndpoint_.end()) return;
   Vi* vi = it->second;
   vi->state_ = ViState::Error;
-  if (errorCallback_) errorCallback_(vi, why);
+  scheduleErrorCallback(ep, why);
+}
+
+void Provider::scheduleErrorCallback(nic::ViEndpointId ep,
+                                     nic::WorkStatus why) {
+  if (!errorCallback_) return;  // no observer: post nothing, stay byte-equal
+  engine_.post(0, [this, ep, why] {
+    auto it = byEndpoint_.find(ep);
+    if (it == byEndpoint_.end()) return;  // VI destroyed before delivery
+    if (errorCallback_) errorCallback_(it->second, why);
+  });
 }
 
 }  // namespace vibe::vipl

@@ -80,6 +80,12 @@ class Vi {
   std::uint32_t negotiatedMts() const { return negotiatedMts_; }
   fabric::NodeId remoteNode() const { return remoteNode_; }
   Provider& provider() const { return *prov_; }
+  /// Connection incarnation: 0 until the first connect, bumped on every
+  /// successful connect of this VI. Carried in the connect handshake so
+  /// both sides can fence traffic from a previous incarnation.
+  std::uint32_t epoch() const { return epoch_; }
+  /// Peer's epoch learned from the most recent connect handshake.
+  std::uint32_t remoteEpoch() const { return remoteEpoch_; }
 
   std::size_t sendCompletionsQueued() const { return sendDone_.size(); }
   std::size_t recvCompletionsQueued() const { return recvDone_.size(); }
@@ -105,6 +111,8 @@ class Vi {
   std::uint32_t negotiatedMts_ = 0;
   fabric::NodeId remoteNode_ = 0;
   nic::ViEndpointId remoteVi_ = 0;
+  std::uint32_t epoch_ = 0;
+  std::uint32_t remoteEpoch_ = 0;
 
   std::deque<VipDescriptor*> sendDone_;
   std::deque<VipDescriptor*> recvDone_;
@@ -120,6 +128,7 @@ struct PendingConn {
   VipViAttributes remoteAttrs;
   std::uint64_t discriminator = 0;
   std::uint32_t token = 0;
+  std::uint32_t epoch = 0;  // requester's connection incarnation
 };
 
 class Provider {
@@ -180,6 +189,15 @@ class Provider {
                            sim::Duration timeout,
                            VipViAttributes* remoteAttrs = nullptr);
   VipResult disconnect(Vi* vi);
+  /// Returns a VI that ended up in Error or Disconnected to Idle so it can
+  /// be reconnected: abandons every still-pending descriptor (completions
+  /// in flight become no-ops), drops unreaped completions, and clears the
+  /// NIC endpoint's connection state. Also legal on a Connected VI, as a
+  /// hard local reset with no Disconnect dialog — session layers use it to
+  /// abandon a half-open connection whose peer already reset its side. The
+  /// VI's epoch survives — the next connect bumps it. Foundation of the
+  /// session/recovery layer; not part of the VIPL 1.0 surface.
+  VipResult resetVi(Vi* vi);
 
   // --- data transfer ---
   VipResult postSend(Vi* vi, VipDescriptor* desc);
@@ -246,6 +264,7 @@ class Provider {
     fabric::NodeId remoteNode = 0;
     VipViAttributes remoteAttrs;
     std::uint32_t mts = 0;
+    std::uint32_t epoch = 0;
   };
   struct Listener {
     std::unique_ptr<sim::Signal> signal;
@@ -272,6 +291,12 @@ class Provider {
   void onConnResponse(fabric::Packet&& p);
   void onDisconnect(fabric::Packet&& p);
   void onConnectionError(nic::ViEndpointId ep, nic::WorkStatus why);
+  /// Defers errorCallback_ to a zero-delay event so handlers may call
+  /// disconnect/resetVi/destroyVi without re-entering the control path that
+  /// noticed the failure. The VI is re-resolved by endpoint id at delivery
+  /// time (endpoint ids are never reused), so a VI destroyed in the
+  /// meantime simply drops the notification.
+  void scheduleErrorCallback(nic::ViEndpointId ep, nic::WorkStatus why);
 
   sim::Engine& engine_;
   fabric::NodeId node_;

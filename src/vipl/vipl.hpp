@@ -89,6 +89,10 @@ inline VipResult VipConnectRequest(Provider& nic, Vi* vi,
 inline VipResult VipDisconnect(Provider& nic, Vi* vi) {
   return nic.disconnect(vi);
 }
+/// Extension beyond VIPL 1.0: returns an Error/Disconnected/Connected VI
+/// to Idle so it can be reconnected; in-flight descriptors are abandoned
+/// and a live connection is torn down (see Provider::resetVi).
+inline VipResult VipResetVi(Provider& nic, Vi* vi) { return nic.resetVi(vi); }
 
 // --- data transfer ---
 inline VipResult VipPostSend(Provider& nic, Vi* vi, VipDescriptor* desc) {

@@ -464,7 +464,8 @@ TEST(ChaosFaults, PartitionOutlastingRetryBudgetTearsDownCleanly) {
   cluster.setTracer(&tracer);
 
   // Node 1 falls off the fabric at t=1ms for 400ms — far beyond the
-  // ~119ms the retry budget tolerates (1+2+4+8+13*8 ms of backoff).
+  // ~111ms the retry budget tolerates (rtoBase * (1+2+4+8 + 12 *
+  // rtoBackoffCap) of backoff at clan's 1ms base, cap 8, budget 16).
   FaultPlan plan;
   plan.seed = 7;
   FaultAction part;

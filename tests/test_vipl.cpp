@@ -666,6 +666,155 @@ TEST(ViplTest, ConnectWaitTimesOut) {
   cluster.run({server, nullptr});
 }
 
+// A connect request that lands while a connectWait is parked must be
+// claimed by that waiter before its timeout expires, at every reliability
+// level the provider can negotiate.
+TEST(ViplTest, ConnectRequestArrivingMidWaitIsClaimed) {
+  for (const auto rel : {nic::Reliability::ReliableDelivery,
+                         nic::Reliability::ReliableReception}) {
+    SCOPED_TRACE(rel == nic::Reliability::ReliableDelivery ? "RD" : "RR");
+    Cluster cluster(configFor("mvia"));
+    auto client = [&](NodeEnv& env) {
+      Provider& nic = env.nic;
+      auto ptag = vipl::VipCreatePtag(nic);
+      Buf buf = makeBuf(nic, ptag, 64);
+      Vi* vi = makeVi(nic, ptag, rel);
+      // Let the server park in connectWait first, then race the request
+      // into the middle of its window.
+      env.self.advance(sim::msec(1), sim::CpuUse::Idle);
+      ASSERT_EQ(vipl::VipConnectRequest(nic, vi, {1, kDisc}, kTimeout),
+                VipResult::VIP_SUCCESS);
+      fillPattern(nic, buf.va, 32, 0x21);
+      VipDescriptor s = VipDescriptor::send(buf.va, buf.handle, 32);
+      ASSERT_EQ(vipl::VipPostSend(nic, vi, &s), VipResult::VIP_SUCCESS);
+      VipDescriptor* done = nullptr;
+      EXPECT_EQ(nic.sendWait(vi, kTimeout, done), VipResult::VIP_SUCCESS);
+    };
+    auto server = [&](NodeEnv& env) {
+      Provider& nic = env.nic;
+      auto ptag = vipl::VipCreatePtag(nic);
+      Buf buf = makeBuf(nic, ptag, 64);
+      Vi* vi = makeVi(nic, ptag, rel);
+      VipDescriptor r = VipDescriptor::recv(buf.va, buf.handle, 64);
+      ASSERT_EQ(vipl::VipPostRecv(nic, vi, &r), VipResult::VIP_SUCCESS);
+      PendingConn conn;
+      const sim::SimTime t0 = env.now();
+      ASSERT_EQ(vipl::VipConnectWait(nic, {1, kDisc}, sim::msec(10), conn),
+                VipResult::VIP_SUCCESS);
+      EXPECT_LT(env.now() - t0, sim::msec(10));
+      ASSERT_EQ(vipl::VipConnectAccept(nic, conn, vi), VipResult::VIP_SUCCESS);
+      VipDescriptor* done = nullptr;
+      ASSERT_EQ(nic.recvWait(vi, kTimeout, done), VipResult::VIP_SUCCESS);
+      EXPECT_TRUE(checkPattern(nic, buf.va, 32, 0x21));
+    };
+    cluster.run({client, server});
+  }
+}
+
+// The other side of the race: the request arrives just after connectWait
+// timed out. It must not be dropped — the provider parks it under the
+// connect-request grace window, and the next connectWait claims it.
+TEST(ViplTest, ConnectRequestAfterWaitTimeoutIsClaimedByNextWait) {
+  for (const auto rel : {nic::Reliability::ReliableDelivery,
+                         nic::Reliability::ReliableReception}) {
+    SCOPED_TRACE(rel == nic::Reliability::ReliableDelivery ? "RD" : "RR");
+    Cluster cluster(configFor("bvia"));
+    auto client = [&](NodeEnv& env) {
+      Provider& nic = env.nic;
+      auto ptag = vipl::VipCreatePtag(nic);
+      Vi* vi = makeVi(nic, ptag, rel);
+      // Aim the request into the gap between the server's two waits (it
+      // leaves ~connectLocalCost after this point, around t=460us).
+      env.self.advance(sim::usec(200), sim::CpuUse::Idle);
+      ASSERT_EQ(vipl::VipConnectRequest(nic, vi, {1, kDisc}, kTimeout),
+                VipResult::VIP_SUCCESS);
+      EXPECT_EQ(vi->state(), ViState::Connected);
+    };
+    auto server = [&](NodeEnv& env) {
+      Provider& nic = env.nic;
+      auto ptag = vipl::VipCreatePtag(nic);
+      Vi* vi = makeVi(nic, ptag, rel);
+      PendingConn conn;
+      EXPECT_EQ(vipl::VipConnectWait(nic, {1, kDisc}, sim::usec(100), conn),
+                VipResult::VIP_TIMEOUT);
+      // The request lands around t=460us with nobody waiting. Come back
+      // well within the grace window and claim it from the queue.
+      env.self.advance(sim::msec(1), sim::CpuUse::Idle);
+      const sim::SimTime t0 = env.now();
+      ASSERT_EQ(vipl::VipConnectWait(nic, {1, kDisc}, kTimeout, conn),
+                VipResult::VIP_SUCCESS);
+      // Claimed from the queue, not re-sent: no round trip, so no delay.
+      EXPECT_LT(env.now() - t0, sim::usec(100));
+      ASSERT_EQ(vipl::VipConnectAccept(nic, conn, vi), VipResult::VIP_SUCCESS);
+      EXPECT_EQ(vi->state(), ViState::Connected);
+    };
+    cluster.run({client, server});
+  }
+}
+
+// Regression: the connection-error callback is delivered from a zero-delay
+// event, so a handler may tear the VI down (resetVi, destroyVi) without
+// re-entering the control path that noticed the failure. Before the
+// deferral this corrupted provider state.
+TEST(ViplTest, ErrorCallbackMayResetAndDestroyTheFailedVi) {
+  Cluster cluster(configFor("clan"));
+  int callbacks = 0;
+  bool reconnected = false;
+  auto client = [&](NodeEnv& env) {
+    Provider& nic = env.nic;
+    auto ptag = vipl::VipCreatePtag(nic);
+    Vi* a = makeVi(nic, ptag);
+    Vi* b = makeVi(nic, ptag);
+    ASSERT_EQ(vipl::VipConnectRequest(nic, a, {1, kDisc}, kTimeout),
+              VipResult::VIP_SUCCESS);
+    ASSERT_EQ(vipl::VipConnectRequest(nic, b, {1, kDisc + 1}, kTimeout),
+              VipResult::VIP_SUCCESS);
+    env.self.advance(sim::usec(200));
+    ASSERT_EQ(vipl::VipDisconnect(nic, a), VipResult::VIP_SUCCESS);
+    ASSERT_EQ(vipl::VipDisconnect(nic, b), VipResult::VIP_SUCCESS);
+    // Give the server time to observe both failures, then prove the VI it
+    // reset inside the callback is connectable again.
+    env.self.advance(sim::msec(1), sim::CpuUse::Idle);
+    ASSERT_EQ(vipl::VipConnectRequest(nic, a, {1, kDisc}, kTimeout),
+              VipResult::VIP_SUCCESS);
+    reconnected = true;
+  };
+  auto server = [&](NodeEnv& env) {
+    Provider& nic = env.nic;
+    auto ptag = vipl::VipCreatePtag(nic);
+    Vi* va = makeVi(nic, ptag);
+    Vi* vb = makeVi(nic, ptag);
+    nic.setErrorCallback([&](Vi* vi, nic::WorkStatus why) {
+      EXPECT_EQ(why, nic::WorkStatus::ConnectionLost);
+      EXPECT_EQ(vi->state(), ViState::Disconnected);
+      if (vi == va) {
+        EXPECT_EQ(vipl::VipResetVi(nic, vi), VipResult::VIP_SUCCESS);
+        EXPECT_EQ(vi->state(), ViState::Idle);
+      } else {
+        EXPECT_EQ(vi, vb);
+        EXPECT_EQ(vipl::VipDestroyVi(nic, vi), VipResult::VIP_SUCCESS);
+      }
+      ++callbacks;
+    });
+    serverAccept(nic, va);
+    PendingConn conn;
+    ASSERT_EQ(vipl::VipConnectWait(nic, {1, kDisc + 1}, kTimeout, conn),
+              VipResult::VIP_SUCCESS);
+    ASSERT_EQ(vipl::VipConnectAccept(nic, conn, vb), VipResult::VIP_SUCCESS);
+    // Park until both disconnects have been noticed and the deferred
+    // callbacks delivered (each VipDisconnect charges a teardown on the
+    // client first), then accept the client's second connect on the
+    // freshly reset VI.
+    env.self.advance(sim::msec(2), sim::CpuUse::Idle);
+    EXPECT_EQ(callbacks, 2);
+    serverAccept(nic, va);
+    EXPECT_EQ(va->state(), ViState::Connected);
+  };
+  cluster.run({client, server});
+  EXPECT_EQ(callbacks, 2);
+  EXPECT_TRUE(reconnected);
+}
+
 TEST(ViplTest, CqOverflowIsReported) {
   Cluster cluster(configFor("clan"));
   auto client = [&](NodeEnv& env) {
