@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/datatransfer.hpp"
 
 namespace {
@@ -24,9 +25,7 @@ nic::NicProfile baseline() {
   return p;
 }
 
-}  // namespace
-
-int main() {
+int run(int, char**) {
   using namespace vibe::bench;
 
   printHeader("Design-choice ablations",
@@ -51,17 +50,30 @@ int main() {
       "A. translation placement: one-way latency (us)",
       {"bytes", "host_r100", "host_r0", "nicsram_r100", "nicsram_r0",
        "nictlb_r100", "nictlb_r0"});
-  for (const std::uint64_t size : {4ull, 4096ull, 28672ull}) {
-    std::vector<double> row{static_cast<double>(size)};
-    for (const auto* prof : {&hostXlate, &nicSram, &nicHostTbl}) {
-      for (const int reuse : {100, 0}) {
+  const std::vector<std::uint64_t> xlateSizes = {4, 4096, 28672};
+  const std::vector<const nic::NicProfile*> xlateProfiles = {
+      &hostXlate, &nicSram, &nicHostTbl};
+  const std::vector<int> xlateReuse = {100, 0};
+  const std::size_t perXlateSize = xlateProfiles.size() * xlateReuse.size();
+  const auto xlatePoints = harness::runSweep(
+      xlateSizes.size() * perXlateSize,
+      [&](harness::PointEnv& env) {
+        const std::uint64_t size = xlateSizes[env.index / perXlateSize];
+        const std::size_t rest = env.index % perXlateSize;
+        const nic::NicProfile* prof = xlateProfiles[rest / xlateReuse.size()];
+        const int reuse = xlateReuse[rest % xlateReuse.size()];
         suite::TransferConfig cfg;
         cfg.msgBytes = size;
         cfg.reusePercent = reuse;
         cfg.bufferPool = reuse == 100 ? 1 : 160;
         cfg.iterations = 150;
-        row.push_back(suite::runPingPong(clusterFor(*prof), cfg).latencyUsec);
-      }
+        return suite::runPingPong(clusterFor(*prof, 2, env), cfg).latencyUsec;
+      },
+      sweepOptions());
+  for (std::size_t si = 0; si < xlateSizes.size(); ++si) {
+    std::vector<double> row{static_cast<double>(xlateSizes[si])};
+    for (std::size_t j = 0; j < perXlateSize; ++j) {
+      row.push_back(xlatePoints[si * perXlateSize + j]);
     }
     xlate.addRow(row);
   }
@@ -77,12 +89,26 @@ int main() {
   trapBell.doorbellCost = sim::usec(2.5);  // int 0x80 instead of MMIO
   suite::ResultTable bell("B. doorbell: one-way latency (us)",
                           {"bytes", "mmio", "kernel_trap"});
-  for (const std::uint64_t size : {4ull, 1024ull, 28672ull}) {
-    suite::TransferConfig cfg;
-    cfg.msgBytes = size;
-    bell.addRow({static_cast<double>(size),
-                 suite::runPingPong(clusterFor(baseline()), cfg).latencyUsec,
-                 suite::runPingPong(clusterFor(trapBell), cfg).latencyUsec});
+  const std::vector<std::uint64_t> bellSizes = {4, 1024, 28672};
+  struct BellPoint {
+    double mmio = 0.0;
+    double trap = 0.0;
+  };
+  const auto bellPoints = harness::runSweep(
+      bellSizes.size(),
+      [&](harness::PointEnv& env) {
+        suite::TransferConfig cfg;
+        cfg.msgBytes = bellSizes[env.index];
+        return BellPoint{
+            suite::runPingPong(clusterFor(baseline(), 2, env), cfg)
+                .latencyUsec,
+            suite::runPingPong(clusterFor(trapBell, 2, env), cfg)
+                .latencyUsec};
+      },
+      sweepOptions());
+  for (std::size_t i = 0; i < bellSizes.size(); ++i) {
+    bell.addRow({static_cast<double>(bellSizes[i]), bellPoints[i].mmio,
+                 bellPoints[i].trap});
   }
   vibe::bench::emit(bell);
   std::printf("Two doorbells ring per round trip (recv + send), so the trap\n"
@@ -92,21 +118,33 @@ int main() {
   suite::ResultTable tlb(
       "C. cache size (host-table scheme), 12 KB @ 0% reuse",
       {"entries", "latency_us", "bandwidth_MBps"});
-  for (const std::size_t entries : {16u, 64u, 256u, 1024u}) {
-    nic::NicProfile p = nicHostTbl;
-    p.tlbEntries = entries;
-    suite::TransferConfig cfg;
-    cfg.msgBytes = 12288;
-    cfg.reusePercent = 0;
-    cfg.bufferPool = 160;
-    cfg.iterations = 400;  // several full pool cycles, so a cache that can
-    cfg.warmup = 170;      // hold the working set actually gets warm
-    const auto ping = suite::runPingPong(clusterFor(p), cfg);
-    suite::TransferConfig bcfg = cfg;
-    bcfg.burst = 100;
-    const auto bw = suite::runBandwidth(clusterFor(p), bcfg);
-    tlb.addRow({static_cast<double>(entries), ping.latencyUsec,
-                bw.bandwidthMBps});
+  const std::vector<std::size_t> tlbSizes = {16u, 64u, 256u, 1024u};
+  struct TlbPoint {
+    double lat = 0.0;
+    double bw = 0.0;
+  };
+  const auto tlbPoints = harness::runSweep(
+      tlbSizes.size(),
+      [&](harness::PointEnv& env) {
+        nic::NicProfile p = nicHostTbl;
+        p.tlbEntries = tlbSizes[env.index];
+        suite::TransferConfig cfg;
+        cfg.msgBytes = 12288;
+        cfg.reusePercent = 0;
+        cfg.bufferPool = 160;
+        cfg.iterations = 400;  // several full pool cycles, so a cache that
+        cfg.warmup = 170;      // can hold the working set actually gets warm
+        TlbPoint pt;
+        pt.lat = suite::runPingPong(clusterFor(p, 2, env), cfg).latencyUsec;
+        suite::TransferConfig bcfg = cfg;
+        bcfg.burst = 100;
+        pt.bw = suite::runBandwidth(clusterFor(p, 2, env), bcfg).bandwidthMBps;
+        return pt;
+      },
+      sweepOptions());
+  for (std::size_t i = 0; i < tlbSizes.size(); ++i) {
+    tlb.addRow({static_cast<double>(tlbSizes[i]), tlbPoints[i].lat,
+                tlbPoints[i].bw});
   }
   vibe::bench::emit(tlb);
   std::printf("A 160-buffer working set (480 pages at 12 KB) defeats any\n"
@@ -115,14 +153,25 @@ int main() {
   // --- D: interrupt cost vs blocking ----------------------------------
   suite::ResultTable irq("D. interrupt cost: blocking 4 B reap",
                          {"irq_us", "latency_us", "recv_cpu_pct"});
-  for (const double cost : {3.0, 7.0, 15.0, 30.0}) {
-    nic::NicProfile p = baseline();
-    p.interruptCost = sim::usec(cost);
-    suite::TransferConfig cfg;
-    cfg.msgBytes = 4;
-    cfg.reap = suite::ReapMode::Block;
-    const auto r = suite::runPingPong(clusterFor(p), cfg);
-    irq.addRow({cost, r.latencyUsec, r.receiverCpuPct});
+  const std::vector<double> irqCosts = {3.0, 7.0, 15.0, 30.0};
+  struct IrqPoint {
+    double lat = 0.0;
+    double cpu = 0.0;
+  };
+  const auto irqPoints = harness::runSweep(
+      irqCosts.size(),
+      [&](harness::PointEnv& env) {
+        nic::NicProfile p = baseline();
+        p.interruptCost = sim::usec(irqCosts[env.index]);
+        suite::TransferConfig cfg;
+        cfg.msgBytes = 4;
+        cfg.reap = suite::ReapMode::Block;
+        const auto r = suite::runPingPong(clusterFor(p, 2, env), cfg);
+        return IrqPoint{r.latencyUsec, r.receiverCpuPct};
+      },
+      sweepOptions());
+  for (std::size_t i = 0; i < irqCosts.size(); ++i) {
+    irq.addRow({irqCosts[i], irqPoints[i].lat, irqPoints[i].cpu});
   }
   vibe::bench::emit(irq);
   std::printf(
@@ -132,3 +181,7 @@ int main() {
       "longer iteration.\n");
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(ablation_design, run)

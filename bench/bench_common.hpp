@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "harness/sweep.hpp"
 #include "nic/profiles.hpp"
 #include "obs/metrics.hpp"
 #include "vibe/cluster.hpp"
@@ -82,6 +83,33 @@ inline suite::ClusterConfig clusterFor(const nic::NicProfile& p,
     installStatsAppendix();
   }
   return c;
+}
+
+/// Sweep-point variant of clusterFor: publishes into the point's private
+/// registry (set exactly when stats were requested via sweepOptions())
+/// instead of the shared process-wide one, so points can run on worker
+/// threads without racing on statsRegistry(). The harness merges the
+/// per-point registries into statsRegistry() in index order afterwards.
+inline suite::ClusterConfig clusterFor(const nic::NicProfile& p,
+                                       std::uint32_t nodes,
+                                       const harness::PointEnv& env) {
+  suite::ClusterConfig c;
+  c.profile = p;
+  c.nodes = nodes;
+  c.metrics = env.metrics;
+  return c;
+}
+
+/// Options for harness::runSweep in a bench driver: when stats are
+/// requested, arms the appendix printer and routes the per-point
+/// registries into statsRegistry().
+inline harness::SweepOptions sweepOptions() {
+  harness::SweepOptions opts;
+  if (statsRequested()) {
+    installStatsAppendix();
+    opts.mergeInto = &statsRegistry();
+  }
+  return opts;
 }
 
 /// Prints a table; with VIBE_CSV=1 in the environment, also emits the

@@ -5,9 +5,12 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/datatransfer.hpp"
 
-int main() {
+namespace {
+
+int run(int, char**) {
   using namespace vibe;
   using namespace vibe::bench;
 
@@ -18,33 +21,63 @@ int main() {
   suite::ResultTable t("CQ overhead on one-way latency (us)",
                        {"bytes", "mvia_wq", "mvia_cq", "bvia_wq", "bvia_cq",
                         "clan_wq", "clan_cq"});
-  for (const std::uint64_t size : {4ull, 256ull, 1024ull, 4096ull, 28672ull}) {
-    std::vector<double> row{static_cast<double>(size)};
-    for (const auto& np : paperProfiles()) {
-      suite::TransferConfig direct;
-      direct.msgBytes = size;
-      direct.reap = suite::ReapMode::Poll;
-      const auto wq = suite::runPingPong(clusterFor(np.profile), direct);
-      suite::TransferConfig viaCq = direct;
-      viaCq.reap = suite::ReapMode::PollCq;
-      const auto cq = suite::runPingPong(clusterFor(np.profile), viaCq);
-      row.push_back(wq.latencyUsec);
-      row.push_back(cq.latencyUsec);
+  const std::vector<std::uint64_t> sizes = {4, 256, 1024, 4096, 28672};
+  const auto profiles = paperProfiles();
+  struct Point {
+    double wq = 0.0;
+    double cq = 0.0;
+  };
+  const auto points = harness::runSweep(
+      sizes.size() * profiles.size(),
+      [&](harness::PointEnv& env) {
+        const std::uint64_t size = sizes[env.index / profiles.size()];
+        const auto& np = profiles[env.index % profiles.size()];
+        suite::TransferConfig direct;
+        direct.msgBytes = size;
+        direct.reap = suite::ReapMode::Poll;
+        const auto wq =
+            suite::runPingPong(clusterFor(np.profile, 2, env), direct);
+        suite::TransferConfig viaCq = direct;
+        viaCq.reap = suite::ReapMode::PollCq;
+        const auto cq =
+            suite::runPingPong(clusterFor(np.profile, 2, env), viaCq);
+        return Point{wq.latencyUsec, cq.latencyUsec};
+      },
+      sweepOptions());
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::vector<double> row{static_cast<double>(sizes[si])};
+    for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+      const Point& pt = points[si * profiles.size() + pi];
+      row.push_back(pt.wq);
+      row.push_back(pt.cq);
     }
     t.addRow(row);
   }
   vibe::bench::emit(t);
 
   std::printf("Per-implementation CQ overhead at 4 B (cq - wq):\n");
-  for (const auto& np : paperProfiles()) {
-    suite::TransferConfig direct;
-    direct.msgBytes = 4;
-    const auto wq = suite::runPingPong(clusterFor(np.profile), direct);
-    suite::TransferConfig viaCq = direct;
-    viaCq.reap = suite::ReapMode::PollCq;
-    const auto cq = suite::runPingPong(clusterFor(np.profile), viaCq);
-    std::printf("  %-6s %+0.2f us\n", np.shortName.c_str(),
-                cq.latencyUsec - wq.latencyUsec);
+  const auto deltas = harness::runSweep(
+      profiles.size(),
+      [&](harness::PointEnv& env) {
+        const auto& np = profiles[env.index];
+        suite::TransferConfig direct;
+        direct.msgBytes = 4;
+        const auto wq =
+            suite::runPingPong(clusterFor(np.profile, 2, env), direct);
+        suite::TransferConfig viaCq = direct;
+        viaCq.reap = suite::ReapMode::PollCq;
+        const auto cq =
+            suite::runPingPong(clusterFor(np.profile, 2, env), viaCq);
+        return cq.latencyUsec - wq.latencyUsec;
+      },
+      sweepOptions());
+  for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+    std::printf("  %-6s %+0.2f us\n", profiles[pi].shortName.c_str(),
+                deltas[pi]);
   }
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(cq_overhead, run)

@@ -5,9 +5,12 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/datatransfer.hpp"
 
-int main() {
+namespace {
+
+int run(int, char**) {
   using namespace vibe;
   using namespace vibe::bench;
 
@@ -18,20 +21,35 @@ int main() {
                        {"bytes", "mvia_poll", "mvia_notify", "mvia_block",
                         "bvia_poll", "bvia_notify", "bvia_block",
                         "clan_poll", "clan_notify", "clan_block"});
-  for (const std::uint64_t size : {4ull, 256ull, 4096ull, 28672ull}) {
-    std::vector<double> row{static_cast<double>(size)};
-    for (const auto& np : paperProfiles()) {
-      for (const auto mode : {suite::ReapMode::Poll, suite::ReapMode::Notify,
-                              suite::ReapMode::Block}) {
+  const std::vector<std::uint64_t> sizes = {4, 256, 4096, 28672};
+  const std::vector<suite::ReapMode> modes = {
+      suite::ReapMode::Poll, suite::ReapMode::Notify, suite::ReapMode::Block};
+  const auto profiles = paperProfiles();
+  const std::size_t perSize = profiles.size() * modes.size();
+  const auto points = harness::runSweep(
+      sizes.size() * perSize,
+      [&](harness::PointEnv& env) {
+        const std::uint64_t size = sizes[env.index / perSize];
+        const std::size_t rest = env.index % perSize;
+        const auto& np = profiles[rest / modes.size()];
         suite::TransferConfig cfg;
         cfg.msgBytes = size;
-        cfg.reap = mode;
-        const auto r = suite::runPingPong(clusterFor(np.profile), cfg);
-        row.push_back(r.latencyUsec);
-      }
+        cfg.reap = modes[rest % modes.size()];
+        return suite::runPingPong(clusterFor(np.profile, 2, env), cfg)
+            .latencyUsec;
+      },
+      sweepOptions());
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::vector<double> row{static_cast<double>(sizes[si])};
+    for (std::size_t j = 0; j < perSize; ++j) {
+      row.push_back(points[si * perSize + j]);
     }
     t.addRow(row);
   }
   vibe::bench::emit(t);
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(ext_async, run)

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "upper/msg/communicator.hpp"
 #include "vibe/cluster.hpp"
 
@@ -23,8 +24,8 @@ struct CollectiveTimes {
 };
 
 CollectiveTimes measure(const nic::NicProfile& profile, std::uint32_t ranks,
-                        int repetitions) {
-  suite::ClusterConfig cc = bench::clusterFor(profile, ranks);
+                        int repetitions, const harness::PointEnv& penv) {
+  suite::ClusterConfig cc = bench::clusterFor(profile, ranks, penv);
   suite::Cluster cluster(cc);
   CollectiveTimes result;
   std::vector<std::function<void(suite::NodeEnv&)>> programs;
@@ -54,9 +55,7 @@ CollectiveTimes measure(const nic::NicProfile& profile, std::uint32_t ranks,
   return result;
 }
 
-}  // namespace
-
-int main() {
+int run(int, char**) {
   using namespace vibe::bench;
   printHeader("Collective operations vs rank count",
               "Extension of §1's scalability question: dissemination "
@@ -66,11 +65,21 @@ int main() {
                              {"ranks", "mvia", "bvia", "clan"});
   suite::ResultTable allreduce("Allreduce time, 64 doubles (us)",
                                {"ranks", "mvia", "bvia", "clan"});
-  for (const std::uint32_t ranks : {2u, 4u, 8u}) {
-    std::vector<double> bRow{static_cast<double>(ranks)};
-    std::vector<double> aRow{static_cast<double>(ranks)};
-    for (const auto& np : paperProfiles()) {
-      const CollectiveTimes t = measure(np.profile, ranks, 12);
+  const std::vector<std::uint32_t> rankCounts = {2u, 4u, 8u};
+  const auto profiles = paperProfiles();
+  const auto points = harness::runSweep(
+      rankCounts.size() * profiles.size(),
+      [&](harness::PointEnv& env) {
+        const std::uint32_t ranks = rankCounts[env.index / profiles.size()];
+        const auto& np = profiles[env.index % profiles.size()];
+        return measure(np.profile, ranks, 12, env);
+      },
+      sweepOptions());
+  for (std::size_t ri = 0; ri < rankCounts.size(); ++ri) {
+    std::vector<double> bRow{static_cast<double>(rankCounts[ri])};
+    std::vector<double> aRow{static_cast<double>(rankCounts[ri])};
+    for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+      const CollectiveTimes& t = points[ri * profiles.size() + pi];
       bRow.push_back(t.barrierUsec);
       aRow.push_back(t.allreduceUsec);
     }
@@ -86,3 +95,7 @@ int main() {
       "doorbell scan as N grows: the Fig. 6 effect compounding with depth.\n");
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(ext_collectives, run)

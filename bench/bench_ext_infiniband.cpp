@@ -7,9 +7,12 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/datatransfer.hpp"
 
-int main() {
+namespace {
+
+int run(int, char**) {
   using namespace vibe;
   using namespace vibe::bench;
 
@@ -23,16 +26,33 @@ int main() {
                          {"bytes", "mvia", "bvia", "clan", "iba"});
   suite::ResultTable bw("Bandwidth (MB/s)",
                         {"bytes", "mvia", "bvia", "clan", "iba"});
-  for (const std::uint64_t size : {4ull, 1024ull, 8192ull, 28672ull}) {
-    std::vector<double> latRow{static_cast<double>(size)};
-    std::vector<double> bwRow{static_cast<double>(size)};
-    for (const auto& np : all) {
-      suite::TransferConfig cfg;
-      cfg.msgBytes = size;
-      latRow.push_back(suite::runPingPong(clusterFor(np.profile), cfg)
-                           .latencyUsec);
-      bwRow.push_back(suite::runBandwidth(clusterFor(np.profile), cfg)
-                          .bandwidthMBps);
+  const std::vector<std::uint64_t> sizes = {4, 1024, 8192, 28672};
+  struct Point {
+    double lat = 0.0;
+    double bw = 0.0;
+  };
+  const auto points = harness::runSweep(
+      sizes.size() * all.size(),
+      [&](harness::PointEnv& env) {
+        const std::uint64_t size = sizes[env.index / all.size()];
+        const auto& np = all[env.index % all.size()];
+        suite::TransferConfig cfg;
+        cfg.msgBytes = size;
+        Point pt;
+        pt.lat =
+            suite::runPingPong(clusterFor(np.profile, 2, env), cfg)
+                .latencyUsec;
+        pt.bw = suite::runBandwidth(clusterFor(np.profile, 2, env), cfg)
+                    .bandwidthMBps;
+        return pt;
+      },
+      sweepOptions());
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::vector<double> latRow{static_cast<double>(sizes[si])};
+    std::vector<double> bwRow{static_cast<double>(sizes[si])};
+    for (std::size_t pi = 0; pi < all.size(); ++pi) {
+      latRow.push_back(points[si * all.size() + pi].lat);
+      bwRow.push_back(points[si * all.size() + pi].bw);
     }
     lat.addRow(latRow);
     bw.addRow(bwRow);
@@ -41,15 +61,25 @@ int main() {
   emit(bw);
 
   // RDMA read — the verb none of the paper's systems implemented.
-  suite::TransferConfig rd;
-  rd.msgBytes = 4096;
-  rd.useRdmaWrite = true;
-  const auto iba = suite::runPingPong(clusterFor(all.back().profile), rd);
+  const auto rdPoints = harness::runSweep(
+      1,
+      [&](harness::PointEnv& env) {
+        suite::TransferConfig rd;
+        rd.msgBytes = 4096;
+        rd.useRdmaWrite = true;
+        return suite::runPingPong(clusterFor(all.back().profile, 2, env), rd)
+            .latencyUsec;
+      },
+      sweepOptions());
   std::printf(
       "RDMA write ping on IBA: %.2f us one way (and RDMA read is native —\n"
       "see the get/put layer, whose get() uses it only on this profile).\n"
       "Every VIBe insight transfers: the components are the same verbs,\n"
       "only the constants moved a decade.\n",
-      iba.latencyUsec);
+      rdPoints[0]);
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(ext_infiniband, run)

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "upper/msg/communicator.hpp"
 #include "upper/sockets/stream.hpp"
 #include "vibe/datatransfer.hpp"
@@ -28,23 +29,27 @@ struct LayerNumbers {
   double bulkMBps = 0;       // 256 KB one-way transfer
 };
 
-LayerNumbers rawNumbers(const nic::NicProfile& profile) {
+LayerNumbers rawNumbers(const nic::NicProfile& profile,
+                        const harness::PointEnv& penv) {
   LayerNumbers n;
   suite::TransferConfig ping;
   ping.msgBytes = 4;
   n.smallRttUsec =
-      2 * suite::runPingPong(bench::clusterFor(profile), ping).latencyUsec;
+      2 * suite::runPingPong(bench::clusterFor(profile, 2, penv), ping)
+              .latencyUsec;
   suite::TransferConfig bulk;
   bulk.msgBytes = 32768;
   bulk.burst = 8;  // 256 KB total
   n.bulkMBps =
-      suite::runBandwidth(bench::clusterFor(profile), bulk).bandwidthMBps;
+      suite::runBandwidth(bench::clusterFor(profile, 2, penv), bulk)
+          .bandwidthMBps;
   return n;
 }
 
-LayerNumbers socketNumbers(const nic::NicProfile& profile) {
+LayerNumbers socketNumbers(const nic::NicProfile& profile,
+                        const harness::PointEnv& penv) {
   LayerNumbers n;
-  suite::ClusterConfig cc = bench::clusterFor(profile);
+  suite::ClusterConfig cc = bench::clusterFor(profile, 2, penv);
   suite::Cluster cluster(cc);
   constexpr int kRtts = 60;
   constexpr std::size_t kBulk = 256 * 1024;
@@ -85,9 +90,10 @@ LayerNumbers socketNumbers(const nic::NicProfile& profile) {
   return n;
 }
 
-LayerNumbers msgNumbers(const nic::NicProfile& profile) {
+LayerNumbers msgNumbers(const nic::NicProfile& profile,
+                        const harness::PointEnv& penv) {
   LayerNumbers n;
-  suite::ClusterConfig cc = bench::clusterFor(profile);
+  suite::ClusterConfig cc = bench::clusterFor(profile, 2, penv);
   suite::Cluster cluster(cc);
   constexpr int kRtts = 60;
   constexpr std::size_t kBulk = 256 * 1024;
@@ -121,9 +127,7 @@ LayerNumbers msgNumbers(const nic::NicProfile& profile) {
   return n;
 }
 
-}  // namespace
-
-int main() {
+int run(int, char**) {
   using namespace vibe::bench;
   printHeader("Programming-model layer tax",
               "Refs [14][17][7] build layers over VIA; measured here: what "
@@ -133,16 +137,27 @@ int main() {
                          {"impl", "raw", "sockets", "msg"});
   suite::ResultTable bw("256 KB transfer (MB/s)",
                         {"impl", "raw", "sockets", "msg"});
-  int idx = 0;
-  for (const auto& np : paperProfiles()) {
-    const LayerNumbers raw = rawNumbers(np.profile);
-    const LayerNumbers sock = socketNumbers(np.profile);
-    const LayerNumbers msg = msgNumbers(np.profile);
-    rtt.addRow({static_cast<double>(idx), raw.smallRttUsec, sock.smallRttUsec,
-                msg.smallRttUsec});
-    bw.addRow({static_cast<double>(idx), raw.bulkMBps, sock.bulkMBps,
-               msg.bulkMBps});
-    ++idx;
+  const auto profiles = paperProfiles();
+  struct Point {
+    LayerNumbers raw;
+    LayerNumbers sock;
+    LayerNumbers msg;
+  };
+  const auto points = harness::runSweep(
+      profiles.size(),
+      [&](harness::PointEnv& env) {
+        const auto& np = profiles[env.index];
+        return Point{rawNumbers(np.profile, env),
+                     socketNumbers(np.profile, env),
+                     msgNumbers(np.profile, env)};
+      },
+      sweepOptions());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const Point& pt = points[i];
+    rtt.addRow({static_cast<double>(i), pt.raw.smallRttUsec,
+                pt.sock.smallRttUsec, pt.msg.smallRttUsec});
+    bw.addRow({static_cast<double>(i), pt.raw.bulkMBps, pt.sock.bulkMBps,
+               pt.msg.bulkMBps});
   }
   vibe::bench::emit(rtt);
   std::printf("(impl: 0 = M-VIA, 1 = BVIA, 2 = cLAN)\n\n");
@@ -155,3 +170,7 @@ int main() {
       "guidance VIBe's per-component numbers predict.\n");
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(ext_layertax, run)

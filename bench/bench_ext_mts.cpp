@@ -6,9 +6,12 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/datatransfer.hpp"
 
-int main() {
+namespace {
+
+int run(int, char**) {
   using namespace vibe;
   using namespace vibe::bench;
 
@@ -17,23 +20,37 @@ int main() {
               "bandwidth approaches the base curve as MTS grows");
 
   constexpr std::uint64_t kTotalBytes = 512 * 1024;
-  const std::uint32_t mtsValues[] = {512, 1024, 2048, 4096, 8192, 16384,
-                                     32768, 65536};
+  const std::vector<std::uint32_t> mtsValues = {512,  1024,  2048,  4096,
+                                                8192, 16384, 32768, 65536};
+  const auto profiles = paperProfiles();
 
   suite::ResultTable t("Effective bandwidth (MB/s) moving 512 KiB",
                        {"mts_bytes", "mvia", "bvia", "clan"});
-  for (const std::uint32_t mts : mtsValues) {
-    std::vector<double> row{static_cast<double>(mts)};
-    for (const auto& np : paperProfiles()) {
-      suite::TransferConfig cfg;
-      cfg.maxTransferSize = mts;
-      cfg.msgBytes = std::min<std::uint64_t>(mts, np.profile.maxTransferSize);
-      cfg.burst = static_cast<int>(kTotalBytes / cfg.msgBytes);
-      const auto r = suite::runBandwidth(clusterFor(np.profile), cfg);
-      row.push_back(r.bandwidthMBps);
+  const auto points = harness::runSweep(
+      mtsValues.size() * profiles.size(),
+      [&](harness::PointEnv& env) {
+        const std::uint32_t mts = mtsValues[env.index / profiles.size()];
+        const auto& np = profiles[env.index % profiles.size()];
+        suite::TransferConfig cfg;
+        cfg.maxTransferSize = mts;
+        cfg.msgBytes =
+            std::min<std::uint64_t>(mts, np.profile.maxTransferSize);
+        cfg.burst = static_cast<int>(kTotalBytes / cfg.msgBytes);
+        return suite::runBandwidth(clusterFor(np.profile, 2, env), cfg)
+            .bandwidthMBps;
+      },
+      sweepOptions());
+  for (std::size_t mi = 0; mi < mtsValues.size(); ++mi) {
+    std::vector<double> row{static_cast<double>(mtsValues[mi])};
+    for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+      row.push_back(points[mi * profiles.size() + pi]);
     }
     t.addRow(row);
   }
   vibe::bench::emit(t);
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(ext_mts, run)

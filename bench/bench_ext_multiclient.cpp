@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "upper/rpc/rpc.hpp"
 #include "vibe/cluster.hpp"
 
@@ -22,8 +23,8 @@ namespace {
 using namespace vibe;
 
 double aggregateTps(const nic::NicProfile& profile, std::uint32_t clients,
-                    int callsPerClient) {
-  suite::ClusterConfig cc = bench::clusterFor(profile, clients + 1);
+                    int callsPerClient, const harness::PointEnv& penv) {
+  suite::ClusterConfig cc = bench::clusterFor(profile, clients + 1, penv);
   suite::Cluster cluster(cc);
   double elapsedSec = 0;
 
@@ -52,9 +53,7 @@ double aggregateTps(const nic::NicProfile& profile, std::uint32_t clients,
   return static_cast<double>(clients) * callsPerClient / elapsedSec;
 }
 
-}  // namespace
-
-int main() {
+int run(int, char**) {
   using namespace vibe::bench;
   printHeader("Server scalability with concurrent clients",
               "Extension of Fig. 6/Fig. 7: aggregate transactions/s of one "
@@ -62,10 +61,21 @@ int main() {
 
   suite::ResultTable t("Aggregate transactions/s (16 B request, 256 B reply)",
                        {"clients", "mvia", "bvia", "clan"});
-  for (const std::uint32_t clients : {1u, 2u, 4u, 6u}) {
-    std::vector<double> row{static_cast<double>(clients)};
-    for (const auto& np : paperProfiles()) {
-      row.push_back(aggregateTps(np.profile, clients, 60));
+  const std::vector<std::uint32_t> clientCounts = {1u, 2u, 4u, 6u};
+  const auto profiles = paperProfiles();
+  const auto points = harness::runSweep(
+      clientCounts.size() * profiles.size(),
+      [&](harness::PointEnv& env) {
+        const std::uint32_t clients =
+            clientCounts[env.index / profiles.size()];
+        const auto& np = profiles[env.index % profiles.size()];
+        return aggregateTps(np.profile, clients, 60, env);
+      },
+      sweepOptions());
+  for (std::size_t ci = 0; ci < clientCounts.size(); ++ci) {
+    std::vector<double> row{static_cast<double>(clientCounts[ci])};
+    for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+      row.push_back(points[ci * profiles.size() + pi]);
     }
     t.addRow(row);
   }
@@ -77,3 +87,7 @@ int main() {
       "server-host CPU (every byte crosses it twice).\n");
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(ext_multiclient, run)

@@ -5,9 +5,12 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/datatransfer.hpp"
 
-int main() {
+namespace {
+
+int run(int, char**) {
   using namespace vibe;
   using namespace vibe::bench;
 
@@ -15,19 +18,33 @@ int main() {
               "TR §3.2.5: bandwidth climbs with pipeline depth and "
               "saturates once the bottleneck stage stays busy");
 
-  const int depths[] = {1, 2, 4, 8, 16, 0 /* unlimited */};
-  for (const std::uint64_t size : {1024ull, 4096ull, 28672ull}) {
-    suite::ResultTable t(
-        "Bandwidth (MB/s), " + std::to_string(size) + " B messages",
-        {"depth", "mvia", "bvia", "clan"});
-    for (const int depth : depths) {
-      std::vector<double> row{depth == 0 ? 999.0 : static_cast<double>(depth)};
-      for (const auto& np : paperProfiles()) {
+  const std::vector<int> depths = {1, 2, 4, 8, 16, 0 /* unlimited */};
+  const std::vector<std::uint64_t> sizes = {1024, 4096, 28672};
+  const auto profiles = paperProfiles();
+  const std::size_t perSize = depths.size() * profiles.size();
+  const auto points = harness::runSweep(
+      sizes.size() * perSize,
+      [&](harness::PointEnv& env) {
+        const std::uint64_t size = sizes[env.index / perSize];
+        const std::size_t rest = env.index % perSize;
+        const int depth = depths[rest / profiles.size()];
+        const auto& np = profiles[rest % profiles.size()];
         suite::TransferConfig cfg;
         cfg.msgBytes = size;
         cfg.pipelineDepth = depth;
-        const auto r = suite::runBandwidth(clusterFor(np.profile), cfg);
-        row.push_back(r.bandwidthMBps);
+        return suite::runBandwidth(clusterFor(np.profile, 2, env), cfg)
+            .bandwidthMBps;
+      },
+      sweepOptions());
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    suite::ResultTable t(
+        "Bandwidth (MB/s), " + std::to_string(sizes[si]) + " B messages",
+        {"depth", "mvia", "bvia", "clan"});
+    for (std::size_t di = 0; di < depths.size(); ++di) {
+      std::vector<double> row{
+          depths[di] == 0 ? 999.0 : static_cast<double>(depths[di])};
+      for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+        row.push_back(points[si * perSize + di * profiles.size() + pi]);
       }
       t.addRow(row);
     }
@@ -36,3 +53,7 @@ int main() {
   }
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(ext_pipeline, run)

@@ -6,9 +6,12 @@
 #include <limits>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/datatransfer.hpp"
 
-int main() {
+namespace {
+
+int run(int, char**) {
   using namespace vibe;
   using namespace vibe::bench;
 
@@ -22,24 +25,47 @@ int main() {
   suite::ResultTable bw("Bandwidth (MB/s): send/recv vs RDMA write",
                         {"bytes", "mvia_sr", "mvia_rdma", "bvia_sr",
                          "bvia_rdma", "clan_sr", "clan_rdma"});
-  const double nan = std::numeric_limits<double>::quiet_NaN();
-
-  for (const std::uint64_t size : {4ull, 1024ull, 4096ull, 28672ull}) {
-    std::vector<double> latRow{static_cast<double>(size)};
-    std::vector<double> bwRow{static_cast<double>(size)};
-    for (const auto& np : paperProfiles()) {
-      suite::TransferConfig sr;
-      sr.msgBytes = size;
-      const auto pingSr = suite::runPingPong(clusterFor(np.profile), sr);
-      const auto bwSr = suite::runBandwidth(clusterFor(np.profile), sr);
-      suite::TransferConfig rd = sr;
-      rd.useRdmaWrite = true;
-      const auto pingRd = suite::runPingPong(clusterFor(np.profile), rd);
-      const auto bwRd = suite::runBandwidth(clusterFor(np.profile), rd);
-      latRow.push_back(pingSr.latencyUsec);
-      latRow.push_back(pingRd.supported ? pingRd.latencyUsec : nan);
-      bwRow.push_back(bwSr.bandwidthMBps);
-      bwRow.push_back(bwRd.supported ? bwRd.bandwidthMBps : nan);
+  const std::vector<std::uint64_t> sizes = {4, 1024, 4096, 28672};
+  const auto profiles = paperProfiles();
+  struct Point {
+    double srLat = 0.0;
+    double rdLat = 0.0;
+    double srBw = 0.0;
+    double rdBw = 0.0;
+  };
+  const auto points = harness::runSweep(
+      sizes.size() * profiles.size(),
+      [&](harness::PointEnv& env) {
+        const std::uint64_t size = sizes[env.index / profiles.size()];
+        const auto& np = profiles[env.index % profiles.size()];
+        suite::TransferConfig sr;
+        sr.msgBytes = size;
+        const auto pingSr =
+            suite::runPingPong(clusterFor(np.profile, 2, env), sr);
+        const auto bwSr =
+            suite::runBandwidth(clusterFor(np.profile, 2, env), sr);
+        suite::TransferConfig rd = sr;
+        rd.useRdmaWrite = true;
+        const auto pingRd =
+            suite::runPingPong(clusterFor(np.profile, 2, env), rd);
+        const auto bwRd =
+            suite::runBandwidth(clusterFor(np.profile, 2, env), rd);
+        const double nanv = std::numeric_limits<double>::quiet_NaN();
+        return Point{pingSr.latencyUsec,
+                     pingRd.supported ? pingRd.latencyUsec : nanv,
+                     bwSr.bandwidthMBps,
+                     bwRd.supported ? bwRd.bandwidthMBps : nanv};
+      },
+      sweepOptions());
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::vector<double> latRow{static_cast<double>(sizes[si])};
+    std::vector<double> bwRow{static_cast<double>(sizes[si])};
+    for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+      const Point& pt = points[si * profiles.size() + pi];
+      latRow.push_back(pt.srLat);
+      latRow.push_back(pt.rdLat);
+      bwRow.push_back(pt.srBw);
+      bwRow.push_back(pt.rdBw);
     }
     lat.addRow(latRow);
     bw.addRow(bwRow);
@@ -48,3 +74,7 @@ int main() {
   vibe::bench::emit(bw);
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(ext_rdma, run)

@@ -12,6 +12,7 @@
 
 #include "bench_common.hpp"
 #include "bench_json.hpp"
+#include "bench_registry.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "obs/span.hpp"
@@ -69,8 +70,9 @@ fault::FaultPlan partitionPlan(int count, sim::SimTime start,
 /// Session trace records and Reconnect spans land in the Perfetto file
 /// (the CI soak job uploads one such episode as an artifact).
 Episode runEpisode(const nic::NicProfile& profile,
+                   const harness::PointEnv& penv,
                    obs::TraceJsonExporter* exporter = nullptr) {
-  Cluster cluster(clusterFor(profile));
+  Cluster cluster(clusterFor(profile, 2, penv));
 
   obs::SpanProfiler spans;
   spans.setKeepEvents(true);
@@ -127,8 +129,8 @@ Episode runEpisode(const nic::NicProfile& profile,
 
 /// Goodput of a recovery-mode Communicator stream across `flaps` link
 /// flaps. Returns MB/s of application payload over the full run.
-double runGoodput(int flaps) {
-  Cluster cluster(clusterFor(nic::clanProfile()));
+double runGoodput(int flaps, const harness::PointEnv& penv) {
+  Cluster cluster(clusterFor(nic::clanProfile(), 2, penv));
   fault::FaultInjector injector(
       partitionPlan(flaps, kPartStart, sim::msec(250), sim::msec(150)));
   injector.arm(cluster);
@@ -162,9 +164,7 @@ double runGoodput(int flaps) {
   return mbps;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace vibe;
   bench::parseStatsFlag(argc, argv);
 
@@ -183,14 +183,24 @@ int main(int argc, char** argv) {
   suite::ResultTable mttr(
       "Recovery timeline by NIC profile (400 ms partition)",
       {"impl", "detect_ms", "mttr_ms", "attempts", "replayed"});
-  int idx = 0;
-  for (const auto& np : bench::paperProfiles()) {
-    const Episode ep = runEpisode(np.profile, idx == 0 ? exporter.get()
-                                                       : nullptr);
-    mttr.addRow({static_cast<double>(idx++), ep.detectMs, ep.mttrMs,
+  const auto profiles = bench::paperProfiles();
+  const auto episodes = harness::runSweep(
+      profiles.size(),
+      [&](harness::PointEnv& env) {
+        // Only point 0 feeds the exporter, so the trace file stays
+        // identical to a serial run regardless of thread count.
+        return runEpisode(profiles[env.index].profile, env,
+                          env.index == 0 ? exporter.get() : nullptr);
+      },
+      bench::sweepOptions());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const Episode& ep = episodes[i];
+    mttr.addRow({static_cast<double>(i), ep.detectMs, ep.mttrMs,
                  ep.attempts, ep.replayed});
-    recoveryMetrics.emplace_back(np.shortName + "_detect_ms", ep.detectMs);
-    recoveryMetrics.emplace_back(np.shortName + "_mttr_ms", ep.mttrMs);
+    recoveryMetrics.emplace_back(profiles[i].shortName + "_detect_ms",
+                                 ep.detectMs);
+    recoveryMetrics.emplace_back(profiles[i].shortName + "_mttr_ms",
+                                 ep.mttrMs);
   }
   if (exporter) {
     const std::size_t n = exporter->eventCount();
@@ -210,24 +220,38 @@ int main(int argc, char** argv) {
   suite::ResultTable caps(
       "Break detection vs rtoBackoffCap (cLAN, 400 ms partition)",
       {"cap", "detect_ms", "mttr_ms"});
-  for (const std::uint32_t cap : {2u, 4u, 8u, 16u}) {
-    nic::NicProfile p = nic::clanProfile();
-    p.rtoBackoffCap = cap;
-    const Episode ep = runEpisode(p);
-    caps.addRow({static_cast<double>(cap), ep.detectMs, ep.mttrMs});
-    recoveryMetrics.emplace_back("cap" + std::to_string(cap) + "_detect_ms",
-                                 ep.detectMs);
+  const std::vector<std::uint32_t> capValues = {2u, 4u, 8u, 16u};
+  const auto capEpisodes = harness::runSweep(
+      capValues.size(),
+      [&](harness::PointEnv& env) {
+        nic::NicProfile p = nic::clanProfile();
+        p.rtoBackoffCap = capValues[env.index];
+        return runEpisode(p, env);
+      },
+      bench::sweepOptions());
+  for (std::size_t i = 0; i < capValues.size(); ++i) {
+    const Episode& ep = capEpisodes[i];
+    caps.addRow({static_cast<double>(capValues[i]), ep.detectMs, ep.mttrMs});
+    recoveryMetrics.emplace_back(
+        "cap" + std::to_string(capValues[i]) + "_detect_ms", ep.detectMs);
   }
   bench::emit(caps);
 
   suite::ResultTable goodput(
       "msg-layer goodput under link flaps (cLAN, 256 x 16 KiB)",
       {"flaps", "goodput_MBps"});
-  for (const int flaps : {0, 1, 2}) {
-    const double mbps = runGoodput(flaps);
-    goodput.addRow({static_cast<double>(flaps), mbps});
+  const std::vector<int> flapCounts = {0, 1, 2};
+  const auto goodputs = harness::runSweep(
+      flapCounts.size(),
+      [&](harness::PointEnv& env) {
+        return runGoodput(flapCounts[env.index], env);
+      },
+      bench::sweepOptions());
+  for (std::size_t i = 0; i < flapCounts.size(); ++i) {
+    goodput.addRow({static_cast<double>(flapCounts[i]), goodputs[i]});
     recoveryMetrics.emplace_back(
-        "goodput_flaps" + std::to_string(flaps) + "_MBps", mbps);
+        "goodput_flaps" + std::to_string(flapCounts[i]) + "_MBps",
+        goodputs[i]);
   }
   bench::emit(goodput);
 
@@ -239,3 +263,7 @@ int main(int argc, char** argv) {
   }
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(ext_recovery, run)

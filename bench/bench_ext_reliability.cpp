@@ -6,9 +6,12 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/datatransfer.hpp"
 
-int main() {
+namespace {
+
+int run(int, char**) {
   using namespace vibe;
   using namespace vibe::bench;
 
@@ -17,9 +20,9 @@ int main() {
               "latency is similar (the reply already acknowledges), "
               "bandwidth differs via ack/window pressure");
 
-  const nic::Reliability levels[] = {nic::Reliability::Unreliable,
-                                     nic::Reliability::ReliableDelivery,
-                                     nic::Reliability::ReliableReception};
+  const std::vector<nic::Reliability> levels = {
+      nic::Reliability::Unreliable, nic::Reliability::ReliableDelivery,
+      nic::Reliability::ReliableReception};
 
   suite::ResultTable lat("One-way latency (us) by reliability level",
                          {"bytes", "mvia_ud", "mvia_rd", "mvia_rr",
@@ -29,19 +32,36 @@ int main() {
                         {"bytes", "mvia_ud", "mvia_rd", "mvia_rr",
                          "bvia_ud", "bvia_rd", "bvia_rr", "clan_ud",
                          "clan_rd", "clan_rr"});
-  for (const std::uint64_t size : {4ull, 1024ull, 4096ull, 28672ull}) {
-    std::vector<double> latRow{static_cast<double>(size)};
-    std::vector<double> bwRow{static_cast<double>(size)};
-    for (const auto& np : paperProfiles()) {
-      for (const auto level : levels) {
+  const std::vector<std::uint64_t> sizes = {4, 1024, 4096, 28672};
+  const auto profiles = paperProfiles();
+  const std::size_t perSize = profiles.size() * levels.size();
+  struct Point {
+    double lat = 0.0;
+    double bw = 0.0;
+  };
+  const auto points = harness::runSweep(
+      sizes.size() * perSize,
+      [&](harness::PointEnv& env) {
+        const std::uint64_t size = sizes[env.index / perSize];
+        const std::size_t rest = env.index % perSize;
+        const auto& np = profiles[rest / levels.size()];
         suite::TransferConfig cfg;
         cfg.msgBytes = size;
-        cfg.reliability = level;
-        const auto ping = suite::runPingPong(clusterFor(np.profile), cfg);
-        latRow.push_back(ping.latencyUsec);
-        const auto stream = suite::runBandwidth(clusterFor(np.profile), cfg);
-        bwRow.push_back(stream.bandwidthMBps);
-      }
+        cfg.reliability = levels[rest % levels.size()];
+        Point pt;
+        pt.lat =
+            suite::runPingPong(clusterFor(np.profile, 2, env), cfg).latencyUsec;
+        pt.bw = suite::runBandwidth(clusterFor(np.profile, 2, env), cfg)
+                    .bandwidthMBps;
+        return pt;
+      },
+      sweepOptions());
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::vector<double> latRow{static_cast<double>(sizes[si])};
+    std::vector<double> bwRow{static_cast<double>(sizes[si])};
+    for (std::size_t j = 0; j < perSize; ++j) {
+      latRow.push_back(points[si * perSize + j].lat);
+      bwRow.push_back(points[si * perSize + j].bw);
     }
     lat.addRow(latRow);
     bw.addRow(bwRow);
@@ -54,16 +74,22 @@ int main() {
   // data has been placed in target memory.
   suite::ResultTable sc("Send post-to-completion time (us), 4096 B",
                         {"impl", "ud", "rd", "rr"});
-  int idx = 0;
-  for (const auto& np : paperProfiles()) {
-    std::vector<double> row{static_cast<double>(idx++)};
-    for (const auto level : levels) {
-      suite::TransferConfig cfg;
-      cfg.msgBytes = 4096;
-      cfg.reliability = level;
-      cfg.measureSendCompletion = true;
-      const auto r = suite::runPingPong(clusterFor(np.profile), cfg);
-      row.push_back(r.sendCompletionUsec);
+  const auto scPoints = harness::runSweep(
+      profiles.size() * levels.size(),
+      [&](harness::PointEnv& env) {
+        const auto& np = profiles[env.index / levels.size()];
+        suite::TransferConfig cfg;
+        cfg.msgBytes = 4096;
+        cfg.reliability = levels[env.index % levels.size()];
+        cfg.measureSendCompletion = true;
+        return suite::runPingPong(clusterFor(np.profile, 2, env), cfg)
+            .sendCompletionUsec;
+      },
+      sweepOptions());
+  for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+    std::vector<double> row{static_cast<double>(pi)};
+    for (std::size_t li = 0; li < levels.size(); ++li) {
+      row.push_back(scPoints[pi * levels.size() + li]);
     }
     sc.addRow(row);
   }
@@ -74,15 +100,25 @@ int main() {
   suite::ResultTable lossT(
       "cLAN 4 KiB bandwidth (MB/s) under frame loss, RD",
       {"loss_pct", "rd_bandwidth"});
-  for (const double loss : {0.0, 0.01, 0.05}) {
-    suite::ClusterConfig cc = clusterFor(nic::clanProfile());
-    cc.lossRate = loss;
-    suite::TransferConfig cfg;
-    cfg.msgBytes = 4096;
-    cfg.burst = 100;
-    const auto r = suite::runBandwidth(cc, cfg);
-    lossT.addRow({loss * 100.0, r.bandwidthMBps});
+  const std::vector<double> losses = {0.0, 0.01, 0.05};
+  const auto lossPoints = harness::runSweep(
+      losses.size(),
+      [&](harness::PointEnv& env) {
+        suite::ClusterConfig cc = clusterFor(nic::clanProfile(), 2, env);
+        cc.lossRate = losses[env.index];
+        suite::TransferConfig cfg;
+        cfg.msgBytes = 4096;
+        cfg.burst = 100;
+        return suite::runBandwidth(cc, cfg).bandwidthMBps;
+      },
+      sweepOptions());
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    lossT.addRow({losses[i] * 100.0, lossPoints[i]});
   }
   vibe::bench::emit(lossT);
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(ext_reliability, run)

@@ -4,9 +4,12 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/datatransfer.hpp"
 
-int main() {
+namespace {
+
+int run(int, char**) {
   using namespace vibe;
   using namespace vibe::bench;
 
@@ -15,20 +18,47 @@ int main() {
               "count; steepest where segment handling is in slow firmware "
               "(BVIA), shallowest on the host-copy path (M-VIA)");
 
-  const int segCounts[] = {1, 2, 4, 8, 16, 32};
-  for (const std::uint64_t size : {256ull, 4096ull, 28672ull}) {
+  const std::vector<int> segCounts = {1, 2, 4, 8, 16, 32};
+  const std::vector<std::uint64_t> sizes = {256, 4096, 28672};
+  const auto profiles = paperProfiles();
+
+  struct Spec {
+    std::uint64_t size = 0;
+    int segs = 0;
+    std::size_t profile = 0;
+  };
+  std::vector<Spec> specs;
+  for (const std::uint64_t size : sizes) {
+    for (const int segs : segCounts) {
+      if (static_cast<std::uint64_t>(segs) > size) continue;
+      for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+        specs.push_back({size, segs, pi});
+      }
+    }
+  }
+  const auto points = harness::runSweep(
+      specs.size(),
+      [&](harness::PointEnv& env) {
+        const Spec& s = specs[env.index];
+        suite::TransferConfig cfg;
+        cfg.msgBytes = s.size;
+        cfg.dataSegments = s.segs;
+        return suite::runPingPong(
+                   clusterFor(profiles[s.profile].profile, 2, env), cfg)
+            .latencyUsec;
+      },
+      sweepOptions());
+
+  std::size_t next = 0;
+  for (const std::uint64_t size : sizes) {
     suite::ResultTable t(
         "One-way latency (us), " + std::to_string(size) + " B message",
         {"segments", "mvia", "bvia", "clan"});
     for (const int segs : segCounts) {
       if (static_cast<std::uint64_t>(segs) > size) continue;
       std::vector<double> row{static_cast<double>(segs)};
-      for (const auto& np : paperProfiles()) {
-        suite::TransferConfig cfg;
-        cfg.msgBytes = size;
-        cfg.dataSegments = segs;
-        const auto r = suite::runPingPong(clusterFor(np.profile), cfg);
-        row.push_back(r.latencyUsec);
+      for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+        row.push_back(points[next++]);
       }
       t.addRow(row);
     }
@@ -36,3 +66,7 @@ int main() {
   }
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(ext_segments, run)

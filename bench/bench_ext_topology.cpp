@@ -6,9 +6,12 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/datatransfer.hpp"
 
-int main() {
+namespace {
+
+int run(int, char**) {
   using namespace vibe;
   using namespace vibe::bench;
 
@@ -18,28 +21,46 @@ int main() {
 
   suite::ResultTable lat("One-way latency (us): single switch vs via root",
                          {"bytes", "flat", "cross_leaf"});
-  for (const std::uint64_t size : {4ull, 1024ull, 8192ull, 28672ull}) {
-    suite::TransferConfig t;
-    t.msgBytes = size;
-    suite::ClusterConfig flat = clusterFor(nic::clanProfile());
-    suite::ClusterConfig tree = flat;
-    tree.nodesPerSwitch = 1;  // nodes 0 and 1 sit on different leaves
-    lat.addRow({static_cast<double>(size),
-                suite::runPingPong(flat, t).latencyUsec,
-                suite::runPingPong(tree, t).latencyUsec});
+  const std::vector<std::uint64_t> sizes = {4, 1024, 8192, 28672};
+  struct LatPoint {
+    double flat = 0.0;
+    double tree = 0.0;
+  };
+  const auto latPoints = harness::runSweep(
+      sizes.size(),
+      [&](harness::PointEnv& env) {
+        suite::TransferConfig t;
+        t.msgBytes = sizes[env.index];
+        suite::ClusterConfig flat = clusterFor(nic::clanProfile(), 2, env);
+        suite::ClusterConfig tree = flat;
+        tree.nodesPerSwitch = 1;  // nodes 0 and 1 sit on different leaves
+        return LatPoint{suite::runPingPong(flat, t).latencyUsec,
+                        suite::runPingPong(tree, t).latencyUsec};
+      },
+      sweepOptions());
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    lat.addRow({static_cast<double>(sizes[i]), latPoints[i].flat,
+                latPoints[i].tree});
   }
   vibe::bench::emit(lat);
 
   suite::ResultTable bw(
       "Streaming bandwidth (MB/s) vs trunk capacity, 8 KB messages",
       {"trunk_MBps", "bandwidth"});
-  for (const double trunk : {156.0, 110.0, 60.0, 30.0}) {
-    suite::ClusterConfig tree = clusterFor(nic::clanProfile());
-    tree.nodesPerSwitch = 1;
-    tree.trunkMBps = trunk;
-    suite::TransferConfig t;
-    t.msgBytes = 8192;
-    bw.addRow({trunk, suite::runBandwidth(tree, t).bandwidthMBps});
+  const std::vector<double> trunks = {156.0, 110.0, 60.0, 30.0};
+  const auto bwPoints = harness::runSweep(
+      trunks.size(),
+      [&](harness::PointEnv& env) {
+        suite::ClusterConfig tree = clusterFor(nic::clanProfile(), 2, env);
+        tree.nodesPerSwitch = 1;
+        tree.trunkMBps = trunks[env.index];
+        suite::TransferConfig t;
+        t.msgBytes = 8192;
+        return suite::runBandwidth(tree, t).bandwidthMBps;
+      },
+      sweepOptions());
+  for (std::size_t i = 0; i < trunks.size(); ++i) {
+    bw.addRow({trunks[i], bwPoints[i]});
   }
   vibe::bench::emit(bw);
   std::printf(
@@ -48,3 +69,7 @@ int main() {
       "PCI DMA (~112 MB/s here), it becomes the end-to-end bottleneck.\n");
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(ext_topology, run)

@@ -6,9 +6,12 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/nondata.hpp"
 
-int main() {
+namespace {
+
+int run(int, char**) {
   using namespace vibe;
   using namespace vibe::bench;
 
@@ -18,12 +21,15 @@ int main() {
 
   suite::ResultTable t("Registration cost (us) vs buffer length",
                        {"bytes", "mvia", "bvia", "clan"});
-  std::vector<std::vector<suite::MemCostPoint>> sweeps;
-  for (const auto& np : paperProfiles()) {
-    sweeps.push_back(
-        suite::runMemCostSweep(clusterFor(np.profile, 1),
-                               suite::paperBufferSizes()));
-  }
+  const auto profiles = paperProfiles();
+  const auto sweeps = harness::runSweep(
+      profiles.size(),
+      [&](harness::PointEnv& env) {
+        return suite::runMemCostSweep(
+            clusterFor(profiles[env.index].profile, 1, env),
+            suite::paperBufferSizes());
+      },
+      sweepOptions());
   for (std::size_t i = 0; i < sweeps[0].size(); ++i) {
     t.addRow({static_cast<double>(sweeps[0][i].bytes),
               sweeps[0][i].registerUs, sweeps[1][i].registerUs,
@@ -32,3 +38,7 @@ int main() {
   vibe::bench::emit(t);
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(fig1_memreg, run)

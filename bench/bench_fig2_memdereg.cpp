@@ -4,9 +4,12 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/nondata.hpp"
 
-int main() {
+namespace {
+
+int run(int, char**) {
   using namespace vibe;
   using namespace vibe::bench;
 
@@ -15,11 +18,15 @@ int main() {
 
   suite::ResultTable t("Deregistration cost (us) vs buffer length",
                        {"bytes", "mvia", "bvia", "clan"});
-  std::vector<std::vector<suite::MemCostPoint>> sweeps;
-  for (const auto& np : paperProfiles()) {
-    sweeps.push_back(suite::runMemCostSweep(clusterFor(np.profile, 1),
-                                            suite::extendedBufferSizes()));
-  }
+  const auto profiles = paperProfiles();
+  const auto sweeps = harness::runSweep(
+      profiles.size(),
+      [&](harness::PointEnv& env) {
+        return suite::runMemCostSweep(
+            clusterFor(profiles[env.index].profile, 1, env),
+            suite::extendedBufferSizes());
+      },
+      sweepOptions());
   bool allUnder16 = true;
   for (std::size_t i = 0; i < sweeps[0].size(); ++i) {
     t.addRow({static_cast<double>(sweeps[0][i].bytes),
@@ -34,3 +41,7 @@ int main() {
               allUnder16 ? "HOLDS" : "VIOLATED");
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(fig2_memdereg, run)

@@ -4,9 +4,12 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/datatransfer.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace vibe;
   using namespace vibe::bench;
   parseStatsFlag(argc, argv);
@@ -21,19 +24,38 @@ int main(int argc, char** argv) {
   suite::ResultTable bw("Base bandwidth, polling (MB/s)",
                         {"bytes", "mvia", "bvia", "clan"});
 
-  for (const std::uint64_t size : suite::paperMessageSizes()) {
-    std::vector<double> latRow{static_cast<double>(size)};
-    std::vector<double> bwRow{static_cast<double>(size)};
-    for (const auto& np : paperProfiles()) {
-      suite::TransferConfig cfg;
-      cfg.msgBytes = size;
-      cfg.reap = suite::ReapMode::Poll;
-      const auto ping = suite::runPingPong(clusterFor(np.profile), cfg);
-      latRow.push_back(ping.latencyUsec);
-      suite::TransferConfig bcfg = cfg;
-      bcfg.burst = size >= 16384 ? 60 : 120;
-      const auto stream = suite::runBandwidth(clusterFor(np.profile), bcfg);
-      bwRow.push_back(stream.bandwidthMBps);
+  const auto sizes = suite::paperMessageSizes();
+  const auto profiles = paperProfiles();
+  struct Point {
+    double lat = 0.0;
+    double bw = 0.0;
+  };
+  const auto points = harness::runSweep(
+      sizes.size() * profiles.size(),
+      [&](harness::PointEnv& env) {
+        const std::uint64_t size = sizes[env.index / profiles.size()];
+        const auto& np = profiles[env.index % profiles.size()];
+        suite::TransferConfig cfg;
+        cfg.msgBytes = size;
+        cfg.reap = suite::ReapMode::Poll;
+        Point pt;
+        pt.lat =
+            suite::runPingPong(clusterFor(np.profile, 2, env), cfg).latencyUsec;
+        suite::TransferConfig bcfg = cfg;
+        bcfg.burst = size >= 16384 ? 60 : 120;
+        pt.bw = suite::runBandwidth(clusterFor(np.profile, 2, env), bcfg)
+                    .bandwidthMBps;
+        return pt;
+      },
+      sweepOptions());
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::vector<double> latRow{static_cast<double>(sizes[si])};
+    std::vector<double> bwRow{static_cast<double>(sizes[si])};
+    for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+      const Point& pt = points[si * profiles.size() + pi];
+      latRow.push_back(pt.lat);
+      bwRow.push_back(pt.bw);
     }
     lat.addRow(latRow);
     bw.addRow(bwRow);
@@ -48,3 +70,7 @@ int main(int argc, char** argv) {
       "for every implementation when polling (not shown, as in the paper).\n");
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(fig3_base_polling, run)

@@ -6,9 +6,12 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/datatransfer.hpp"
 
-int main() {
+namespace {
+
+int run(int, char**) {
   using namespace vibe;
   using namespace vibe::bench;
 
@@ -23,21 +26,41 @@ int main() {
   suite::ResultTable delta("Blocking minus polling latency (us)",
                            {"bytes", "mvia", "bvia", "clan"});
 
-  for (const std::uint64_t size : suite::paperMessageSizes()) {
-    std::vector<double> latRow{static_cast<double>(size)};
-    std::vector<double> cpuRow{static_cast<double>(size)};
-    std::vector<double> dRow{static_cast<double>(size)};
-    for (const auto& np : paperProfiles()) {
-      suite::TransferConfig blocking;
-      blocking.msgBytes = size;
-      blocking.reap = suite::ReapMode::Block;
-      const auto b = suite::runPingPong(clusterFor(np.profile), blocking);
-      suite::TransferConfig polling = blocking;
-      polling.reap = suite::ReapMode::Poll;
-      const auto p = suite::runPingPong(clusterFor(np.profile), polling);
-      latRow.push_back(b.latencyUsec);
-      cpuRow.push_back(b.receiverCpuPct);
-      dRow.push_back(b.latencyUsec - p.latencyUsec);
+  const auto sizes = suite::paperMessageSizes();
+  const auto profiles = paperProfiles();
+  struct Point {
+    double lat = 0.0;
+    double cpu = 0.0;
+    double delta = 0.0;
+  };
+  const auto points = harness::runSweep(
+      sizes.size() * profiles.size(),
+      [&](harness::PointEnv& env) {
+        const std::uint64_t size = sizes[env.index / profiles.size()];
+        const auto& np = profiles[env.index % profiles.size()];
+        suite::TransferConfig blocking;
+        blocking.msgBytes = size;
+        blocking.reap = suite::ReapMode::Block;
+        const auto b =
+            suite::runPingPong(clusterFor(np.profile, 2, env), blocking);
+        suite::TransferConfig polling = blocking;
+        polling.reap = suite::ReapMode::Poll;
+        const auto p =
+            suite::runPingPong(clusterFor(np.profile, 2, env), polling);
+        return Point{b.latencyUsec, b.receiverCpuPct,
+                     b.latencyUsec - p.latencyUsec};
+      },
+      sweepOptions());
+
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::vector<double> latRow{static_cast<double>(sizes[si])};
+    std::vector<double> cpuRow{static_cast<double>(sizes[si])};
+    std::vector<double> dRow{static_cast<double>(sizes[si])};
+    for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+      const Point& pt = points[si * profiles.size() + pi];
+      latRow.push_back(pt.lat);
+      cpuRow.push_back(pt.cpu);
+      dRow.push_back(pt.delta);
     }
     lat.addRow(latRow);
     cpu.addRow(cpuRow);
@@ -53,3 +76,7 @@ int main() {
       "similar to polling and is therefore not shown, as in the paper.\n");
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(fig4_base_blocking, run)

@@ -5,9 +5,12 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/datatransfer.hpp"
 
-int main() {
+namespace {
+
+int run(int, char**) {
   using namespace vibe;
   using namespace vibe::bench;
 
@@ -16,8 +19,8 @@ int main() {
               "number of active VIs (firmware polls every VI); M-VIA and "
               "cLAN unaffected");
 
-  const int viCounts[] = {1, 4, 8, 16, 32};
-  const std::uint64_t sizes[] = {4, 1024, 4096, 12288, 28672};
+  const std::vector<int> viCounts = {1, 4, 8, 16, 32};
+  const std::vector<std::uint64_t> sizes = {4, 1024, 4096, 12288, 28672};
 
   suite::ResultTable lat("BVIA one-way latency (us) vs #VIs",
                          {"bytes", "v1", "v4", "v8", "v16", "v32"});
@@ -25,17 +28,32 @@ int main() {
                         {"bytes", "v1", "v4", "v8", "v16", "v32"});
 
   const auto bvia = nic::bviaProfile();
-  for (const std::uint64_t size : sizes) {
-    std::vector<double> latRow{static_cast<double>(size)};
-    std::vector<double> bwRow{static_cast<double>(size)};
-    for (const int vis : viCounts) {
-      suite::TransferConfig cfg;
-      cfg.msgBytes = size;
-      cfg.extraVis = vis - 1;
-      const auto ping = suite::runPingPong(clusterFor(bvia), cfg);
-      latRow.push_back(ping.latencyUsec);
-      const auto stream = suite::runBandwidth(clusterFor(bvia), cfg);
-      bwRow.push_back(stream.bandwidthMBps);
+  struct Point {
+    double lat = 0.0;
+    double bw = 0.0;
+  };
+  const auto points = harness::runSweep(
+      sizes.size() * viCounts.size(),
+      [&](harness::PointEnv& env) {
+        const std::uint64_t size = sizes[env.index / viCounts.size()];
+        const int vis = viCounts[env.index % viCounts.size()];
+        suite::TransferConfig cfg;
+        cfg.msgBytes = size;
+        cfg.extraVis = vis - 1;
+        Point pt;
+        pt.lat = suite::runPingPong(clusterFor(bvia, 2, env), cfg).latencyUsec;
+        pt.bw =
+            suite::runBandwidth(clusterFor(bvia, 2, env), cfg).bandwidthMBps;
+        return pt;
+      },
+      sweepOptions());
+  for (std::size_t si = 0; si < sizes.size(); ++si) {
+    std::vector<double> latRow{static_cast<double>(sizes[si])};
+    std::vector<double> bwRow{static_cast<double>(sizes[si])};
+    for (std::size_t vi = 0; vi < viCounts.size(); ++vi) {
+      const Point& pt = points[si * viCounts.size() + vi];
+      latRow.push_back(pt.lat);
+      bwRow.push_back(pt.bw);
     }
     lat.addRow(latRow);
     bw.addRow(bwRow);
@@ -45,17 +63,34 @@ int main() {
 
   suite::ResultTable ctrl("Control: 4 B latency (us) with 1 vs 32 VIs",
                           {"impl", "v1", "v32"});
-  int idx = 0;
-  for (const auto& np : paperProfiles()) {
-    suite::TransferConfig cfg;
-    cfg.msgBytes = 4;
-    const auto one = suite::runPingPong(clusterFor(np.profile), cfg);
-    cfg.extraVis = 31;
-    const auto many = suite::runPingPong(clusterFor(np.profile), cfg);
-    ctrl.addRow({static_cast<double>(idx++), one.latencyUsec,
-                 many.latencyUsec});
+  const auto profiles = paperProfiles();
+  struct CtrlPoint {
+    double one = 0.0;
+    double many = 0.0;
+  };
+  const auto ctrlPoints = harness::runSweep(
+      profiles.size(),
+      [&](harness::PointEnv& env) {
+        const auto& np = profiles[env.index];
+        suite::TransferConfig cfg;
+        cfg.msgBytes = 4;
+        const auto one = suite::runPingPong(clusterFor(np.profile, 2, env),
+                                            cfg);
+        cfg.extraVis = 31;
+        const auto many = suite::runPingPong(clusterFor(np.profile, 2, env),
+                                             cfg);
+        return CtrlPoint{one.latencyUsec, many.latencyUsec};
+      },
+      sweepOptions());
+  for (std::size_t i = 0; i < ctrlPoints.size(); ++i) {
+    ctrl.addRow({static_cast<double>(i), ctrlPoints[i].one,
+                 ctrlPoints[i].many});
   }
   vibe::bench::emit(ctrl);
   std::printf("(impl: 0 = M-VIA, 1 = BVIA, 2 = cLAN — only BVIA moves)\n");
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(fig6_multivi, run)

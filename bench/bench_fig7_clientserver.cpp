@@ -5,9 +5,12 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/clientserver.hpp"
 
-int main() {
+namespace {
+
+int run(int, char**) {
   using namespace vibe;
   using namespace vibe::bench;
 
@@ -15,18 +18,33 @@ int main() {
               "Fig. 7: transactions/s for request sizes 16 and 256 bytes, "
               "varying reply size");
 
-  for (const std::uint32_t request : {16u, 256u}) {
-    suite::ResultTable t(
-        "Transactions/s, request = " + std::to_string(request) + " B",
-        {"reply_bytes", "mvia", "bvia", "clan"});
-    for (const std::uint64_t reply : suite::paperMessageSizes()) {
-      std::vector<double> row{static_cast<double>(reply)};
-      for (const auto& np : paperProfiles()) {
+  const std::vector<std::uint32_t> requests = {16u, 256u};
+  const auto replies = suite::paperMessageSizes();
+  const auto profiles = paperProfiles();
+  const std::size_t perRequest = replies.size() * profiles.size();
+  const auto points = harness::runSweep(
+      requests.size() * perRequest,
+      [&](harness::PointEnv& env) {
+        const std::uint32_t request = requests[env.index / perRequest];
+        const std::size_t rest = env.index % perRequest;
+        const std::uint64_t reply = replies[rest / profiles.size()];
+        const auto& np = profiles[rest % profiles.size()];
         suite::ClientServerConfig cfg;
         cfg.requestBytes = request;
         cfg.replyBytes = static_cast<std::uint32_t>(reply);
-        const auto r = suite::runClientServer(clusterFor(np.profile), cfg);
-        row.push_back(r.transactionsPerSec);
+        return suite::runClientServer(clusterFor(np.profile, 2, env), cfg)
+            .transactionsPerSec;
+      },
+      sweepOptions());
+
+  for (std::size_t qi = 0; qi < requests.size(); ++qi) {
+    suite::ResultTable t(
+        "Transactions/s, request = " + std::to_string(requests[qi]) + " B",
+        {"reply_bytes", "mvia", "bvia", "clan"});
+    for (std::size_t ri = 0; ri < replies.size(); ++ri) {
+      std::vector<double> row{static_cast<double>(replies[ri])};
+      for (std::size_t pi = 0; pi < profiles.size(); ++pi) {
+        row.push_back(points[qi * perRequest + ri * profiles.size() + pi]);
       }
       t.addRow(row);
     }
@@ -38,3 +56,7 @@ int main() {
       "BVIA wins in the mid range, and the two converge for long replies.\n");
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(fig7_clientserver, run)

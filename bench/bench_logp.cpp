@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/datatransfer.hpp"
 #include "vipl/vipl.hpp"
 
@@ -24,11 +25,12 @@ struct LogP {
   double L = 0;        // latency - os - orr
 };
 
-LogP extract(const nic::NicProfile& profile) {
+LogP extract(const nic::NicProfile& profile,
+             const harness::PointEnv& penv) {
   LogP result;
 
   // Overheads: timed directly around the API calls on a live connection.
-  suite::ClusterConfig cc = bench::clusterFor(profile);
+  suite::ClusterConfig cc = bench::clusterFor(profile, 2, penv);
   suite::Cluster cluster(cc);
   constexpr int kIters = 50;
   auto sender = [&](suite::NodeEnv& env) {
@@ -87,20 +89,20 @@ LogP extract(const nic::NicProfile& profile) {
   // Latency and gap from the standard suite probes.
   suite::TransferConfig tiny;
   tiny.msgBytes = 4;
-  result.latency = suite::runPingPong(bench::clusterFor(profile), tiny)
-                       .latencyUsec;
+  result.latency =
+      suite::runPingPong(bench::clusterFor(profile, 2, penv), tiny)
+          .latencyUsec;
   suite::TransferConfig stream = tiny;
   stream.burst = 200;
   const double mbps =
-      suite::runBandwidth(bench::clusterFor(profile), stream).bandwidthMBps;
+      suite::runBandwidth(bench::clusterFor(profile, 2, penv), stream)
+          .bandwidthMBps;
   result.g = 4.0 / mbps;  // us between 4-byte message injections
   result.L = result.latency - result.os - result.orr;
   return result;
 }
 
-}  // namespace
-
-int main() {
+int run(int, char**) {
   using namespace vibe::bench;
   printHeader("LogP parameters of the three implementations",
               "Section 1: 'the LogP model attempts to capture the major "
@@ -109,10 +111,18 @@ int main() {
 
   std::printf("%-8s %10s %10s %10s %12s %10s\n", "impl", "o_s (us)",
               "o_r (us)", "g (us)", "lat 4B (us)", "L (us)");
-  for (const auto& np : paperProfiles()) {
-    const LogP p = extract(np.profile);
+  const auto profiles = paperProfiles();
+  const auto params = harness::runSweep(
+      profiles.size(),
+      [&](harness::PointEnv& env) {
+        return extract(profiles[env.index].profile, env);
+      },
+      sweepOptions());
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const LogP& p = params[i];
     std::printf("%-8s %10.2f %10.2f %10.2f %12.2f %10.2f\n",
-                np.shortName.c_str(), p.os, p.orr, p.g, p.latency, p.L);
+                profiles[i].shortName.c_str(), p.os, p.orr, p.g, p.latency,
+                p.L);
   }
   std::printf(
       "\nWhat LogP hides (and VIBe shows): o_s/o_r say nothing about how\n"
@@ -121,3 +131,7 @@ int main() {
       "with every active VI; L mixes NIC processing with wire time.\n");
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(logp, run)

@@ -1,0 +1,49 @@
+// Bench entry-point registry.
+//
+// Every bench driver defines one `int run(int, char**)` function and
+// declares it with VIBE_BENCH_MAIN(name, run). Built standalone (the
+// default), the macro expands to a real main() and the driver is an
+// ordinary binary. Built with -DVIBE_BENCH_LIBRARY, the macro instead
+// registers the function in a process-wide registry so the golden-table
+// tests can link every driver into one binary and re-run each table
+// in-process, capturing stdout without spawning subprocesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace vibe::bench {
+
+using BenchFn = int (*)(int argc, char** argv);
+
+struct BenchInfo {
+  std::string name;
+  BenchFn fn = nullptr;
+};
+
+/// Registered drivers, in static-init order. Call sites should sort by
+/// name before iterating: registration order depends on link order.
+inline std::vector<BenchInfo>& benchRegistry() {
+  static std::vector<BenchInfo> registry;
+  return registry;
+}
+
+struct BenchRegistrar {
+  BenchRegistrar(const char* name, BenchFn fn) {
+    benchRegistry().push_back({name, fn});
+  }
+};
+
+}  // namespace vibe::bench
+
+#ifdef VIBE_BENCH_LIBRARY
+#define VIBE_BENCH_MAIN(name, fn)                                           \
+  namespace {                                                               \
+  const ::vibe::bench::BenchRegistrar vibeBenchRegistrar_##name(#name, fn); \
+  }
+#else
+#define VIBE_BENCH_MAIN(name, fn)                 \
+  int main(int argc, char** argv) {               \
+    return fn(argc, argv);                        \
+  }
+#endif

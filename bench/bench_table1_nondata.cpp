@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "bench_registry.hpp"
 #include "vibe/nondata.hpp"
 
 namespace {
@@ -20,9 +21,8 @@ constexpr PaperRow kPaper[] = {
     {"Creating CQ", 17, 206, 54},
     {"Destroying CQ", 8.44, 35, 15},
 };
-}  // namespace
 
-int main(int argc, char** argv) {
+int run(int argc, char** argv) {
   using namespace vibe;
   using namespace vibe::bench;
   parseStatsFlag(argc, argv);
@@ -30,11 +30,14 @@ int main(int argc, char** argv) {
   printHeader("Non-data transfer micro-benchmarks",
               "Table 1 (all costs in microseconds)");
 
-  suite::NonDataResult results[3];
-  int idx = 0;
-  for (const auto& np : paperProfiles()) {
-    results[idx++] = suite::runNonData(clusterFor(np.profile));
-  }
+  const auto profiles = paperProfiles();
+  const auto results = harness::runSweep(
+      profiles.size(),
+      [&](harness::PointEnv& env) {
+        return suite::runNonData(
+            clusterFor(profiles[env.index].profile, 2, env));
+      },
+      sweepOptions());
 
   const double measured[6][3] = {
       {results[0].createVi, results[1].createVi, results[2].createVi},
@@ -59,3 +62,7 @@ int main(int argc, char** argv) {
       "constants; all relative orderings match the paper.\n");
   return 0;
 }
+
+}  // namespace
+
+VIBE_BENCH_MAIN(table1_nondata, run)

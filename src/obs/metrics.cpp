@@ -109,6 +109,18 @@ void MetricsRegistry::clear() {
   histograms_.clear();
 }
 
+void MetricsRegistry::mergeFrom(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].add(c.value());
+  }
+  for (const auto& [name, g] : other.gauges_) {
+    gauges_[name].set(g.value());
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    histograms_[name].merge(h);
+  }
+}
+
 std::string MetricsRegistry::renderText() const {
   std::ostringstream os;
   std::size_t width = 0;

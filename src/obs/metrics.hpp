@@ -111,6 +111,14 @@ class MetricsRegistry {
   }
   void clear();
 
+  /// Merges another registry into this one: counters add, histograms
+  /// merge bucket-wise, gauges take the other's value (last write wins,
+  /// so merging shard registries in shard order reproduces the serial
+  /// write order). The sweep harness merges per-shard registries through
+  /// this after a parallel run; shard registries must no longer be
+  /// written when called.
+  void mergeFrom(const MetricsRegistry& other);
+
   /// Aligned text dump: counters, then gauges, then histograms with
   /// count/mean/p50/p99/max columns (nanosecond samples shown in usec).
   std::string renderText() const;

@@ -128,6 +128,27 @@ std::string SpanProfiler::renderAttribution() const {
   return os.str();
 }
 
+void SpanProfiler::mergeFrom(const SpanProfiler& other) {
+  for (std::size_t i = 0; i < byStage_.size(); ++i) {
+    byStage_[i].merge(other.byStage_[i]);
+  }
+  // Concatenate retained events up to this profiler's own cap; the shard's
+  // recorded order is preserved, so merging shards in index order yields a
+  // schedule-independent combined buffer.
+  if (keepEvents_) {
+    for (const SpanEvent& e : other.events_) {
+      if (events_.size() < maxEvents_) {
+        events_.push_back(e);
+      } else {
+        ++eventsDropped_;
+      }
+    }
+  }
+  totalSpans_ += other.totalSpans_;
+  mismatches_ += other.mismatches_ + other.openSpans_;
+  eventsDropped_ += other.eventsDropped_;
+}
+
 void SpanProfiler::clear() {
   for (auto& h : byStage_) h.clear();
   open_.clear();

@@ -112,6 +112,14 @@ class SpanProfiler {
 
   void clear();
 
+  /// Merges another profiler into this one: per-stage histograms merge,
+  /// retained events concatenate in the other's recorded order (call in
+  /// shard order so the combined buffer is schedule-independent), and the
+  /// span/mismatch/drop counters add. Open spans do not transfer — a
+  /// shard must close its spans before being merged, and any still-open
+  /// ones count as mismatches in the destination.
+  void mergeFrom(const SpanProfiler& other);
+
  private:
   using Key = std::tuple<std::uint8_t, std::uint32_t, std::uint32_t>;
 

@@ -62,6 +62,7 @@ void Engine::compactIfStale() {
 }
 
 void Engine::run() {
+  DriveGuard guard(*this);
   while (!heap_.empty()) {
     std::pop_heap(heap_.begin(), heap_.end(), HandleAfter{});
     const Handle h = heap_.back();
@@ -83,6 +84,7 @@ void Engine::run() {
 }
 
 bool Engine::runUntil(SimTime until) {
+  DriveGuard guard(*this);
   while (!heap_.empty()) {
     const Handle top = heap_.front();
     if (slotAt(top.slot).gen != top.gen) {  // stale handle at the top

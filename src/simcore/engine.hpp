@@ -17,6 +17,7 @@
 // workloads (e.g. retransmission timers).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -140,6 +141,28 @@ class Engine {
   /// amortized O(1) per cancel; ordering is unaffected because
   /// (time, seq) is a total order.
   void compactIfStale();
+  // Debug guard against two sweep shards driving one Engine at once. It is
+  // deliberately not a thread-id check: cooperative Process handoff means
+  // several OS threads legitimately touch the Engine one at a time, and the
+  // flag stays set across a handoff (the run loop is blocked inside fn()),
+  // so only genuinely concurrent run()/runUntil() entry trips it.
+  struct DriveGuard {
+#ifndef NDEBUG
+    explicit DriveGuard(Engine& e) : engine(e) {
+      if (engine.driving_.exchange(true, std::memory_order_acquire)) {
+        throw SimError(
+            "Engine::run entered concurrently: each Engine must be driven "
+            "by exactly one sweep point at a time");
+      }
+    }
+    ~DriveGuard() { engine.driving_.store(false, std::memory_order_release); }
+    Engine& engine;
+#else
+    explicit DriveGuard(Engine&) {}
+#endif
+    DriveGuard(const DriveGuard&) = delete;
+    DriveGuard& operator=(const DriveGuard&) = delete;
+  };
   void checkDeadlock() const;
   void registerProcess(Process* p) { processes_.push_back(p); }
   void unregisterProcess(Process* p);
@@ -157,6 +180,9 @@ class Engine {
 
   std::vector<Process*> processes_;
   Process* current_ = nullptr;
+#ifndef NDEBUG
+  std::atomic<bool> driving_{false};
+#endif
 };
 
 }  // namespace vibe::sim

@@ -76,6 +76,19 @@ class Tracer {
   /// produce identical digests; use it to compare runs byte-for-byte
   /// without retaining the full stream.
   std::uint64_t digest() const { return digest_; }
+  /// Folds a per-shard digest into a sweep-level digest: FNV-1a over the
+  /// shard digest's bytes. Fold shard digests in shard index order (seeded
+  /// with kDigestSeed) and the result is independent of which threads
+  /// produced them — the composition rule the parallel sweep harness uses.
+  static constexpr std::uint64_t kDigestSeed = 0xcbf29ce484222325ull;
+  static constexpr std::uint64_t combineDigest(std::uint64_t acc,
+                                               std::uint64_t shardDigest) {
+    for (int i = 0; i < 8; ++i) {
+      acc ^= (shardDigest >> (8 * i)) & 0xffu;
+      acc *= 0x100000001b3ull;
+    }
+    return acc;
+  }
   /// Records currently retained, oldest first.
   std::vector<TraceRecord> snapshot() const;
   /// Renders the retained records as aligned text.

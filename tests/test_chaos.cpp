@@ -20,6 +20,7 @@
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/invariants.hpp"
+#include "harness/sweep.hpp"
 #include "nic/profiles.hpp"
 #include "upper/msg/communicator.hpp"
 #include "vibe/cluster.hpp"
@@ -429,19 +430,33 @@ INSTANTIATE_TEST_SUITE_P(
 TEST_P(ChaosSweep, InvariantsHoldAndRunsAreDeterministic) {
   const SweepCase& wc = GetParam();
   const int seeds = seedCount();
+  // Seeds are independent points: shard them across the sweep harness
+  // (VIBE_JOBS workers) and assert on the collected results in seed order,
+  // so failure output reads identically at any thread count.
+  struct SeedResult {
+    RunResult first;
+    RunResult second;
+  };
+  const auto results = harness::runSweep(
+      static_cast<std::size_t>(seeds), [&](harness::PointEnv& env) {
+        const std::uint64_t seed = 1000 + env.index * 7919;
+        SeedResult r;
+        r.first = runOnce(seed, wc.fn);
+        // Determinism: the same seed must replay byte-for-byte.
+        r.second = runOnce(seed, wc.fn);
+        return r;
+      });
   for (int s = 0; s < seeds; ++s) {
     const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(s) * 7919;
     SCOPED_TRACE("workload=" + std::string(wc.name) +
                  " seed=" + std::to_string(seed));
-    const RunResult first = runOnce(seed, wc.fn);
+    const RunResult& first = results[static_cast<std::size_t>(s)].first;
+    const RunResult& second = results[static_cast<std::size_t>(s)].second;
     EXPECT_TRUE(first.violations.empty())
         << "invariant violations:\n"
         << ::testing::PrintToString(first.violations) << "\nplan:\n"
         << first.planText;
     EXPECT_GT(first.reliableDeliveries, 0u);
-
-    // Determinism: the same seed must replay byte-for-byte.
-    const RunResult second = runOnce(seed, wc.fn);
     EXPECT_EQ(first.digest, second.digest)
         << "trace digest diverged on replay; plan:\n" << first.planText;
     EXPECT_EQ(first.endTime, second.endTime);

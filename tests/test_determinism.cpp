@@ -9,7 +9,9 @@
 #include <string>
 #include <vector>
 
+#include "harness/sweep.hpp"
 #include "nic/profiles.hpp"
+#include "simcore/trace.hpp"
 #include "vibe/cluster.hpp"
 #include "vipl/vipl.hpp"
 
@@ -159,6 +161,31 @@ TEST_P(DeterminismTest, DifferentSeedsDiverge) {
   const RunOutcome a = lossyPingPong(profile, 2024);
   const RunOutcome b = lossyPingPong(profile, 2025);
   EXPECT_NE(a.digest, b.digest);
+}
+
+// A seed sweep run through the parallel harness composes the same
+// sweep-level digest (per-shard digests folded in index order) at any
+// worker count — the property every harness-ported bench relies on.
+TEST_P(DeterminismTest, SeedSweepComposesDigestIndependentOfJobs) {
+  const std::string profile = GetParam();
+  auto sweepDigest = [&](unsigned jobs) {
+    harness::SweepOptions opts;
+    opts.jobs = jobs;
+    const auto outs = harness::runSweep(
+        8,
+        [&](harness::PointEnv& env) {
+          return lossyPingPong(profile, 3000 + env.index * 17);
+        },
+        opts);
+    std::uint64_t acc = sim::Tracer::kDigestSeed;
+    for (const RunOutcome& o : outs) {
+      acc = sim::Tracer::combineDigest(acc, o.digest);
+    }
+    return acc;
+  };
+  const std::uint64_t serial = sweepDigest(1);
+  EXPECT_EQ(serial, sweepDigest(2));
+  EXPECT_EQ(serial, sweepDigest(harness::jobCount()));
 }
 
 }  // namespace

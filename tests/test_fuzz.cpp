@@ -12,6 +12,7 @@
 
 #include "nic/profiles.hpp"
 #include "simcore/prng.hpp"
+#include "test_seed.hpp"
 #include "vibe/cluster.hpp"
 #include "vipl/vipl.hpp"
 
@@ -70,16 +71,26 @@ struct FuzzParams {
 
 class FuzzStream : public ::testing::TestWithParam<FuzzParams> {};
 
+// Seeds are testRunSeed() + k: pinned by default, shiftable as a family
+// via VIBE_TEST_SEED, and the effective seed lands in the test name so a
+// failing case is replayable from the gtest output alone.
 INSTANTIATE_TEST_SUITE_P(
     Streams, FuzzStream,
     ::testing::Values(
-        FuzzParams{"mvia", 1, 0.0, nic::Reliability::ReliableDelivery, 60},
-        FuzzParams{"mvia", 2, 0.05, nic::Reliability::ReliableDelivery, 40},
-        FuzzParams{"bvia", 3, 0.0, nic::Reliability::ReliableReception, 60},
-        FuzzParams{"bvia", 4, 0.08, nic::Reliability::ReliableDelivery, 40},
-        FuzzParams{"clan", 5, 0.0, nic::Reliability::ReliableDelivery, 80},
-        FuzzParams{"clan", 6, 0.10, nic::Reliability::ReliableReception, 40},
-        FuzzParams{"clan", 7, 0.02, nic::Reliability::ReliableDelivery, 60}),
+        FuzzParams{"mvia", vibe::testing::testRunSeed() + 1, 0.0,
+                   nic::Reliability::ReliableDelivery, 60},
+        FuzzParams{"mvia", vibe::testing::testRunSeed() + 2, 0.05,
+                   nic::Reliability::ReliableDelivery, 40},
+        FuzzParams{"bvia", vibe::testing::testRunSeed() + 3, 0.0,
+                   nic::Reliability::ReliableReception, 60},
+        FuzzParams{"bvia", vibe::testing::testRunSeed() + 4, 0.08,
+                   nic::Reliability::ReliableDelivery, 40},
+        FuzzParams{"clan", vibe::testing::testRunSeed() + 5, 0.0,
+                   nic::Reliability::ReliableDelivery, 80},
+        FuzzParams{"clan", vibe::testing::testRunSeed() + 6, 0.10,
+                   nic::Reliability::ReliableReception, 40},
+        FuzzParams{"clan", vibe::testing::testRunSeed() + 7, 0.02,
+                   nic::Reliability::ReliableDelivery, 60}),
     [](const auto& pi) {
       return pi.param.profile + "_s" + std::to_string(pi.param.seed);
     });
@@ -232,11 +243,12 @@ TEST_P(FuzzStream, RandomTrafficDeliversExactlyOnceInOrder) {
 
 TEST(FuzzControlPlane, ViChurnWithTrafficSurvives) {
   // Random create/connect/transfer/disconnect/destroy cycles.
+  const std::uint64_t seed = vibe::testing::testRunSeed() + 99;
   ClusterConfig cc;
   cc.profile = nic::clanProfile();
-  cc.seed = 99;
+  cc.seed = seed;
   Cluster cluster(cc);
-  sim::Xoshiro256 rng(99, "churn");
+  sim::Xoshiro256 rng(seed, "churn");
   constexpr int kRounds = 25;
   // Pre-draw per-round message sizes.
   std::vector<std::uint32_t> sizes;

@@ -1,0 +1,211 @@
+// Golden-table regression suite: every table bench is compiled into this
+// binary (bench/*.cpp built with -DVIBE_BENCH_LIBRARY register their
+// entry point instead of defining main) and re-run in-process, with
+// stdout captured and diffed byte-for-byte against tests/golden/<name>.txt.
+//
+// Each bench runs twice — once serially (VIBE_JOBS=1) and once through
+// the sweep harness's thread pool (VIBE_JOBS=4) — so the suite pins two
+// properties at once: the tables themselves (any change to simulated
+// numbers or formatting must regenerate the goldens in the same commit),
+// and the harness guarantee that worker count never leaks into output.
+//
+// Regenerate after an intentional table change with:
+//   ./tests/test_golden --update-golden
+// The goldens are captured with VIBE_JSON=1, so the schema-2 JSON blocks
+// are under regression too; gbench_* binaries are wall-clock and are
+// deliberately not part of this suite.
+#include <fcntl.h>
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_registry.hpp"
+
+namespace {
+
+const std::string kGoldenDir = VIBE_GOLDEN_DIR;
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void writeFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << content;
+  ASSERT_TRUE(out.good()) << "cannot write " << path;
+}
+
+/// Runs a registered bench entry point with stdout redirected into a temp
+/// file and returns everything it printed. printf-based output only, so
+/// fd-level redirection (dup2) catches it all.
+std::string captureBench(vibe::bench::BenchFn fn, int& rc) {
+  const std::string tmp = "golden_capture.tmp";
+  std::fflush(stdout);
+  const int saved = dup(STDOUT_FILENO);
+  const int fd = open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  EXPECT_GE(saved, 0);
+  EXPECT_GE(fd, 0);
+  dup2(fd, STDOUT_FILENO);
+  close(fd);
+  char arg0[] = "bench";
+  char* argv[] = {arg0, nullptr};
+  int argc = 1;
+  rc = fn(argc, argv);
+  std::fflush(stdout);
+  dup2(saved, STDOUT_FILENO);
+  close(saved);
+  const std::string out = readFile(tmp);
+  std::remove(tmp.c_str());
+  return out;
+}
+
+/// First differing line between two blobs, for a failure message that
+/// points at the change instead of dumping two whole tables.
+std::string firstDiff(const std::string& want, const std::string& got) {
+  std::istringstream w(want);
+  std::istringstream g(got);
+  std::string wl;
+  std::string gl;
+  int line = 0;
+  while (true) {
+    ++line;
+    const bool haveW = static_cast<bool>(std::getline(w, wl));
+    const bool haveG = static_cast<bool>(std::getline(g, gl));
+    if (!haveW && !haveG) return "(identical?)";
+    if (wl != gl || haveW != haveG) {
+      std::ostringstream ss;
+      ss << "line " << line << ":\n  golden: "
+         << (haveW ? wl : std::string("<end of file>"))
+         << "\n  actual: " << (haveG ? gl : std::string("<end of file>"));
+      return ss.str();
+    }
+  }
+}
+
+/// The key skeleton of a BENCH_*.json file: every quoted string that is
+/// followed by a colon, in order. Values are covered by the table goldens;
+/// this pins the schema-2 shape consumers parse.
+std::vector<std::string> jsonKeys(const std::string& text) {
+  std::vector<std::string> keys;
+  std::size_t pos = 0;
+  while ((pos = text.find('"', pos)) != std::string::npos) {
+    const std::size_t end = text.find('"', pos + 1);
+    if (end == std::string::npos) break;
+    std::size_t after = end + 1;
+    while (after < text.size() &&
+           (text[after] == ' ' || text[after] == '\t')) {
+      ++after;
+    }
+    if (after < text.size() && text[after] == ':') {
+      keys.push_back(text.substr(pos + 1, end - pos - 1));
+    }
+    pos = end + 1;
+  }
+  return keys;
+}
+
+class GoldenTableTest : public ::testing::Test {
+ public:
+  GoldenTableTest(vibe::bench::BenchInfo info, unsigned jobs, bool update)
+      : info_(std::move(info)), jobs_(jobs), update_(update) {}
+
+  void TestBody() override {
+    setenv("VIBE_JOBS", std::to_string(jobs_).c_str(), 1);
+    int rc = -1;
+    const std::string out = captureBench(info_.fn, rc);
+    EXPECT_EQ(rc, 0) << info_.name << " returned nonzero";
+
+    const std::string goldenPath = kGoldenDir + "/" + info_.name + ".txt";
+    if (update_) {
+      writeFile(goldenPath, out);
+      updateJsonSkeleton();
+      return;
+    }
+    const std::string want = readFile(goldenPath);
+    ASSERT_FALSE(want.empty())
+        << "missing golden " << goldenPath
+        << " — run ./tests/test_golden --update-golden";
+    EXPECT_EQ(want, out) << "bench " << info_.name << " at VIBE_JOBS="
+                         << jobs_ << " diverged from golden; first diff at "
+                         << firstDiff(want, out)
+                         << "\nIf the change is intentional, regenerate "
+                            "with ./tests/test_golden --update-golden";
+    checkJsonSkeleton();
+  }
+
+ private:
+  /// Benches that write BENCH_<name>.json (into the cwd) additionally get
+  /// their key skeleton pinned in tests/golden/BENCH_<name>.keys.
+  std::string jsonPath() const { return "BENCH_" + info_.name + ".json"; }
+  std::string skeletonPath() const {
+    return kGoldenDir + "/BENCH_" + info_.name + ".keys";
+  }
+
+  void updateJsonSkeleton() {
+    const std::string json = readFile(jsonPath());
+    if (json.empty()) return;  // this bench does not emit a JSON file
+    std::ostringstream ss;
+    for (const std::string& k : jsonKeys(json)) ss << k << "\n";
+    writeFile(skeletonPath(), ss.str());
+  }
+
+  void checkJsonSkeleton() {
+    const std::string want = readFile(skeletonPath());
+    if (want.empty()) return;  // no skeleton golden for this bench
+    const std::string json = readFile(jsonPath());
+    ASSERT_FALSE(json.empty()) << jsonPath() << " was not written";
+    std::ostringstream ss;
+    for (const std::string& k : jsonKeys(json)) ss << k << "\n";
+    EXPECT_EQ(want, ss.str())
+        << "key skeleton of " << jsonPath() << " changed; first diff at "
+        << firstDiff(want, ss.str());
+  }
+
+  vibe::bench::BenchInfo info_;
+  unsigned jobs_;
+  bool update_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  bool update = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--update-golden") update = true;
+  }
+
+  // The goldens are captured with the JSON blocks on and everything else
+  // at its default, so a stray environment doesn't shift the baseline.
+  setenv("VIBE_JSON", "1", 1);
+  unsetenv("VIBE_CSV");
+  unsetenv("VIBE_STATS");
+  unsetenv("VIBE_TRACE_OUT");
+
+  auto& registry = vibe::bench::benchRegistry();
+  for (const auto& info : registry) {
+    const std::vector<unsigned> jobVariants =
+        update ? std::vector<unsigned>{1} : std::vector<unsigned>{1, 4};
+    for (unsigned jobs : jobVariants) {
+      const std::string name =
+          info.name + (update ? "_update" : "_jobs" + std::to_string(jobs));
+      ::testing::RegisterTest(
+          "GoldenTable", name.c_str(), nullptr, nullptr, __FILE__, __LINE__,
+          [info, jobs, update]() -> ::testing::Test* {
+            return new GoldenTableTest(info, jobs, update);
+          });
+    }
+  }
+  return RUN_ALL_TESTS();
+}

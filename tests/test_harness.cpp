@@ -1,0 +1,240 @@
+// Property tests for the parallel sweep harness: whatever VIBE_JOBS says,
+// a sweep's observable output — result slots, rendered tables, JSON, CSV,
+// composed trace digests, merged metrics — must be byte-identical to the
+// serial run. These tests drive the harness with cheap deterministic
+// point bodies; the full-simulation version of the same property lives in
+// test_determinism (digests) and test_golden (every bench table).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "harness/sweep.hpp"
+#include "obs/metrics.hpp"
+#include "simcore/prng.hpp"
+#include "simcore/trace.hpp"
+#include "vibe/results.hpp"
+
+namespace vibe {
+namespace {
+
+/// Sets VIBE_JOBS for one scope; restores to unset (the tests below pass
+/// explicit SweepOptions::jobs wherever the env path is not the point).
+struct ScopedJobs {
+  explicit ScopedJobs(const char* v) {
+    if (v != nullptr) {
+      setenv("VIBE_JOBS", v, 1);
+    } else {
+      unsetenv("VIBE_JOBS");
+    }
+  }
+  ~ScopedJobs() { unsetenv("VIBE_JOBS"); }
+};
+
+/// A deterministic stand-in for one simulation point: a seeded PRNG
+/// stream reduced to a double and a digest-sized integer.
+struct PointResult {
+  double value = 0;
+  std::uint64_t digest = 0;
+};
+
+PointResult pointResult(std::uint64_t seed) {
+  sim::Xoshiro256 rng(seed, "harness-test");
+  PointResult r;
+  r.digest = sim::Tracer::kDigestSeed;
+  for (int i = 0; i < 64; ++i) {
+    const std::uint64_t draw = rng.below(1'000'000);
+    r.value += static_cast<double>(draw) * 1e-3;
+    r.digest = sim::Tracer::combineDigest(r.digest, draw);
+  }
+  return r;
+}
+
+const std::vector<unsigned> kJobVariants = {1, 2, 7, harness::jobCount()};
+
+TEST(JobCount, ReadsEnvFallsBackToHardwareConcurrency) {
+  {
+    ScopedJobs j("3");
+    EXPECT_EQ(harness::jobCount(), 3u);
+  }
+  {
+    ScopedJobs j("1");
+    EXPECT_EQ(harness::jobCount(), 1u);
+  }
+  // Zero, negative, and non-numeric values fall back to the hardware
+  // default, which is always at least 1.
+  for (const char* bogus : {"0", "-4", "lots", ""}) {
+    ScopedJobs j(bogus);
+    EXPECT_GE(harness::jobCount(), 1u) << "VIBE_JOBS=" << bogus;
+  }
+  {
+    ScopedJobs j(nullptr);
+    EXPECT_GE(harness::jobCount(), 1u);
+  }
+}
+
+TEST(SweepRunner, ResultsLandInIndexOrderAtAnyJobCount) {
+  constexpr std::size_t kPoints = 100;
+  for (unsigned jobs : kJobVariants) {
+    harness::SweepOptions opts;
+    opts.jobs = jobs;
+    const auto out = harness::runSweep(
+        kPoints,
+        [](harness::PointEnv& env) { return env.index * env.index; }, opts);
+    ASSERT_EQ(out.size(), kPoints);
+    for (std::size_t i = 0; i < kPoints; ++i) {
+      EXPECT_EQ(out[i], i * i) << "jobs=" << jobs << " index=" << i;
+    }
+  }
+}
+
+TEST(SweepRunner, VoidBodyRunsEveryPointExactlyOnce) {
+  constexpr std::size_t kPoints = 64;
+  for (unsigned jobs : kJobVariants) {
+    std::vector<std::atomic<int>> hits(kPoints);
+    harness::SweepOptions opts;
+    opts.jobs = jobs;
+    harness::runSweep(
+        kPoints,
+        [&hits](harness::PointEnv& env) {
+          hits[env.index].fetch_add(1, std::memory_order_relaxed);
+        },
+        opts);
+    for (std::size_t i = 0; i < kPoints; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "jobs=" << jobs << " index=" << i;
+    }
+  }
+}
+
+TEST(SweepRunner, JobsClampToPointCountAndZeroPointsAreFine) {
+  harness::SweepOptions opts;
+  opts.jobs = 16;  // more workers than points
+  const auto out = harness::runSweep(
+      3, [](harness::PointEnv& env) { return env.index + 1; }, opts);
+  EXPECT_EQ(out, (std::vector<std::size_t>{1, 2, 3}));
+  harness::runSweep(
+      0, [](harness::PointEnv&) { FAIL() << "no points to run"; }, opts);
+}
+
+TEST(SweepRunner, EnvVariableSelectsWorkerCount) {
+  ScopedJobs j("7");
+  const auto out = harness::runSweep(
+      32, [](harness::PointEnv& env) { return env.index; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i);
+}
+
+// The sweep finishes all points even when one throws, then rethrows the
+// lowest-indexed exception — so failure reports are schedule-independent
+// too.
+TEST(SweepRunner, LowestIndexedExceptionWinsAtAnyJobCount) {
+  for (unsigned jobs : kJobVariants) {
+    harness::SweepOptions opts;
+    opts.jobs = jobs;
+    std::atomic<int> completed{0};
+    try {
+      harness::runSweep(
+          64,
+          [&completed](harness::PointEnv& env) {
+            if (env.index == 13 || env.index == 57) {
+              throw std::runtime_error("point " + std::to_string(env.index));
+            }
+            completed.fetch_add(1, std::memory_order_relaxed);
+          },
+          opts);
+      FAIL() << "sweep should rethrow (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "point 13") << "jobs=" << jobs;
+    }
+    EXPECT_EQ(completed.load(), 62) << "jobs=" << jobs;
+  }
+}
+
+// Satellite property from the issue: the same 8-seed sweep at
+// VIBE_JOBS ∈ {1, 2, 7, hw} renders identical table text, CSV, JSON, and
+// composes the identical sweep digest.
+TEST(SweepRunner, TablesJsonAndDigestsIdenticalAcrossJobCounts) {
+  constexpr std::size_t kSeeds = 8;
+  struct Rendered {
+    std::string text;
+    std::string csv;
+    std::string json;
+    std::uint64_t digest = 0;
+  };
+  auto render = [&](unsigned jobs) {
+    harness::SweepOptions opts;
+    opts.jobs = jobs;
+    const auto points = harness::runSweep(
+        kSeeds,
+        [](harness::PointEnv& env) {
+          return pointResult(9000 + env.index * 31);
+        },
+        opts);
+    suite::ResultTable table("harness sweep property", {"seed", "value"});
+    Rendered r;
+    r.digest = sim::Tracer::kDigestSeed;
+    for (std::size_t i = 0; i < kSeeds; ++i) {
+      table.addRow({static_cast<double>(i), points[i].value});
+      r.digest = sim::Tracer::combineDigest(r.digest, points[i].digest);
+    }
+    r.text = table.renderText(2);
+    r.csv = table.renderCsv();
+    r.json = table.renderJson();
+    return r;
+  };
+  const Rendered serial = render(1);
+  for (unsigned jobs : kJobVariants) {
+    const Rendered parallel = render(jobs);
+    EXPECT_EQ(serial.text, parallel.text) << "jobs=" << jobs;
+    EXPECT_EQ(serial.csv, parallel.csv) << "jobs=" << jobs;
+    EXPECT_EQ(serial.json, parallel.json) << "jobs=" << jobs;
+    EXPECT_EQ(serial.digest, parallel.digest) << "jobs=" << jobs;
+  }
+}
+
+// Per-point registries merged in index order must reproduce the registry
+// a serial run writing into one shared registry would have produced:
+// counters and histograms are commutative, and gauges take the last
+// write, which index order pins to point n-1.
+TEST(SweepRunner, MergedMetricsMatchSerialRegistry) {
+  constexpr std::size_t kPoints = 24;
+  auto publish = [](obs::MetricsRegistry& m, std::size_t i) {
+    m.counter("sweep/points").add(1);
+    m.counter("sweep/bytes").add((i + 1) * 64);
+    m.gauge("sweep/last_index").set(static_cast<double>(i));
+    m.histogram("sweep/latency_ns").add(static_cast<std::int64_t>(i * 1000));
+  };
+
+  obs::MetricsRegistry serial;
+  for (std::size_t i = 0; i < kPoints; ++i) publish(serial, i);
+
+  for (unsigned jobs : kJobVariants) {
+    obs::MetricsRegistry merged;
+    harness::SweepOptions opts;
+    opts.jobs = jobs;
+    opts.mergeInto = &merged;
+    harness::runSweep(
+        kPoints,
+        [&publish](harness::PointEnv& env) {
+          ASSERT_NE(env.metrics, nullptr);
+          publish(*env.metrics, env.index);
+        },
+        opts);
+    EXPECT_EQ(serial.renderText(), merged.renderText()) << "jobs=" << jobs;
+    EXPECT_EQ(merged.gauge("sweep/last_index").value(),
+              static_cast<double>(kPoints - 1))
+        << "jobs=" << jobs;
+  }
+}
+
+// Without mergeInto, points get no registry — publishing would be a bug.
+TEST(SweepRunner, NoRegistryUnlessMergeRequested) {
+  harness::runSweep(4, [](harness::PointEnv& env) {
+    EXPECT_EQ(env.metrics, nullptr);
+  });
+}
+
+}  // namespace
+}  // namespace vibe

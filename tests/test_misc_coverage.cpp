@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "nic/profiles.hpp"
+#include "test_seed.hpp"
 #include "upper/sockets/stream.hpp"
 #include "vibe/cluster.hpp"
 #include "vipl/vipl.hpp"
@@ -25,6 +26,9 @@ ClusterConfig configFor(const std::string& name, std::uint32_t nodes = 2) {
   ClusterConfig c;
   c.profile = nic::profileByName(name);
   c.nodes = nodes;
+  // Shift the pinned default seed by the run's base so VIBE_TEST_SEED
+  // soaks these paths too, while default runs stay bit-identical.
+  c.seed += vibe::testing::testRunSeed();
   return c;
 }
 

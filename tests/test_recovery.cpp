@@ -17,6 +17,7 @@
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "fault/invariants.hpp"
+#include "harness/sweep.hpp"
 #include "nic/profiles.hpp"
 #include "session/session.hpp"
 #include "simcore/prng.hpp"
@@ -508,11 +509,27 @@ INSTANTIATE_TEST_SUITE_P(
 TEST_P(RecoverySweep, ExactlyOnceAcrossFlapsAndDeterministic) {
   const SweepCase& wc = GetParam();
   const int seeds = seedCount();
+  // Each seed is an independent simulation point: run them through the
+  // sweep harness (VIBE_JOBS workers), assert in seed order afterwards.
+  struct SeedResult {
+    RunResult first;
+    RunResult second;
+  };
+  const auto results = harness::runSweep(
+      static_cast<std::size_t>(seeds), [&](harness::PointEnv& env) {
+        const std::uint64_t seed = 2000 + env.index * 7919;
+        SeedResult r;
+        r.first = runOnce(seed, wc.fn);
+        // Determinism: the same seed must replay byte-for-byte.
+        r.second = runOnce(seed, wc.fn);
+        return r;
+      });
   for (int s = 0; s < seeds; ++s) {
     const std::uint64_t seed = 2000 + static_cast<std::uint64_t>(s) * 7919;
     SCOPED_TRACE("workload=" + std::string(wc.name) +
                  " seed=" + std::to_string(seed));
-    const RunResult first = runOnce(seed, wc.fn);
+    const RunResult& first = results[static_cast<std::size_t>(s)].first;
+    const RunResult& second = results[static_cast<std::size_t>(s)].second;
     EXPECT_TRUE(first.violations.empty())
         << "invariant violations:\n"
         << ::testing::PrintToString(first.violations) << "\nplan:\n"
@@ -520,9 +537,6 @@ TEST_P(RecoverySweep, ExactlyOnceAcrossFlapsAndDeterministic) {
     EXPECT_GT(first.deliveries, 0u);
     EXPECT_GE(first.recoveries, 1u)
         << "no session ever reconnected; plan:\n" << first.planText;
-
-    // Determinism: the same seed must replay byte-for-byte.
-    const RunResult second = runOnce(seed, wc.fn);
     EXPECT_EQ(first.digest, second.digest)
         << "trace digest diverged on replay; plan:\n" << first.planText;
     EXPECT_EQ(first.endTime, second.endTime);
