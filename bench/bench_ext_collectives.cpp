@@ -24,14 +24,17 @@ struct CollectiveTimes {
 };
 
 CollectiveTimes measure(const nic::NicProfile& profile, std::uint32_t ranks,
-                        int repetitions, const harness::PointEnv& penv) {
+                        int repetitions, const harness::PointEnv& penv,
+                        std::uint32_t fatTreeK = 0,
+                        const upper::msg::CommConfig& commCfg = {}) {
   suite::ClusterConfig cc = bench::clusterFor(profile, ranks, penv);
+  cc.fatTreeK = fatTreeK;
   suite::Cluster cluster(cc);
   CollectiveTimes result;
   std::vector<std::function<void(suite::NodeEnv&)>> programs;
   for (std::uint32_t r = 0; r < ranks; ++r) {
     programs.push_back([&, r](suite::NodeEnv& env) {
-      auto comm = Communicator::create(env, r, ranks, {});
+      auto comm = Communicator::create(env, r, ranks, commCfg);
       comm->barrier();  // align all ranks before timing
 
       sim::SimTime t0 = env.now();
@@ -93,6 +96,49 @@ int run(int, char**) {
       "latency — but on the firmware model each node also holds 2(N-1) VIs\n"
       "(control+bulk per peer), so every round's messages pay a longer\n"
       "doorbell scan as N grows: the Fig. 6 effect compounding with depth.\n");
+
+  // Collectives across the fabric: the same barrier/allreduce on cLAN at
+  // 16 and 32 ranks, flat star vs k=8 fat-tree. Every rank pair holds a VI
+  // pair (the mesh is O(N^2) — and so is the wall cost of wiring it, which
+  // is what bounds the rank count here), so credits and eager buffers are
+  // trimmed to keep the mesh's preposted memory small; both columns use the
+  // same trimmed config, so the delta is purely the fabric's path lengths —
+  // dissemination rounds hit ever-farther partners (rank +1, +2, +4 ...):
+  // with 4 hosts per edge switch and 16 per pod, rounds past +4 cross the
+  // aggregation tier and rounds past +16 pay the full core crossing.
+  suite::ResultTable fabricT(
+      "Barrier / allreduce (us), cLAN, flat star vs k=8 fat-tree",
+      {"ranks", "flat_barrier", "ft_barrier", "flat_allred", "ft_allred"});
+  const std::vector<std::uint32_t> bigRanks = {16u, 32u};
+  upper::msg::CommConfig lean;
+  lean.eagerThreshold = 2048;
+  lean.creditsPerPeer = 4;
+  lean.controlReserve = 4;
+  struct FabricPoint {
+    CollectiveTimes flat;
+    CollectiveTimes fatTree;
+  };
+  const auto fabricPoints = harness::runSweep(
+      bigRanks.size(),
+      [&](harness::PointEnv& env) {
+        const std::uint32_t ranks = bigRanks[env.index];
+        return FabricPoint{
+            measure(nic::clanProfile(), ranks, 4, env, 0, lean),
+            measure(nic::clanProfile(), ranks, 4, env, 8, lean)};
+      },
+      sweepOptions());
+  for (std::size_t i = 0; i < bigRanks.size(); ++i) {
+    const FabricPoint& p = fabricPoints[i];
+    fabricT.addRow({static_cast<double>(bigRanks[i]), p.flat.barrierUsec,
+                    p.fatTree.barrierUsec, p.flat.allreduceUsec,
+                    p.fatTree.allreduceUsec});
+  }
+  emit(fabricT);
+  std::printf(
+      "On the fat-tree the early dissemination rounds stay inside an edge\n"
+      "switch or pod while the late rounds cross the cores, so the barrier\n"
+      "pays a weighted mix of the path tiers rather than N times the flat\n"
+      "latency — the Clos tax grows with log N, not with N.\n");
   return 0;
 }
 

@@ -36,12 +36,19 @@ void Link::scheduleLatencyWindow(sim::SimTime start, sim::SimTime end,
   latencyWindows_.push_back({start, end, extra});
 }
 
+std::uint32_t Link::queuedFrames(sim::SimTime now) {
+  while (!serEnds_.empty() && serEnds_.front() <= now) serEnds_.pop_front();
+  return static_cast<std::uint32_t>(serEnds_.size());
+}
+
 void Link::send(Packet&& p) {
   if (!sink_) throw sim::SimError("Link::send on unconnected link " + name_);
   const sim::SimTime now = engine_.now();
   const std::uint64_t wire = p.wireBytes(params_.headerBytes);
   const sim::Duration ser = sim::transferTime(wire, params_.bandwidthMBps);
   const sim::SimTime done = tx_.acquire(now, ser);
+  while (!serEnds_.empty() && serEnds_.front() <= now) serEnds_.pop_front();
+  serEnds_.push_back(done);
   ++framesSent_;
   bytesCarried_ += wire;
   // All fault decisions happen at send() entry time: with no windows

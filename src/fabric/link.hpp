@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <string>
 #include <vector>
@@ -94,8 +95,14 @@ class Link {
   void scheduleLatencyWindow(sim::SimTime start, sim::SimTime end,
                              sim::Duration extra);
 
+  /// Frames accepted but not yet fully serialized at `now` — the output
+  /// buffer occupancy a switch consults before enqueueing (tail drop).
+  /// Includes the frame currently on the wire.
+  std::uint32_t queuedFrames(sim::SimTime now);
+
   const std::string& name() const { return name_; }
   double bandwidthMBps() const { return params_.bandwidthMBps; }
+  std::uint32_t headerBytes() const { return params_.headerBytes; }
   std::uint64_t framesSent() const { return framesSent_; }
   std::uint64_t framesDropped() const { return framesDropped_; }
   /// Frames delivered with the corrupted flag set (the receiver counts
@@ -138,6 +145,9 @@ class Link {
   std::vector<RateWindow> lossWindows_;
   std::vector<RateWindow> corruptWindows_;
   std::vector<LatencyWindow> latencyWindows_;
+  // Serialization-complete times of in-flight frames, ascending (FIFO
+  // wire). Pruned lazily; size after pruning = buffer occupancy.
+  std::deque<sim::SimTime> serEnds_;
 };
 
 }  // namespace vibe::fabric

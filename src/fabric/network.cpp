@@ -5,98 +5,45 @@
 
 namespace vibe::fabric {
 
-Network::Network(sim::Engine& engine, const NetworkParams& params)
-    : engine_(engine), params_(params), receivers_(params.nodes) {
-  uplinks_.reserve(params_.nodes);
-  downlinks_.reserve(params_.nodes);
-  for (NodeId n = 0; n < params_.nodes; ++n) {
-    LinkParams lp = params_.link;
-    lp.seed = params_.seed ^ (0x1000ULL + n);
-    auto up = std::make_unique<Link>(engine_, "up" + std::to_string(n), lp);
-    lp.seed = params_.seed ^ (0x2000ULL + n);
-    auto down = std::make_unique<Link>(engine_, "down" + std::to_string(n), lp);
-    // Uplink terminates at the host's switch: apply forwarding latency,
-    // then route (down a local port, or via the root for cross-leaf).
-    up->connect([this](Packet&& p) {
-      emitSwitchSpan(p, params_.switchLatency);
-      engine_.post(params_.switchLatency,
-                   [this, p = std::move(p)]() mutable { forward(std::move(p)); });
-    });
-    down->connect([this, n](Packet&& p) {
-      if (!receivers_[n]) {
-        throw sim::SimError("Network: no receiver registered for node " +
-                            std::to_string(n));
-      }
-      receivers_[n](std::move(p));
-    });
-    uplinks_.push_back(std::move(up));
-    downlinks_.push_back(std::move(down));
-  }
+namespace {
 
-  if (params_.nodesPerSwitch != 0) {
-    const std::uint32_t leaves =
-        (params_.nodes + params_.nodesPerSwitch - 1) / params_.nodesPerSwitch;
-    for (std::uint32_t leaf = 0; leaf < leaves; ++leaf) {
-      LinkParams tp = params_.trunk;
-      tp.seed = params_.seed ^ (0x3000ULL + leaf);
-      auto upTrunk = std::make_unique<Link>(
-          engine_, "trunkUp" + std::to_string(leaf), tp);
-      tp.seed = params_.seed ^ (0x4000ULL + leaf);
-      auto downTrunk = std::make_unique<Link>(
-          engine_, "trunkDown" + std::to_string(leaf), tp);
-      // Trunk up terminates at the root: root latency, then down the
-      // destination leaf's trunk.
-      upTrunk->connect([this](Packet&& p) {
-        emitSwitchSpan(p, params_.rootSwitchLatency);
-        engine_.post(params_.rootSwitchLatency, [this, p = std::move(p)]() mutable {
-          forwardFromRoot(std::move(p));
-        });
-      });
-      // Trunk down terminates at the leaf: leaf latency, then the host port.
-      downTrunk->connect([this](Packet&& p) {
-        emitSwitchSpan(p, params_.switchLatency);
-        engine_.post(params_.switchLatency, [this, p = std::move(p)]() mutable {
-          downlinks_.at(p.dst)->send(std::move(p));
-        });
-      });
-      trunkUp_.push_back(std::move(upTrunk));
-      trunkDown_.push_back(std::move(downTrunk));
-    }
+TopologySpec specFor(const NetworkParams& p) {
+  TopologySpec spec;
+  if (p.fatTreeK != 0) {
+    spec.kind = TopologyKind::FatTree;
+  } else if (p.nodesPerSwitch != 0) {
+    spec.kind = TopologyKind::TwoLevelTree;
+  } else {
+    spec.kind = TopologyKind::Star;
   }
+  spec.nodes = p.nodes;
+  spec.hostLink = p.link;
+  spec.edgeLatency = p.switchLatency;
+  spec.seed = p.seed;
+  spec.nodesPerSwitch = p.nodesPerSwitch;
+  spec.fabricLink = p.trunk;
+  spec.coreLatency = p.rootSwitchLatency;
+  spec.fatTreeK = p.fatTreeK;
+  spec.portBufferFrames = p.switchBufferFrames;
+  return spec;
+}
+
+}  // namespace
+
+Network::Network(sim::Engine& engine, const NetworkParams& params)
+    : params_(params), receivers_(params.nodes) {
+  topo_ = std::make_unique<Topology>(
+      engine, specFor(params_), [this](NodeId n, Packet&& p) {
+        if (!receivers_[n]) {
+          throw sim::SimError("Network: no receiver registered for node " +
+                              std::to_string(n));
+        }
+        receivers_[n](std::move(p));
+      });
 }
 
 void Network::setSpanProfiler(obs::SpanProfiler* spans) {
-  spans_ = spans;
-  for (auto& l : uplinks_) l->setSpanProfiler(spans);
-  for (auto& l : downlinks_) l->setSpanProfiler(spans);
-  for (auto& l : trunkUp_) l->setSpanProfiler(spans);
-  for (auto& l : trunkDown_) l->setSpanProfiler(spans);
-}
-
-void Network::emitSwitchSpan(const Packet& p, sim::Duration latency) {
-  if (spans_ == nullptr || latency <= 0) return;
-  if (p.kind == PacketKind::Ack || isConnectionManagement(p.kind)) return;
-  const sim::SimTime now = engine_.now();
-  spans_->emit(obs::Stage::Wire, p.src, p.srcVi, now, now + latency,
-               p.wireBytes(params_.link.headerBytes));
-}
-
-std::uint64_t Network::framesDropped() const {
-  std::uint64_t n = 0;
-  for (const auto& l : uplinks_) n += l->framesDropped();
-  for (const auto& l : downlinks_) n += l->framesDropped();
-  for (const auto& l : trunkUp_) n += l->framesDropped();
-  for (const auto& l : trunkDown_) n += l->framesDropped();
-  return n;
-}
-
-std::uint64_t Network::framesCorrupted() const {
-  std::uint64_t n = 0;
-  for (const auto& l : uplinks_) n += l->framesCorrupted();
-  for (const auto& l : downlinks_) n += l->framesCorrupted();
-  for (const auto& l : trunkUp_) n += l->framesCorrupted();
-  for (const auto& l : trunkDown_) n += l->framesCorrupted();
-  return n;
+  topo_->setSpanProfiler(spans);
 }
 
 void Network::setReceiver(NodeId node, Receiver rx) {
@@ -110,22 +57,30 @@ void Network::send(Packet&& p) {
   if (p.src == p.dst) {
     throw sim::SimError("Network::send: wire loopback not supported");
   }
-  uplinks_[p.src]->send(std::move(p));
+  topo_->inject(std::move(p));
 }
 
-void Network::forward(Packet&& p) {
-  ++forwarded_;
-  if (hierarchical() && leafOf(p.src) != leafOf(p.dst)) {
-    // Cross-leaf: up the source leaf's trunk toward the root.
-    trunkUp_.at(leafOf(p.src))->send(std::move(p));
-    return;
+Link& Network::trunkUp(std::uint32_t leaf) {
+  if (leaf >= topo_->trunkCount()) {
+    throw sim::SimError("Network::trunkUp: no trunk for leaf " +
+                        std::to_string(leaf));
   }
-  downlinks_.at(p.dst)->send(std::move(p));
+  return topo_->trunkUp(leaf);
 }
 
-void Network::forwardFromRoot(Packet&& p) {
-  ++viaRoot_;
-  trunkDown_.at(leafOf(p.dst))->send(std::move(p));
+Link& Network::trunkDown(std::uint32_t leaf) {
+  if (leaf >= topo_->trunkCount()) {
+    throw sim::SimError("Network::trunkDown: no trunk for leaf " +
+                        std::to_string(leaf));
+  }
+  return topo_->trunkDown(leaf);
+}
+
+std::uint32_t Network::leafOf(NodeId node) const {
+  if (node >= params_.nodes) {
+    throw sim::SimError("Network::leafOf: node id out of range");
+  }
+  return hierarchical() ? node / params_.nodesPerSwitch : 0;
 }
 
 }  // namespace vibe::fabric

@@ -1,14 +1,33 @@
-// SAN topologies.
+// SAN fabric facade.
 //
-// Default: a star — every host connects to one crossbar switch through a
-// full-duplex link pair, matching the paper's testbeds (Myrinet, Gigabit
-// Ethernet, and cLAN5000 cluster switches wiring a handful of PCs).
+// `Network` is the endpoint-facing surface of the fabric: NICs register
+// receivers and inject packets here, and fault/stat consumers reach links
+// through it. The actual wiring — switches, routing tables, links — lives
+// in the topology layer (fabric/topology.hpp); Network translates its
+// params into a TopologySpec and delegates.
 //
-// Extension: a two-level tree (`nodesPerSwitch > 0`) — hosts attach to
-// leaf switches, leaves attach to one root switch through trunk links.
-// Cross-leaf traffic pays two extra link traversals and the root's
-// forwarding latency; trunks are shared, so they can become the bottleneck
-// exactly the way a real multi-switch SAN oversubscribes.
+// Three topologies, selected by NetworkParams:
+//
+//   Star (default)      every host on one crossbar switch through a
+//                       full-duplex link pair — the paper's testbeds
+//                       (Myrinet, Gigabit Ethernet, cLAN5000 switches
+//                       wiring a handful of PCs).
+//   Two-level tree      `nodesPerSwitch > 0`: hosts on leaf switches,
+//                       leaves on one root through shared trunk links.
+//                       Cross-leaf traffic pays two extra link traversals
+//                       plus the root's forwarding latency, and trunks are
+//                       shared — the way a real multi-switch SAN
+//                       oversubscribes.
+//   k-ary fat-tree      `fatTreeK > 0` (even): a folded-Clos fabric with
+//                       k pods, (k/2)^2 cores, up to k^3/4 hosts, and
+//                       deterministic ECMP across the (k/2)^2 equal-cost
+//                       inter-pod paths. `switchBufferFrames` bounds each
+//                       switch port's output buffer (tail drop); 0 keeps
+//                       the unbounded legacy wire.
+//
+// Star and tree behavior is byte-identical to the pre-topology Network:
+// same link names and seed derivation, same event structure, same span
+// and counter semantics. See docs/FABRIC.md for the determinism contract.
 #pragma once
 
 #include <cstdint>
@@ -19,8 +38,8 @@
 
 #include "fabric/link.hpp"
 #include "fabric/packet.hpp"
+#include "fabric/topology.hpp"
 #include "simcore/engine.hpp"
-#include "simcore/resource.hpp"
 
 namespace vibe::fabric {
 
@@ -33,8 +52,14 @@ struct NetworkParams {
   // Two-level tree (0 = flat star). Hosts [k*nodesPerSwitch, ...) share
   // leaf switch k; leaves connect to a root switch via trunk links.
   std::uint32_t nodesPerSwitch = 0;
-  LinkParams trunk;                     // leaf<->root links
-  sim::Duration rootSwitchLatency = 0;
+  LinkParams trunk;                     // inter-switch links (tree/fat-tree)
+  sim::Duration rootSwitchLatency = 0;  // root / aggr / core forwarding
+
+  // k-ary fat-tree (0 = star or tree above). Takes precedence over
+  // nodesPerSwitch; k must be even and nodes <= k^3/4.
+  std::uint32_t fatTreeK = 0;
+  // Finite per-port switch output buffers, in frames (0 = unbounded).
+  std::uint32_t switchBufferFrames = 0;
 };
 
 class Network {
@@ -57,43 +82,58 @@ class Network {
 
   /// Attaches a span profiler to every link in the topology plus the
   /// switch-forwarding hops, so Wire spans tile the whole wire interval
-  /// (host link, leaf/root forwarding, trunks). nullptr detaches.
+  /// (host link, each switch hop, each inter-switch link). nullptr
+  /// detaches.
   void setSpanProfiler(obs::SpanProfiler* spans);
 
   /// Per-node links, exposed for failure injection and utilization stats.
-  Link& uplink(NodeId node) { return *uplinks_.at(node); }
-  Link& downlink(NodeId node) { return *downlinks_.at(node); }
+  Link& uplink(NodeId node) { return topo_->hostUplink(node); }
+  Link& downlink(NodeId node) { return topo_->hostDownlink(node); }
+
+  /// Shared leaf<->root trunk links (two-level tree only), exposed for
+  /// fault injection — the links most worth failing are the shared ones.
+  /// Throws on a flat star or out-of-range leaf index.
+  Link& trunkUp(std::uint32_t leaf);
+  Link& trunkDown(std::uint32_t leaf);
+  std::uint32_t trunkCount() const { return topo_->trunkCount(); }
 
   /// Frames dropped / corrupted summed across every link in the topology
-  /// (host links and, in a tree, the trunks).
-  std::uint64_t framesDropped() const;
-  std::uint64_t framesCorrupted() const;
-
-  std::uint64_t packetsForwarded() const { return forwarded_; }
-  /// Packets that crossed the root switch (two-level topology only).
-  std::uint64_t packetsViaRoot() const { return viaRoot_; }
-  bool hierarchical() const { return params_.nodesPerSwitch != 0; }
-  std::uint32_t leafOf(NodeId node) const {
-    return hierarchical() ? node / params_.nodesPerSwitch : 0;
+  /// (host links, trunks, and fat-tree fabric links).
+  std::uint64_t framesDropped() const { return topo_->framesDropped(); }
+  std::uint64_t framesCorrupted() const { return topo_->framesCorrupted(); }
+  /// Frames tail-dropped at finite switch output buffers (fat-tree with
+  /// switchBufferFrames > 0; always 0 otherwise).
+  std::uint64_t switchBufferDrops() const {
+    return topo_->switchBufferDrops();
   }
+  /// Deepest switch output-buffer occupancy seen anywhere, in frames.
+  std::uint32_t maxSwitchQueueDepth() const { return topo_->maxQueueDepth(); }
+
+  /// Packets forwarded by their host-ingress switch: one count per packet
+  /// that entered the fabric.
+  std::uint64_t packetsForwarded() const {
+    return topo_->hostIngressForwards();
+  }
+  /// Packets that crossed a Core-tier switch (the tree root, or a
+  /// fat-tree core on the inter-pod path).
+  std::uint64_t packetsViaRoot() const { return topo_->coreForwards(); }
+
+  bool hierarchical() const { return params_.nodesPerSwitch != 0; }
+  bool fatTree() const { return params_.fatTreeK != 0; }
+
+  /// Leaf switch index of a node (two-level tree; 0 on a star). Throws on
+  /// out-of-range ids — same guard as send() — instead of silently
+  /// computing a bogus leaf.
+  std::uint32_t leafOf(NodeId node) const;
+
+  /// The underlying topology graph (switch stats, fabric links).
+  Topology& topology() { return *topo_; }
+  const Topology& topology() const { return *topo_; }
 
  private:
-  void forward(Packet&& p);
-  void forwardFromRoot(Packet&& p);
-  /// Wire span for a switch-forwarding hop (cut-through latency), so the
-  /// stage attribution accounts for switch time, not just link time.
-  void emitSwitchSpan(const Packet& p, sim::Duration latency);
-
-  sim::Engine& engine_;
   NetworkParams params_;
-  std::vector<std::unique_ptr<Link>> uplinks_;    // host -> switch
-  std::vector<std::unique_ptr<Link>> downlinks_;  // switch -> host
-  std::vector<std::unique_ptr<Link>> trunkUp_;    // leaf -> root
-  std::vector<std::unique_ptr<Link>> trunkDown_;  // root -> leaf
   std::vector<Receiver> receivers_;
-  obs::SpanProfiler* spans_ = nullptr;
-  std::uint64_t forwarded_ = 0;
-  std::uint64_t viaRoot_ = 0;
+  std::unique_ptr<Topology> topo_;
 };
 
 }  // namespace vibe::fabric

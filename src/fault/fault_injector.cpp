@@ -11,7 +11,15 @@ void FaultInjector::arm(suite::Cluster& cluster) {
   armed_ = true;
   cluster.attachFaultInjector(this);
   for (const FaultAction& a : plan_.actions) {
-    if (a.node >= cluster.nodeCount()) {
+    if (a.target == FaultTarget::Trunk) {
+      const std::uint32_t trunks = cluster.network().trunkCount();
+      if (a.node >= trunks) {
+        throw sim::SimError(
+            "FaultInjector: trunk action targets leaf " +
+            std::to_string(a.node) + " but the topology has " +
+            std::to_string(trunks) + " trunk(s)");
+      }
+    } else if (a.node >= cluster.nodeCount()) {
       throw sim::SimError("FaultInjector: action targets node " +
                           std::to_string(a.node) + " of a " +
                           std::to_string(cluster.nodeCount()) +
@@ -20,14 +28,18 @@ void FaultInjector::arm(suite::Cluster& cluster) {
     apply(cluster, a);
     sim::trace(cluster.tracer(), a.start, sim::TraceCategory::User, a.node,
                "fault " + std::string(toString(a.kind)) + " side=" +
-                   toString(a.side) + " dur=" + std::to_string(a.duration));
+                   toString(a.side) + " dur=" + std::to_string(a.duration) +
+                   (a.target == FaultTarget::Trunk ? " target=trunk" : ""));
   }
 }
 
 void FaultInjector::apply(suite::Cluster& cluster, const FaultAction& a) {
   fabric::Network& net = cluster.network();
-  fabric::Link& up = net.uplink(a.node);
-  fabric::Link& down = net.downlink(a.node);
+  // Trunk actions hit the shared leaf<->root pair ("up" = leaf-to-root);
+  // host actions hit the node's own link pair, exactly as before.
+  const bool trunk = a.target == FaultTarget::Trunk;
+  fabric::Link& up = trunk ? net.trunkUp(a.node) : net.uplink(a.node);
+  fabric::Link& down = trunk ? net.trunkDown(a.node) : net.downlink(a.node);
   const bool onUp = a.side != LinkSide::Downlink;
   const bool onDown = a.side != LinkSide::Uplink;
   switch (a.kind) {

@@ -29,6 +29,14 @@ const char* toString(LinkSide s) {
   return "?";
 }
 
+const char* toString(FaultTarget t) {
+  switch (t) {
+    case FaultTarget::HostLink: return "host";
+    case FaultTarget::Trunk: return "trunk";
+  }
+  return "?";
+}
+
 namespace {
 
 FaultKind kindFromString(const std::string& s) {
@@ -45,6 +53,12 @@ LinkSide sideFromString(const std::string& s) {
   if (s == "down") return LinkSide::Downlink;
   if (s == "both") return LinkSide::Both;
   throw sim::SimError("FaultPlan::parse: unknown side '" + s + "'");
+}
+
+FaultTarget targetFromString(const std::string& s) {
+  if (s == "host") return FaultTarget::HostLink;
+  if (s == "trunk") return FaultTarget::Trunk;
+  throw sim::SimError("FaultPlan::parse: unknown target '" + s + "'");
 }
 
 /// Rates round-trip through text as micro-units (integer millionths), so
@@ -115,7 +129,13 @@ std::string FaultPlan::toString() const {
     os << "kind=" << fault::toString(a.kind) << " node=" << a.node
        << " side=" << fault::toString(a.side) << " start=" << a.start
        << " dur=" << a.duration << " rate_ppm=" << rateToMicro(a.rate)
-       << " lat=" << a.extraLatency << '\n';
+       << " lat=" << a.extraLatency;
+    // Emitted only when non-default, so pre-trunk plan strings (and any
+    // golden that embeds one) stay byte-identical.
+    if (a.target != FaultTarget::HostLink) {
+      os << " target=" << fault::toString(a.target);
+    }
+    os << '\n';
   }
   return os.str();
 }
@@ -154,6 +174,8 @@ FaultPlan FaultPlan::parse(const std::string& text) {
         a.rate = static_cast<double>(std::stoull(val)) / 1e6;
       } else if (key == "lat") {
         a.extraLatency = std::stoll(val);
+      } else if (key == "target") {
+        a.target = targetFromString(val);
       } else {
         throw sim::SimError("FaultPlan::parse: unknown key '" + key + "'");
       }

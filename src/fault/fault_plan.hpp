@@ -26,15 +26,23 @@ enum class FaultKind : std::uint8_t {
 
 const char* toString(FaultKind k);
 
-/// Which half of the target node's full-duplex link pair the action hits.
+/// Which half of the target's full-duplex link pair the action hits.
 enum class LinkSide : std::uint8_t { Uplink, Downlink, Both };
 
 const char* toString(LinkSide s);
 
+/// What `FaultAction::node` names: a host (its uplink/downlink pair) or,
+/// on a two-level tree, a leaf switch's shared trunk pair — the links
+/// most worth failing, since one trunk fault hits every host on the leaf.
+enum class FaultTarget : std::uint8_t { HostLink, Trunk };
+
+const char* toString(FaultTarget t);
+
 struct FaultAction {
   FaultKind kind = FaultKind::LossBurst;
-  std::uint32_t node = 0;              // target host
+  std::uint32_t node = 0;              // target host (or leaf, for Trunk)
   LinkSide side = LinkSide::Uplink;    // Partition always acts on Both
+  FaultTarget target = FaultTarget::HostLink;
   sim::SimTime start = 0;              // window open (absolute virtual time)
   sim::Duration duration = 0;          // window length
   double rate = 0.0;                   // LossBurst / Corruption probability

@@ -19,12 +19,14 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   np.link.lossRate = config_.lossRate;
   np.switchLatency = config_.profile.switchLatency;
   np.seed = config_.seed;
-  if (config_.nodesPerSwitch != 0) {
+  if (config_.nodesPerSwitch != 0 || config_.fatTreeK != 0) {
     np.nodesPerSwitch = config_.nodesPerSwitch;
+    np.fatTreeK = config_.fatTreeK;
     np.trunk = np.link;
     if (config_.trunkMBps > 0.0) np.trunk.bandwidthMBps = config_.trunkMBps;
     np.rootSwitchLatency = config_.profile.switchLatency;
   }
+  np.switchBufferFrames = config_.switchBufferFrames;
   net_ = std::make_unique<fabric::Network>(engine_, np);
 
   providers_.reserve(config_.nodes);
@@ -87,6 +89,25 @@ void Cluster::publishStats() {
   pubNet("frames_dropped", net_->framesDropped(), lastFramesDropped_);
   pubNet("frames_corrupted", net_->framesCorrupted(), lastFramesCorrupted_);
   pubNet("packets_forwarded", net_->packetsForwarded(), lastForwarded_);
+  pubNet("switch_buffer_drops", net_->switchBufferDrops(), lastSwitchDrops_);
+  // Per-switch congestion stats appear only when a finite buffer actually
+  // queued or dropped something, so metric dumps for the star/tree
+  // configurations (which never do) are unchanged.
+  if (net_->maxSwitchQueueDepth() > 0) {
+    m.gauge(obs::scoped("fabric", "switch_queue_depth_max"))
+        .set(net_->maxSwitchQueueDepth());
+    for (const auto& sw : net_->topology().switches()) {
+      if (sw->bufferDrops() == 0 && sw->maxQueueDepth() == 0) continue;
+      const std::string scope = "fabric." + sw->name();
+      if (sw->bufferDrops() > 0) {
+        // Delta against the counter's own value: switch names are unique
+        // within a cluster, so the counter mirrors the lifetime total.
+        auto& c = m.counter(obs::scoped(scope, "buffer_drops"));
+        if (sw->bufferDrops() > c.value()) c.add(sw->bufferDrops() - c.value());
+      }
+      m.gauge(obs::scoped(scope, "queue_depth_max")).set(sw->maxQueueDepth());
+    }
+  }
 }
 
 void Cluster::setTracer(sim::Tracer* tracer) {

@@ -37,6 +37,13 @@ struct ClusterConfig {
   std::uint32_t nodesPerSwitch = 0;
   double trunkMBps = 0.0;
 
+  // k-ary fat-tree fabric (0 = star/tree above; takes precedence over
+  // nodesPerSwitch). k must be even; nodes <= k^3/4. Inter-switch links
+  // use trunkMBps when set, the host-link rate otherwise.
+  std::uint32_t fatTreeK = 0;
+  // Finite per-port switch output buffers, in frames (0 = unbounded).
+  std::uint32_t switchBufferFrames = 0;
+
   // Observability attachments (all optional; null = zero-cost disabled).
   // Set before handing the config to a runner that builds its own Cluster
   // (e.g. runPingPong); the Cluster constructor wires them through the
@@ -119,6 +126,7 @@ class Cluster {
   std::uint64_t lastFramesDropped_ = 0;
   std::uint64_t lastFramesCorrupted_ = 0;
   std::uint64_t lastForwarded_ = 0;
+  std::uint64_t lastSwitchDrops_ = 0;
 };
 
 }  // namespace vibe::suite

@@ -203,6 +203,10 @@ TransferResult runPingPong(const ClusterConfig& clusterCfg,
     r.supported = false;
     return r;
   }
+  if (cfg.pingSrc == cfg.pingDst || cfg.pingSrc >= clusterCfg.nodes ||
+      cfg.pingDst >= clusterCfg.nodes) {
+    throw sim::SimError("runPingPong: invalid pingSrc/pingDst pair");
+  }
   Cluster cluster(clusterCfg);
   TransferResult result;
   SharedSetup shared;
@@ -215,7 +219,8 @@ TransferResult runPingPong(const ClusterConfig& clusterCfg,
     shared.rdmaHandle[0] = s.handles[0];
 
     require(vipl::VipConnectRequest(*s.nic, s.vi,
-                                    {1, kDiscriminator}, kConnTimeout),
+                                    {cfg.pingDst, kDiscriminator},
+                                    kConnTimeout),
             "connect");
     sim::SimTime t0 = 0;
     sim::Duration cpu0 = 0;
@@ -273,8 +278,8 @@ TransferResult runPingPong(const ClusterConfig& clusterCfg,
     require(vipl::VipPostRecv(*s.nic, s.vi, &first), "prepost recv");
 
     PendingConn conn;
-    require(vipl::VipConnectWait(*s.nic, {1, kDiscriminator}, kConnTimeout,
-                                 conn),
+    require(vipl::VipConnectWait(*s.nic, {cfg.pingDst, kDiscriminator},
+                                 kConnTimeout, conn),
             "connect wait");
     require(vipl::VipConnectAccept(*s.nic, conn, s.vi), "accept");
 
@@ -307,7 +312,13 @@ TransferResult runPingPong(const ClusterConfig& clusterCfg,
     (void)cpu1;
   };
 
-  cluster.run({initiator, responder});
+  // Program i runs on node i; unused nodes get no program. The default
+  // pair (0, 1) reduces to the classic {initiator, responder} run.
+  std::vector<std::function<void(NodeEnv&)>> programs(
+      std::max(cfg.pingSrc, cfg.pingDst) + 1);
+  programs[cfg.pingSrc] = initiator;
+  programs[cfg.pingDst] = responder;
+  cluster.run(std::move(programs));
   return result;
 }
 

@@ -51,6 +51,12 @@ struct TransferConfig {
   // Unreliable completes at local transmit, ReliableDelivery at the remote
   // NIC's receipt ack, ReliableReception at the memory-placement ack.
   bool measureSendCompletion = false;
+
+  // Ping-pong only: which node pair talks. Defaults reproduce the classic
+  // node0 <-> node1 run; hierarchical topologies use other pairs to
+  // measure same-edge vs same-pod vs cross-pod paths.
+  std::uint32_t pingSrc = 0;
+  std::uint32_t pingDst = 1;
 };
 
 struct TransferResult {
