@@ -1,0 +1,93 @@
+#include "fabric/domain.hpp"
+
+#include <string>
+
+namespace vibe::fabric {
+
+namespace {
+
+/// Hosts per edge switch for a spec, after the same validation the
+/// Topology builder applies. 0 means "all hosts on one switch" (star).
+std::uint32_t hostsPerEdge(const TopologySpec& spec) {
+  switch (spec.kind) {
+    case TopologyKind::Star:
+      return 0;
+    case TopologyKind::TwoLevelTree:
+      if (spec.nodesPerSwitch == 0) {
+        throw sim::SimError(
+            "DomainPartition: two-level tree needs nodesPerSwitch > 0");
+      }
+      return spec.nodesPerSwitch;
+    case TopologyKind::FatTree: {
+      const std::uint32_t k = spec.fatTreeK;
+      if (k < 2 || (k % 2) != 0) {
+        throw sim::SimError(
+            "DomainPartition: fat-tree arity k must be even and >= 2");
+      }
+      if (spec.nodes > k * k * k / 4) {
+        throw sim::SimError("DomainPartition: " +
+                            std::to_string(spec.nodes) +
+                            " hosts exceed k^3/4 for fat-tree k=" +
+                            std::to_string(k));
+      }
+      return k / 2;
+    }
+  }
+  throw sim::SimError("DomainPartition: unknown topology kind");
+}
+
+}  // namespace
+
+std::uint32_t DomainPartition::domainOf(std::uint32_t host) const {
+  if (host >= hostDomain.size()) {
+    throw sim::SimError("DomainPartition::domainOf: host " +
+                        std::to_string(host) + " out of range [0, " +
+                        std::to_string(hostDomain.size()) + ")");
+  }
+  return hostDomain[host];
+}
+
+DomainPartition DomainPartition::fromSpec(const TopologySpec& spec) {
+  const std::uint32_t perEdge = hostsPerEdge(spec);
+  DomainPartition part;
+  part.hostDomain.resize(spec.nodes, 0);
+  if (perEdge == 0) {
+    part.domains = 1;
+    return part;
+  }
+  for (std::uint32_t n = 0; n < spec.nodes; ++n) {
+    part.hostDomain[n] = n / perEdge;
+  }
+  part.domains = spec.nodes == 0 ? 1 : (spec.nodes - 1) / perEdge + 1;
+  return part;
+}
+
+PathTier pathTier(const TopologySpec& spec, std::uint32_t src,
+                  std::uint32_t dst) {
+  if (src >= spec.nodes || dst >= spec.nodes) {
+    throw sim::SimError("pathTier: host id out of range [0, " +
+                        std::to_string(spec.nodes) + ")");
+  }
+  const std::uint32_t perEdge = hostsPerEdge(spec);
+  if (perEdge == 0 || src / perEdge == dst / perEdge) {
+    return PathTier::SameEdge;
+  }
+  if (spec.kind == TopologyKind::TwoLevelTree) {
+    // Any cross-leaf pair goes through the one root: same path length.
+    return PathTier::SamePod;
+  }
+  const std::uint32_t podHosts = (spec.fatTreeK / 2) * (spec.fatTreeK / 2);
+  return src / podHosts == dst / podHosts ? PathTier::SamePod
+                                          : PathTier::CrossPod;
+}
+
+sim::Duration crossDomainLookahead(const TopologySpec& spec) {
+  if (hostsPerEdge(spec) == 0) return 0;  // one domain: nothing crosses
+  const sim::Duration hop =
+      sim::transferTime(spec.fabricLink.headerBytes,
+                        spec.fabricLink.bandwidthMBps) +
+      spec.fabricLink.propagation;
+  return 2 * hop + spec.coreLatency;
+}
+
+}  // namespace vibe::fabric

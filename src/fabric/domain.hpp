@@ -1,0 +1,68 @@
+// Fabric domain partitioning for the conservative PDES engine.
+//
+// A PDES domain is a group of hosts whose state one shard may touch
+// without synchronization. The natural cut in every VIBe topology is the
+// edge switch: hosts under one edge (star: the single crossbar; tree: a
+// leaf; fat-tree: an edge switch) interact at host-link latencies, while
+// anything between two edges must cross at least one inter-switch link —
+// and that link's latency is exactly the conservative lookahead the
+// sharded engine needs (see src/simcore/pdes.hpp and docs/PDES.md).
+//
+// This header derives both from a TopologySpec: the host -> domain map
+// and the minimum virtual time any frame needs to travel from one
+// domain's edge switch into another domain. The derivation is a lower
+// bound over every cross-domain path — header-only serialization plus
+// propagation plus the intervening switch latencies — so a model that
+// charges real (>= header-sized) frames along the same hops always
+// satisfies the ShardedEngine::send lookahead requirement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fabric/topology.hpp"
+#include "simcore/time.hpp"
+
+namespace vibe::fabric {
+
+/// Relative position of two hosts in a topology, by path length.
+enum class PathTier : std::uint8_t {
+  SameEdge,  // same edge switch (star: always)
+  SamePod,   // fat-tree: same pod via an aggregation switch;
+             // tree: different leaves via the root
+  CrossPod,  // fat-tree only: edge -> aggr -> core -> aggr -> edge
+};
+
+/// Host -> PDES-domain partition of a topology: one domain per edge
+/// switch.
+struct DomainPartition {
+  std::uint32_t domains = 1;
+  std::vector<std::uint32_t> hostDomain;  // size = spec.nodes
+
+  std::uint32_t domainOf(std::uint32_t host) const;
+
+  /// Builds the edge-switch partition for any TopologySpec kind.
+  /// Validates the spec the same way the Topology builder does (even
+  /// fat-tree arity, host count within k^3/4).
+  static DomainPartition fromSpec(const TopologySpec& spec);
+};
+
+/// Path tier of a (src, dst) host pair under `spec`. Throws SimError on
+/// out-of-range hosts, mirroring the topology accessors.
+PathTier pathTier(const TopologySpec& spec, std::uint32_t src,
+                  std::uint32_t dst);
+
+/// Conservative lookahead: a lower bound on the virtual time between a
+/// frame leaving its source edge switch and any effect inside another
+/// domain. Star topologies (one domain) have no cross-domain paths and
+/// return 0. For tree and fat-tree the bound is one minimum-size fabric
+/// hop up, the intervening switch's forwarding latency, and one hop down:
+///
+///   lookahead = 2 * (serialize(headerBytes) + propagation) + coreLatency
+///
+/// computed from spec.fabricLink. Every real cross-domain frame pays at
+/// least this (payloads only add serialization time), so models built on
+/// this bound always satisfy ShardedEngine::send.
+sim::Duration crossDomainLookahead(const TopologySpec& spec);
+
+}  // namespace vibe::fabric

@@ -1,0 +1,226 @@
+#include "fabric/pdes_traffic.hpp"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "fabric/domain.hpp"
+#include "fabric/topology.hpp"
+#include "simcore/pdes.hpp"
+#include "simcore/prng.hpp"
+#include "simcore/trace.hpp"
+
+namespace vibe::fabric {
+
+namespace {
+
+using sim::Duration;
+using sim::SimTime;
+
+std::uint64_t mix64(std::uint64_t x) { return sim::splitmix64(x); }
+
+/// Synthetic host compute: a short integer-mix loop whose result feeds
+/// the digest, so the optimizer cannot drop it and every shard count
+/// burns identical per-event work.
+std::uint64_t burn(std::uint64_t x, std::uint32_t iters) {
+  for (std::uint32_t i = 0; i < iters; ++i) {
+    x ^= x >> 27;
+    x *= 0x3c79ac492ba7b653ull;
+    x ^= x >> 33;
+  }
+  return x;
+}
+
+/// Per-domain accumulator. Cache-line aligned: adjacent domains may be
+/// written by different shards concurrently (each domain has exactly one
+/// writer, so this is purely about false sharing).
+struct alignas(64) DomainState {
+  std::uint64_t digest = sim::Tracer::kDigestSeed;
+  std::uint64_t messages = 0;
+  std::uint64_t rttSumNs = 0;
+  std::uint64_t rttCount = 0;
+};
+
+struct Model {
+  const PdesTrafficConfig* cfg = nullptr;
+  TopologySpec spec;
+  DomainPartition part;
+  sim::ShardedEngine* eng = nullptr;
+  std::vector<SimTime> t0;          // per host: current round's start
+  std::vector<DomainState> dom;     // per domain
+  Duration oneway[3] = {0, 0, 0};   // indexed by PathTier
+
+  std::uint32_t peerOf(std::uint32_t host, std::uint32_t round) const {
+    const std::uint32_t n = static_cast<std::uint32_t>(t0.size());
+    const std::uint64_t h = mix64(cfg->seed ^ 0x706472735f6d6278ull ^
+                                  (static_cast<std::uint64_t>(host) << 32 |
+                                   round));
+    std::uint32_t p = static_cast<std::uint32_t>(h % n);
+    if (p == host) p = (p + 1) % n;
+    return p;
+  }
+
+  Duration onewayOf(std::uint32_t src, std::uint32_t dst) const {
+    return oneway[static_cast<std::uint8_t>(pathTier(spec, src, dst))];
+  }
+};
+
+void startRound(Model* m, std::uint32_t h, std::uint32_t r);
+
+/// Runs in the responder's domain: charge think time, send the reply.
+void deliverRequest(Model* m, std::uint32_t h, std::uint32_t p,
+                    std::uint32_t r) {
+  const std::uint32_t srcDom = m->part.hostDomain[h];
+  const std::uint32_t dstDom = m->part.hostDomain[p];
+  DomainState& ds = m->dom[dstDom];
+  const SimTime now = m->eng->now(dstDom);
+  ++ds.messages;
+  ds.digest = sim::Tracer::combineDigest(
+      ds.digest,
+      burn(static_cast<std::uint64_t>(now) ^
+               (static_cast<std::uint64_t>(h) << 32 | p) ^ (r * 2 + 1),
+           m->cfg->computeIters));
+  const Duration back = m->cfg->serviceTime + m->onewayOf(p, h);
+  auto respond = [m, h, r] {
+    const std::uint32_t d = m->part.hostDomain[h];
+    DomainState& rs = m->dom[d];
+    const SimTime at = m->eng->now(d);
+    const std::uint64_t rtt = static_cast<std::uint64_t>(at - m->t0[h]);
+    ++rs.messages;
+    rs.rttSumNs += rtt;
+    ++rs.rttCount;
+    rs.digest = sim::Tracer::combineDigest(
+        rs.digest, burn(static_cast<std::uint64_t>(at) ^ rtt ^
+                            (static_cast<std::uint64_t>(h) << 1),
+                        m->cfg->computeIters));
+    if (r + 1 < m->cfg->rounds) startRound(m, h, r + 1);
+  };
+  if (dstDom == srcDom) {
+    m->eng->post(dstDom, back, std::move(respond));
+  } else {
+    m->eng->send(dstDom, srcDom, back, std::move(respond));
+  }
+}
+
+/// Runs in the requester's domain: pick the round's peer, fire the
+/// request along the tiered path.
+void startRound(Model* m, std::uint32_t h, std::uint32_t r) {
+  const std::uint32_t d = m->part.hostDomain[h];
+  DomainState& ds = m->dom[d];
+  const SimTime now = m->eng->now(d);
+  m->t0[h] = now;
+  const std::uint32_t p = m->peerOf(h, r);
+  const std::uint32_t dd = m->part.hostDomain[p];
+  ds.digest = sim::Tracer::combineDigest(
+      ds.digest, mix64(static_cast<std::uint64_t>(now) ^
+                       (static_cast<std::uint64_t>(h) << 32 | p) ^ r));
+  const Duration fly = m->onewayOf(h, p);
+  auto deliver = [m, h, p, r] { deliverRequest(m, h, p, r); };
+  if (dd == d) {
+    m->eng->post(d, fly, std::move(deliver));
+  } else {
+    m->eng->send(d, dd, fly, std::move(deliver));
+  }
+}
+
+}  // namespace
+
+PdesTrafficResult runPdesTraffic(const PdesTrafficConfig& cfg) {
+  const std::uint32_t k = cfg.fatTreeK;
+  if (k < 2 || (k % 2) != 0) {
+    throw sim::SimError("runPdesTraffic: fat-tree arity k must be even "
+                        "and >= 2, got " + std::to_string(k));
+  }
+  const std::uint32_t maxHosts = k * k * k / 4;
+  const std::uint32_t hosts = cfg.hosts == 0 ? maxHosts : cfg.hosts;
+  if (hosts < 2 || hosts > maxHosts) {
+    throw sim::SimError("runPdesTraffic: hosts must be in [2, k^3/4], got " +
+                        std::to_string(hosts) + " for k=" +
+                        std::to_string(k));
+  }
+
+  Model m;
+  m.cfg = &cfg;
+  m.spec.kind = TopologyKind::FatTree;
+  m.spec.nodes = hosts;
+  m.spec.fatTreeK = k;
+  m.spec.seed = cfg.seed;
+  m.spec.hostLink.bandwidthMBps = cfg.linkMBps;
+  m.spec.hostLink.propagation = cfg.linkPropagation;
+  m.spec.hostLink.headerBytes = cfg.headerBytes;
+  m.spec.fabricLink = m.spec.hostLink;
+  m.spec.edgeLatency = cfg.edgeLatency;
+  m.spec.coreLatency = cfg.coreLatency;
+  m.part = DomainPartition::fromSpec(m.spec);
+
+  // Tiered one-way latencies from the same per-hop arithmetic the serial
+  // fabric charges: serialization of the full frame on every hop, plus
+  // propagation, plus each intervening switch's forwarding latency.
+  const Duration hostLeg =
+      sim::transferTime(cfg.msgBytes + cfg.headerBytes, cfg.linkMBps) +
+      cfg.linkPropagation;
+  const Duration hop = hostLeg;  // fabricLink == hostLink here
+  using TierIdx = std::uint8_t;
+  m.oneway[static_cast<TierIdx>(PathTier::SameEdge)] =
+      2 * hostLeg + cfg.edgeLatency;
+  m.oneway[static_cast<TierIdx>(PathTier::SamePod)] =
+      2 * hostLeg + 2 * cfg.edgeLatency + 2 * hop + cfg.coreLatency;
+  m.oneway[static_cast<TierIdx>(PathTier::CrossPod)] =
+      2 * hostLeg + 2 * cfg.edgeLatency + 4 * hop + 3 * cfg.coreLatency;
+
+  const Duration lookahead = crossDomainLookahead(m.spec);
+
+  sim::EngineConfig ec;
+  ec.domains = m.part.domains;
+  ec.lookahead = lookahead;
+  ec.shards = cfg.shards;
+  sim::ShardedEngine eng(ec);
+  m.eng = &eng;
+  m.t0.assign(hosts, 0);
+  m.dom.resize(m.part.domains);
+
+  // Stagger the first round across a few lookahead windows so window one
+  // is not a single same-timestamp storm (the storm case is a dedicated
+  // test, not the bench workload).
+  const Duration spread = 4 * std::max<Duration>(lookahead, 256);
+  if (cfg.rounds > 0) {
+    for (std::uint32_t h = 0; h < hosts; ++h) {
+      const Duration jitter = static_cast<Duration>(
+          mix64(cfg.seed ^ 0x7374616767657221ull ^ h) %
+          static_cast<std::uint64_t>(spread));
+      Model* mp = &m;
+      eng.post(m.part.hostDomain[h], jitter,
+               [mp, h] { startRound(mp, h, 0); });
+    }
+  }
+
+  eng.run();
+
+  PdesTrafficResult out;
+  out.digest = sim::Tracer::kDigestSeed;
+  std::uint64_t rttSum = 0;
+  std::uint64_t rttCount = 0;
+  for (const DomainState& ds : m.dom) {
+    out.digest = sim::Tracer::combineDigest(out.digest, ds.digest);
+    out.messages += ds.messages;
+    rttSum += ds.rttSumNs;
+    rttCount += ds.rttCount;
+  }
+  out.events = eng.executedEvents();
+  out.crossDomain = eng.crossDomainEvents();
+  out.crossShard = eng.crossShardEvents();
+  out.windows = eng.windowsExecuted();
+  for (std::uint32_t d = 0; d < m.part.domains; ++d) {
+    out.endTime = std::max(out.endTime, eng.now(d));
+  }
+  out.meanRttUsec =
+      rttCount == 0 ? 0.0
+                    : static_cast<double>(rttSum) /
+                          static_cast<double>(rttCount) / 1000.0;
+  out.domains = m.part.domains;
+  out.shardsUsed = eng.shards();
+  out.lookahead = lookahead;
+  return out;
+}
+
+}  // namespace vibe::fabric

@@ -1,0 +1,66 @@
+// Synthetic fat-tree multiclient workload for the sharded PDES engine.
+//
+// This is the scaling counterpart of bench_ext_multiclient: every host
+// on a k-ary fat-tree runs closed-loop request/response rounds against
+// deterministically chosen peers, with per-hop latencies derived from
+// the same LinkParams arithmetic the serial fabric uses (serialization
+// at link bandwidth + propagation + switch forwarding). Hosts are
+// partitioned into PDES domains by edge switch (fabric/domain.hpp); the
+// aggregation/core tier is modeled as pure latency, so requests that
+// leave an edge switch travel as cross-domain sends whose delay is
+// provably >= the derived lookahead.
+//
+// The model is the determinism proof's workhorse: every domain keeps an
+// FNV digest over each delivery/response it executes ((time, src, dst,
+// round) tuples plus a synthetic compute kernel), and the per-domain
+// digests are folded in domain-index order with Tracer::combineDigest.
+// The folded digest, event counts, window counts, and mean RTT must be
+// byte-identical for any shard count — test_pdes pins that, and
+// bench_ext_pdes reports wall-clock scaling on top of it.
+#pragma once
+
+#include <cstdint>
+
+#include "simcore/time.hpp"
+
+namespace vibe::fabric {
+
+struct PdesTrafficConfig {
+  std::uint32_t fatTreeK = 8;   // even, >= 2
+  std::uint32_t hosts = 0;      // 0 = the full k^3/4
+  std::uint32_t rounds = 8;     // request/response rounds per host
+  std::uint32_t msgBytes = 1024;
+  std::uint64_t seed = 1;
+  unsigned shards = 0;          // 0 = VIBE_SIM_SHARDS / hardware
+
+  // Link and switch model (cLAN-flavored defaults; propagation and
+  // switch latencies must stay > 0 so the derived lookahead is > 0).
+  double linkMBps = 156.0;
+  sim::Duration linkPropagation = 500;  // ns
+  std::uint32_t headerBytes = 32;
+  sim::Duration edgeLatency = 300;     // edge-switch forward
+  sim::Duration coreLatency = 400;     // aggr/core forward
+  sim::Duration serviceTime = 2000;    // server think time per request
+  std::uint32_t computeIters = 96;     // synthetic host compute per event
+};
+
+struct PdesTrafficResult {
+  std::uint64_t digest = 0;        // per-domain digests, domain order
+  std::uint64_t events = 0;        // engine events executed
+  std::uint64_t messages = 0;      // request + response deliveries
+  std::uint64_t crossDomain = 0;   // messages that left their edge domain
+  std::uint64_t crossShard = 0;    // ... and crossed a shard boundary
+  std::uint64_t windows = 0;       // conservative windows executed
+  sim::SimTime endTime = 0;        // virtual completion time
+  double meanRttUsec = 0.0;
+  std::uint32_t domains = 0;
+  unsigned shardsUsed = 0;
+  sim::Duration lookahead = 0;
+};
+
+/// Runs the workload to completion and returns its deterministic
+/// outcome. Everything except shardsUsed/crossShard is independent of
+/// cfg.shards; everything is independent of thread scheduling.
+PdesTrafficResult runPdesTraffic(const PdesTrafficConfig& cfg);
+
+}  // namespace vibe::fabric

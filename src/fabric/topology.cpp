@@ -1,6 +1,7 @@
 #include "fabric/topology.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "obs/span.hpp"
@@ -8,6 +9,17 @@
 namespace vibe::fabric {
 
 namespace {
+
+/// Uniform bounds guard for the index-based accessors: every
+/// out-of-range index surfaces as a SimError naming the accessor and
+/// the valid range (the Network::leafOf contract), never as a raw
+/// std::out_of_range.
+void checkIndex(std::size_t i, std::size_t size, const char* what) {
+  if (i >= size) {
+    throw sim::SimError(std::string(what) + ": index " + std::to_string(i) +
+                        " out of range [0, " + std::to_string(size) + ")");
+  }
+}
 
 /// splitmix64 finalizer: the ECMP flow-hash mixer. Pure function of its
 /// input, so path selection is reproducible from (seed, flow) alone.
@@ -48,7 +60,14 @@ std::uint32_t Switch::addPort(Link* out) {
 }
 
 void Switch::setHostRoute(NodeId dst, std::uint32_t port) {
-  route_.at(dst) = static_cast<std::int32_t>(port);
+  checkIndex(dst, route_.size(), "Switch::setHostRoute");
+  checkIndex(port, ports_.size(), "Switch::setHostRoute(port)");
+  route_[dst] = static_cast<std::int32_t>(port);
+}
+
+const Switch::Port& Switch::port(std::uint32_t i) const {
+  checkIndex(i, ports_.size(), "Switch::port");
+  return ports_[i];
 }
 
 void Switch::setEcmpUplinks(std::vector<std::uint32_t> ports) {
@@ -328,6 +347,31 @@ void Topology::buildFatTree() {
 
 void Topology::inject(Packet&& p) {
   hostUp_[p.src]->send(std::move(p));
+}
+
+Link& Topology::hostUplink(NodeId n) {
+  checkIndex(n, hostUp_.size(), "Topology::hostUplink");
+  return *hostUp_[n];
+}
+
+Link& Topology::hostDownlink(NodeId n) {
+  checkIndex(n, hostDown_.size(), "Topology::hostDownlink");
+  return *hostDown_[n];
+}
+
+Link& Topology::trunkUp(std::uint32_t leaf) {
+  checkIndex(leaf, trunkUp_.size(), "Topology::trunkUp");
+  return *trunkUp_[leaf];
+}
+
+Link& Topology::trunkDown(std::uint32_t leaf) {
+  checkIndex(leaf, trunkDown_.size(), "Topology::trunkDown");
+  return *trunkDown_[leaf];
+}
+
+Link& Topology::fabricLink(std::size_t i) {
+  checkIndex(i, fabricLinks_.size(), "Topology::fabricLink");
+  return *fabricLinks_[i];
 }
 
 void Topology::setSpanProfiler(obs::SpanProfiler* spans) {

@@ -119,7 +119,8 @@ class Switch {
   std::uint32_t portCount() const {
     return static_cast<std::uint32_t>(ports_.size());
   }
-  const Port& port(std::uint32_t i) const { return ports_.at(i); }
+  /// Throws SimError naming the switch and index when out of range.
+  const Port& port(std::uint32_t i) const;
 
   std::uint64_t packetsForwarded() const { return forwarded_; }
   /// Frames tail-dropped at this switch's finite output buffers.
@@ -175,20 +176,24 @@ class Topology {
   void setSpanProfiler(obs::SpanProfiler* spans);
   obs::SpanProfiler* spanProfiler() const { return spans_; }
 
-  Link& hostUplink(NodeId n) { return *hostUp_.at(n); }
-  Link& hostDownlink(NodeId n) { return *hostDown_.at(n); }
+  // Link accessors. Every accessor below throws SimError naming the
+  // accessor and the offending index on out-of-range arguments — the
+  // same contract as Network::leafOf — rather than leaking a raw
+  // std::out_of_range from the underlying container.
+  Link& hostUplink(NodeId n);
+  Link& hostDownlink(NodeId n);
 
   /// Tree trunks (empty outside TwoLevelTree).
   std::uint32_t trunkCount() const {
     return static_cast<std::uint32_t>(trunkUp_.size());
   }
-  Link& trunkUp(std::uint32_t leaf) { return *trunkUp_.at(leaf); }
-  Link& trunkDown(std::uint32_t leaf) { return *trunkDown_.at(leaf); }
+  Link& trunkUp(std::uint32_t leaf);
+  Link& trunkDown(std::uint32_t leaf);
 
   /// Fat-tree inter-switch links, in construction order (edge<->aggr by
   /// pod, then aggr<->core); exposed for fault injection and stats.
   std::size_t fabricLinkCount() const { return fabricLinks_.size(); }
-  Link& fabricLink(std::size_t i) { return *fabricLinks_.at(i); }
+  Link& fabricLink(std::size_t i);
 
   const std::vector<std::unique_ptr<Switch>>& switches() const {
     return switches_;

@@ -1,0 +1,405 @@
+#include "simcore/pdes.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace vibe::sim {
+
+namespace {
+
+constexpr SimTime kNoEvent = std::numeric_limits<SimTime>::max();
+constexpr SimTime kMaxTime = std::numeric_limits<SimTime>::max();
+
+constexpr SimTime satAdd(SimTime t, Duration d) {
+  return t > kMaxTime - d ? kMaxTime : t + d;
+}
+
+// Execution context of the current thread: which engine/domain the event
+// being executed belongs to. post()/send() use it to reject cross-domain
+// scheduling that would make execution order depend on the shard packing.
+thread_local const ShardedEngine* tlEngine = nullptr;
+thread_local std::uint32_t tlDomain = 0;
+
+}  // namespace
+
+unsigned shardCount() {
+  if (const char* env = std::getenv("VIBE_SIM_SHARDS")) {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && n > 0) return static_cast<unsigned>(n);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+/// One heap entry: the deterministic (time, srcDomain, seq) key plus the
+/// slot its callback lives in. 24 bytes of POD; callbacks stay put in the
+/// domain's pool while the heap shuffles keys.
+struct Item {
+  SimTime time;
+  std::uint64_t seq;
+  std::uint32_t srcDomain;
+  std::uint32_t slot;
+};
+
+struct ShardedEngine::ItemAfter {
+  // std::*_heap build a max-heap; invert for earliest-key-first.
+  bool operator()(const Item& a, const Item& b) const {
+    if (a.time != b.time) return a.time > b.time;
+    if (a.srcDomain != b.srcDomain) return a.srcDomain > b.srcDomain;
+    return a.seq > b.seq;
+  }
+};
+
+/// A cross-domain event parked in its source shard's outbox until the
+/// window barrier merges it into the destination heap.
+struct ShardedEngine::CrossMsg {
+  SimTime time;
+  std::uint64_t seq;
+  std::uint32_t srcDomain;
+  std::uint32_t dstDomain;
+  EventFn fn;
+};
+
+/// Per-domain state. Cache-line aligned: during a parallel window each
+/// shard hammers only its own domains' counters and heaps.
+struct alignas(64) ShardedEngine::Domain {
+  std::vector<Item> heap;
+  std::vector<EventFn> pool;
+  std::vector<std::uint32_t> freeSlots;
+  // Outbox for cross-shard sends originating here; drained at the window
+  // barrier by the completion step. Per-domain (not per-shard) so two
+  // domains on one shard never interleave their messages — the merge
+  // order is irrelevant to the key-ordered heaps, but keeping ownership
+  // strictly per-domain keeps every write single-writer.
+  std::vector<CrossMsg> outbox;
+  std::uint64_t nextSeq = 1;
+  SimTime now = 0;
+  std::uint64_t executed = 0;
+  std::uint64_t crossDomain = 0;
+  std::uint64_t crossShard = 0;
+  // Key of the last executed event: the engine's own window-safety net.
+  SimTime lastTime = -1;
+  std::uint64_t lastSeq = 0;
+  std::uint32_t lastSrc = 0;
+
+  std::uint32_t allocSlot(EventFn fn) {
+    if (!freeSlots.empty()) {
+      const std::uint32_t s = freeSlots.back();
+      freeSlots.pop_back();
+      pool[s] = std::move(fn);
+      return s;
+    }
+    pool.push_back(std::move(fn));
+    return static_cast<std::uint32_t>(pool.size() - 1);
+  }
+};
+
+ShardedEngine::ShardedEngine(const EngineConfig& cfg)
+    : domainCountU32_(cfg.domains), lookahead_(cfg.lookahead) {
+  if (cfg.domains == 0) {
+    throw SimError("ShardedEngine: at least one domain is required");
+  }
+  if (cfg.lookahead < 0) {
+    throw SimError("ShardedEngine: lookahead must be >= 0");
+  }
+  unsigned shards = cfg.shards != 0 ? cfg.shards : shardCount();
+  if (shards > cfg.domains) shards = cfg.domains;
+  shards_ = shards;
+  if (shards_ > 1 && lookahead_ <= 0) {
+    throw SimError(
+        "ShardedEngine: conservative PDES needs lookahead > 0 to run more "
+        "than one shard (no cross-shard latency means no safe window)");
+  }
+  domains_.resize(cfg.domains);
+}
+
+ShardedEngine::~ShardedEngine() = default;
+
+SimTime ShardedEngine::now(std::uint32_t domain) const {
+  if (domain >= domainCountU32_) {
+    throw SimError("ShardedEngine::now: domain " + std::to_string(domain) +
+                   " out of range [0, " + std::to_string(domainCountU32_) +
+                   ")");
+  }
+  return domains_[domain].now;
+}
+
+void ShardedEngine::checkContext(std::uint32_t domain,
+                                 const char* what) const {
+  if (!running_) return;  // setup/teardown from the driving thread
+  if (tlEngine != this || tlDomain != domain) {
+    throw SimError(std::string(what) +
+                   ": called for domain " + std::to_string(domain) +
+                   " from outside that domain's execution context; "
+                   "cross-domain scheduling must use send() so ordering "
+                   "stays independent of the shard count");
+  }
+}
+
+void ShardedEngine::pushEvent(Domain& dom, SimTime t, std::uint32_t srcDomain,
+                              std::uint64_t seq, EventFn fn) {
+  const std::uint32_t slot = dom.allocSlot(std::move(fn));
+  dom.heap.push_back(Item{t, seq, srcDomain, slot});
+  std::push_heap(dom.heap.begin(), dom.heap.end(), ItemAfter{});
+}
+
+void ShardedEngine::post(std::uint32_t domain, Duration delay, EventFn fn) {
+  if (!fn) throw SimError("ShardedEngine::post: null callable");
+  if (delay < 0) throw SimError("ShardedEngine::post: negative delay");
+  if (domain >= domainCountU32_) {
+    throw SimError("ShardedEngine::post: domain " + std::to_string(domain) +
+                   " out of range [0, " + std::to_string(domainCountU32_) +
+                   ")");
+  }
+  checkContext(domain, "ShardedEngine::post");
+  Domain& dom = domains_[domain];
+  pushEvent(dom, satAdd(dom.now, delay), domain, dom.nextSeq++,
+            std::move(fn));
+}
+
+void ShardedEngine::send(std::uint32_t src, std::uint32_t dst, Duration delay,
+                         EventFn fn) {
+  if (src == dst) {
+    post(src, delay, std::move(fn));
+    return;
+  }
+  if (!fn) throw SimError("ShardedEngine::send: null callable");
+  if (src >= domainCountU32_ || dst >= domainCountU32_) {
+    throw SimError("ShardedEngine::send: domain out of range [0, " +
+                   std::to_string(domainCountU32_) + ")");
+  }
+  if (delay < lookahead_) {
+    throw SimError(
+        "ShardedEngine::send: cross-domain delay " + std::to_string(delay) +
+        " ns is below the lookahead window of " +
+        std::to_string(lookahead_) +
+        " ns; a conservative shard may already have executed past it");
+  }
+  checkContext(src, "ShardedEngine::send");
+  Domain& from = domains_[src];
+  const SimTime t = satAdd(from.now, delay);
+  const std::uint64_t seq = from.nextSeq++;
+  ++from.crossDomain;
+  if (shardOf(src) != shardOf(dst)) {
+    ++from.crossShard;
+    if (running_) {
+      // Parked until the window barrier: the destination heap belongs to
+      // another shard mid-window.
+      from.outbox.push_back(CrossMsg{t, seq, src, dst, std::move(fn)});
+      return;
+    }
+  }
+  // Same shard (the owner may touch both heaps) or setup phase (single
+  // driving thread): deliver immediately. The heap's total key order
+  // makes immediate and barrier-time insertion indistinguishable.
+  pushEvent(domains_[dst], t, src, seq, std::move(fn));
+}
+
+SimTime ShardedEngine::nextEventTime() const {
+  SimTime t = kNoEvent;
+  for (const Domain& dom : domains_) {
+    if (!dom.heap.empty()) t = std::min(t, dom.heap.front().time);
+  }
+  return t;
+}
+
+void ShardedEngine::runDomainWindow(std::uint32_t d, SimTime windowEnd) {
+  Domain& dom = domains_[d];
+  if (dom.heap.empty() || dom.heap.front().time >= windowEnd) return;
+  const ShardedEngine* prevEngine = tlEngine;
+  const std::uint32_t prevDomain = tlDomain;
+  tlEngine = this;
+  tlDomain = d;
+  while (!dom.heap.empty() && dom.heap.front().time < windowEnd) {
+    std::pop_heap(dom.heap.begin(), dom.heap.end(), ItemAfter{});
+    const Item it = dom.heap.back();
+    dom.heap.pop_back();
+    // Window-safety net: keys must execute in strictly ascending order.
+    // A violation means a cross-domain event arrived behind the window —
+    // impossible while send() enforces the lookahead, but cheap to keep
+    // armed.
+    if (it.time < dom.lastTime ||
+        (it.time == dom.lastTime &&
+         (it.srcDomain < dom.lastSrc ||
+          (it.srcDomain == dom.lastSrc && it.seq <= dom.lastSeq)))) {
+      tlEngine = prevEngine;
+      tlDomain = prevDomain;
+      throw SimError("ShardedEngine: window safety violated in domain " +
+                     std::to_string(d) + " at t=" + std::to_string(it.time));
+    }
+    dom.lastTime = it.time;
+    dom.lastSrc = it.srcDomain;
+    dom.lastSeq = it.seq;
+    dom.now = it.time;
+    ++dom.executed;
+    EventFn fn = std::move(dom.pool[it.slot]);
+    dom.freeSlots.push_back(it.slot);
+    try {
+      fn();
+    } catch (...) {
+      tlEngine = prevEngine;
+      tlDomain = prevDomain;
+      throw;
+    }
+  }
+  tlEngine = prevEngine;
+  tlDomain = prevDomain;
+}
+
+void ShardedEngine::deliverOutboxes() {
+  for (Domain& src : domains_) {
+    for (CrossMsg& m : src.outbox) {
+      pushEvent(domains_[m.dstDomain], m.time, m.srcDomain, m.seq,
+                std::move(m.fn));
+    }
+    src.outbox.clear();
+  }
+}
+
+bool ShardedEngine::runWindows(SimTime horizon) {
+  for (;;) {
+    const SimTime t = nextEventTime();
+    if (t == kNoEvent) return true;
+    if (t > horizon) return false;
+    const SimTime windowEnd = std::min(
+        satAdd(t, lookahead_ > 0 ? lookahead_ : 1), satAdd(horizon, 1));
+    for (std::uint32_t d = 0; d < domainCountU32_; ++d) {
+      runDomainWindow(d, windowEnd);
+    }
+    deliverOutboxes();
+    ++windows_;
+  }
+}
+
+bool ShardedEngine::runWindowsParallel(SimTime horizon) {
+  horizon_ = horizon;
+  drained_ = false;
+  done_ = false;
+  abort_.store(false, std::memory_order_relaxed);
+  shardErrors_.assign(shards_, nullptr);
+
+  auto prepareWindow = [this]() {
+    if (abort_.load(std::memory_order_relaxed)) {
+      done_ = true;
+      return;
+    }
+    const SimTime t = nextEventTime();
+    if (t == kNoEvent) {
+      drained_ = true;
+      done_ = true;
+      return;
+    }
+    if (t > horizon_) {
+      done_ = true;
+      return;
+    }
+    windowEnd_ = std::min(satAdd(t, lookahead_), satAdd(horizon_, 1));
+  };
+
+  prepareWindow();
+  if (!done_) {
+    // Completion step: runs on exactly one thread between a window's last
+    // arrival and anyone's release, so the merge and the next window
+    // bounds need no locks — the barrier's happens-before edges carry
+    // them to every worker.
+    auto onWindowDone = [this, &prepareWindow]() noexcept {
+      ++windows_;
+      deliverOutboxes();
+      prepareWindow();
+    };
+    std::barrier sync(static_cast<std::ptrdiff_t>(shards_),
+                      std::move(onWindowDone));
+    auto worker = [this, &sync](unsigned shard) {
+      while (!done_) {
+        if (!abort_.load(std::memory_order_relaxed)) {
+          try {
+            for (std::uint32_t d = shard; d < domainCountU32_;
+                 d += shards_) {
+              runDomainWindow(d, windowEnd_);
+            }
+          } catch (...) {
+            shardErrors_[shard] = std::current_exception();
+            abort_.store(true, std::memory_order_relaxed);
+          }
+        }
+        sync.arrive_and_wait();
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(shards_);
+    for (unsigned s = 0; s < shards_; ++s) pool.emplace_back(worker, s);
+    for (std::thread& th : pool) th.join();
+  }
+
+  // Failure reports are schedule-independent: the lowest shard's
+  // exception wins, like the sweep harness's lowest-index rule.
+  for (unsigned s = 0; s < shards_; ++s) {
+    if (shardErrors_[s]) std::rethrow_exception(shardErrors_[s]);
+  }
+  return drained_;
+}
+
+void ShardedEngine::run() {
+  if (running_) throw SimError("ShardedEngine::run entered recursively");
+  running_ = true;
+  try {
+    if (shards_ <= 1) {
+      runWindows(kMaxTime);
+    } else {
+      runWindowsParallel(kMaxTime);
+    }
+  } catch (...) {
+    running_ = false;
+    throw;
+  }
+  running_ = false;
+}
+
+bool ShardedEngine::runUntil(SimTime until) {
+  if (running_) throw SimError("ShardedEngine::runUntil entered recursively");
+  running_ = true;
+  bool drained = false;
+  try {
+    drained = shards_ <= 1 ? runWindows(until) : runWindowsParallel(until);
+  } catch (...) {
+    running_ = false;
+    throw;
+  }
+  running_ = false;
+  for (Domain& dom : domains_) dom.now = std::max(dom.now, until);
+  return drained;
+}
+
+std::uint64_t ShardedEngine::executedEvents() const {
+  std::uint64_t n = 0;
+  for (const Domain& dom : domains_) n += dom.executed;
+  return n;
+}
+
+std::uint64_t ShardedEngine::pendingEvents() const {
+  std::uint64_t n = 0;
+  for (const Domain& dom : domains_) {
+    n += dom.heap.size() + dom.outbox.size();
+  }
+  return n;
+}
+
+std::uint64_t ShardedEngine::crossDomainEvents() const {
+  std::uint64_t n = 0;
+  for (const Domain& dom : domains_) n += dom.crossDomain;
+  return n;
+}
+
+std::uint64_t ShardedEngine::crossShardEvents() const {
+  std::uint64_t n = 0;
+  for (const Domain& dom : domains_) n += dom.crossShard;
+  return n;
+}
+
+}  // namespace vibe::sim

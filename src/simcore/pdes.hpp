@@ -1,0 +1,168 @@
+// Conservative parallel discrete-event engine (PDES).
+//
+// A ShardedEngine partitions simulation state into `domains` — logical
+// groups (e.g. the hosts under one edge switch) whose events never touch
+// another domain's state directly. Domains are packed onto `shards`
+// worker threads (domain d runs on shard d % shards) and advance in
+// lockstep windows of virtual time:
+//
+//   window = [T, T + lookahead)  where T is the global minimum pending
+//   event time and `lookahead` is the minimum latency any cross-domain
+//   interaction must pay (the smallest cross-shard link latency in the
+//   fabric being modeled).
+//
+// Within one window every shard executes its domains' events with no
+// locks and no communication: a cross-domain message sent at time
+// t >= T arrives at t + delay >= T + lookahead, i.e. at or after the
+// window's end, so nothing a peer does during the window can affect
+// events inside it. Cross-domain sends are buffered in per-shard
+// outboxes (the "mailbox") and merged into the destination domains at
+// the window barrier.
+//
+// Determinism contract (see docs/PDES.md):
+//   Every event carries the key (time, srcDomain, srcSeq), where srcSeq
+//   is a per-domain counter stamped when the event is posted or sent.
+//   Each domain executes its events in ascending key order, and the
+//   conservative window guarantees a key can never arrive after a larger
+//   key has executed. Because the key is stamped by the *posting* domain
+//   — never by a shard or thread — the per-domain execution order, and
+//   therefore every per-domain output, is byte-identical for any shard
+//   count and any thread schedule. shards=1 runs the same window loop
+//   inline on the calling thread: no pool, no barrier, no atomics — the
+//   exact serial path, mirroring the harness's VIBE_JOBS=1 contract.
+//
+// The engine is callback-only (no cooperative Process support) and has
+// no cancel: the models that need retransmission timers run on the
+// serial Engine. Use this substrate for domain-partitioned models that
+// must scale a *single* simulation across cores (VIBE_SIM_SHARDS),
+// orthogonal to the sweep harness that runs independent simulations in
+// parallel (VIBE_JOBS).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <exception>
+#include <vector>
+
+#include "simcore/engine.hpp"
+#include "simcore/event_fn.hpp"
+#include "simcore/time.hpp"
+
+namespace vibe::sim {
+
+/// Shard count for sharded engines: the VIBE_SIM_SHARDS environment
+/// variable when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency() (minimum 1). Read on every call
+/// so tests can flip the variable. Mirrors harness::jobCount().
+unsigned shardCount();
+
+/// Construction parameters for a ShardedEngine.
+struct EngineConfig {
+  /// Number of state-disjoint domains the model is partitioned into.
+  std::uint32_t domains = 1;
+  /// Minimum virtual-time latency of any cross-domain interaction; the
+  /// conservative window width. Must be > 0 when more than one shard
+  /// actually runs (with a single shard 0 is allowed: the window
+  /// degenerates to one timestamp at a time).
+  Duration lookahead = 0;
+  /// Worker threads; 0 = shardCount() (VIBE_SIM_SHARDS / hardware).
+  /// Clamped to `domains`. 1 runs inline with no threads.
+  unsigned shards = 0;
+};
+
+class ShardedEngine {
+ public:
+  explicit ShardedEngine(const EngineConfig& cfg);
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+  ~ShardedEngine();
+
+  std::uint32_t domainCount() const { return domainCountU32_; }
+  /// Shards actually used (after the env default and the domain clamp).
+  unsigned shards() const { return shards_; }
+  Duration lookahead() const { return lookahead_; }
+  /// Shard that owns a domain (round-robin packing).
+  std::uint32_t shardOf(std::uint32_t domain) const {
+    return domain % shards_;
+  }
+
+  /// Virtual time of `domain`: the time of its currently executing event
+  /// during run(), its last executed event (or the horizon) otherwise.
+  /// During a parallel run, call only from `domain`'s own context.
+  SimTime now(std::uint32_t domain) const;
+
+  /// Schedules `fn` in `domain`, `delay` >= 0 from the domain's now().
+  /// During run() this may only be called from an event executing in the
+  /// same domain — cross-domain scheduling must go through send(), which
+  /// is what keeps the execution order independent of the shard count.
+  /// Before run() (setup) any domain may be targeted from the driving
+  /// thread.
+  void post(std::uint32_t domain, Duration delay, EventFn fn);
+
+  /// Sends a cross-domain event: `fn` runs in `dst` at src.now() + delay.
+  /// When src != dst, `delay` must be >= lookahead() — the conservative
+  /// guarantee that makes the window safe; a smaller delay throws
+  /// SimError. src == dst degenerates to post(). During run() this may
+  /// only be called from an event executing in `src`.
+  void send(std::uint32_t src, std::uint32_t dst, Duration delay,
+            EventFn fn);
+
+  /// Runs windows until every domain queue and mailbox drains. Rethrows
+  /// the first (lowest-shard) exception raised by an event callback.
+  void run();
+
+  /// Runs events with time <= `until` (absolute). Returns true if the
+  /// queues drained completely. Domain clocks never move backwards.
+  bool runUntil(SimTime until);
+
+  /// --- Introspection (sum over domains; call when not running) ---
+
+  /// Total events executed.
+  std::uint64_t executedEvents() const;
+  /// Events scheduled and not yet fired (pending in heaps + mailboxes).
+  std::uint64_t pendingEvents() const;
+  /// send() calls with src != dst (independent of the shard count).
+  std::uint64_t crossDomainEvents() const;
+  /// send() calls whose source and destination domains live on different
+  /// shards — the events that actually paid the mailbox.
+  std::uint64_t crossShardEvents() const;
+  /// Conservative windows executed (barrier count in a parallel run).
+  std::uint64_t windowsExecuted() const { return windows_; }
+
+ private:
+  struct Domain;
+  struct CrossMsg;
+
+  // Strict weak order "a fires after b" over the (time, src, seq) key.
+  struct ItemAfter;
+
+  SimTime nextEventTime() const;
+  void runDomainWindow(std::uint32_t d, SimTime windowEnd);
+  void deliverOutboxes();
+  void pushEvent(Domain& dom, SimTime t, std::uint32_t srcDomain,
+                 std::uint64_t seq, EventFn fn);
+  bool runWindows(SimTime horizon);          // serial (shards_ == 1)
+  bool runWindowsParallel(SimTime horizon);  // thread pool + barrier
+  void checkContext(std::uint32_t domain, const char* what) const;
+
+  std::vector<Domain> domains_;
+  std::uint32_t domainCountU32_ = 0;
+  unsigned shards_ = 1;
+  Duration lookahead_ = 0;
+  std::uint64_t windows_ = 0;
+
+  // Parallel-run shared state. Written only by the barrier completion
+  // step (or before the pool starts) and read by workers after the
+  // barrier releases them, so the barrier's happens-before edges are the
+  // only synchronization needed.
+  SimTime windowEnd_ = 0;
+  SimTime horizon_ = 0;
+  bool drained_ = false;
+  bool done_ = false;
+  std::atomic<bool> abort_{false};
+  std::vector<std::exception_ptr> shardErrors_;
+
+  bool running_ = false;
+};
+
+}  // namespace vibe::sim

@@ -12,6 +12,7 @@
 // Seed count: VIBE_CHAOS_SEEDS env var (default 32).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <string>
@@ -22,6 +23,7 @@
 #include "fault/invariants.hpp"
 #include "harness/sweep.hpp"
 #include "nic/profiles.hpp"
+#include "test_env.hpp"
 #include "upper/msg/communicator.hpp"
 #include "vibe/cluster.hpp"
 #include "vipl/vipl.hpp"
@@ -31,6 +33,7 @@ namespace {
 
 using fault::FaultAction;
 using fault::FaultInjector;
+using vibe::testing::ScopedEnv;
 using fault::FaultKind;
 using fault::FaultPlan;
 using fault::FaultPlanParams;
@@ -460,6 +463,38 @@ TEST_P(ChaosSweep, InvariantsHoldAndRunsAreDeterministic) {
     EXPECT_EQ(first.digest, second.digest)
         << "trace digest diverged on replay; plan:\n" << first.planText;
     EXPECT_EQ(first.endTime, second.endTime);
+  }
+}
+
+TEST(ChaosShardsAxis, DigestSweepIgnoresSimShards) {
+  // The chaos stack runs on the serial Engine; VIBE_SIM_SHARDS threads a
+  // *sharded PDES* simulation and must not move a single chaos digest —
+  // at any jobs count. This is the cheap half of the shards x jobs
+  // matrix (test_determinism and test_pdes carry the PDES half); the
+  // pdes-tsan CI job reruns this whole binary at VIBE_SIM_SHARDS=4.
+  const int seeds = std::min(seedCount(), 8);
+  auto foldedDigest = [&](const char* shards, unsigned jobs) {
+    ScopedEnv env("VIBE_SIM_SHARDS", shards);
+    harness::SweepOptions opts;
+    opts.jobs = jobs;
+    const auto digests = harness::runSweep(
+        static_cast<std::size_t>(seeds),
+        [&](harness::PointEnv& penv) {
+          return runOnce(1000 + penv.index * 7919, pingPong).digest;
+        },
+        opts);
+    std::uint64_t acc = sim::Tracer::kDigestSeed;
+    for (std::uint64_t d : digests) acc = sim::Tracer::combineDigest(acc, d);
+    return acc;
+  };
+  const std::uint64_t base = foldedDigest("1", 1);
+  constexpr const char* kShards[] = {"2", "7", nullptr};
+  for (const char* shards : kShards) {
+    for (unsigned jobs : {1u, 4u}) {
+      EXPECT_EQ(foldedDigest(shards, jobs), base)
+          << "VIBE_SIM_SHARDS=" << (shards ? shards : "<unset>")
+          << " jobs=" << jobs;
+    }
   }
 }
 

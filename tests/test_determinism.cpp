@@ -5,13 +5,16 @@
 // (the digest is sensitive enough to see a single reordered drop).
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "fabric/pdes_traffic.hpp"
 #include "harness/sweep.hpp"
 #include "nic/profiles.hpp"
 #include "simcore/trace.hpp"
+#include "test_env.hpp"
 #include "vibe/cluster.hpp"
 #include "vipl/vipl.hpp"
 
@@ -186,6 +189,71 @@ TEST_P(DeterminismTest, SeedSweepComposesDigestIndependentOfJobs) {
   const std::uint64_t serial = sweepDigest(1);
   EXPECT_EQ(serial, sweepDigest(2));
   EXPECT_EQ(serial, sweepDigest(harness::jobCount()));
+}
+
+// --- VIBE_SIM_SHARDS axis -------------------------------------------------
+//
+// The two parallelism dimensions must not interact: VIBE_JOBS fans out
+// independent sweep points, VIBE_SIM_SHARDS threads a single simulation.
+// Digests must be byte-identical across the full {shards} x {jobs}
+// matrix — for the serial VIA stack (which ignores shards entirely) and
+// for the sharded PDES workload (whose digest is shard-invariant by the
+// (time, srcDomain, srcSeq) key contract).
+
+using vibe::testing::ScopedEnv;
+
+TEST(ShardsAxis, SerialStackDigestIgnoresSimShards) {
+  // The full VIA stack runs on the serial Engine; flipping the PDES
+  // shard count must not move a single byte of its trace digest.
+  const RunOutcome base = [&] {
+    ScopedEnv env("VIBE_SIM_SHARDS", "1");
+    return lossyPingPong("clan", 7331);
+  }();
+  constexpr const char* kShards[] = {"2", "7", nullptr};
+  for (const char* shards : kShards) {
+    ScopedEnv env("VIBE_SIM_SHARDS", shards);
+    const RunOutcome got = lossyPingPong("clan", 7331);
+    EXPECT_EQ(got.digest, base.digest)
+        << "VIBE_SIM_SHARDS=" << (shards ? shards : "<unset>");
+    EXPECT_EQ(got.endTime, base.endTime);
+    EXPECT_EQ(got.retransmits, base.retransmits);
+  }
+}
+
+TEST(ShardsAxis, PdesSweepDigestInvariantAcrossShardsTimesJobs) {
+  // A seed sweep of sharded PDES simulations, swept through the jobs
+  // harness: every (VIBE_SIM_SHARDS, jobs) cell folds the identical
+  // digest. cfg.shards = 0 so each simulation picks the env value up —
+  // the exact path a harness-ported PDES bench uses.
+  auto sweepDigest = [&](const char* shards, unsigned jobs) {
+    ScopedEnv env("VIBE_SIM_SHARDS", shards);
+    harness::SweepOptions opts;
+    opts.jobs = jobs;
+    const auto digests = harness::runSweep(
+        6,
+        [&](harness::PointEnv& env2) {
+          fabric::PdesTrafficConfig cfg;
+          cfg.fatTreeK = 4;
+          cfg.rounds = 4;
+          cfg.computeIters = 4;
+          cfg.seed = 5000 + env2.index * 13;
+          cfg.shards = 0;
+          return fabric::runPdesTraffic(cfg).digest;
+        },
+        opts);
+    std::uint64_t acc = sim::Tracer::kDigestSeed;
+    for (std::uint64_t d : digests) acc = sim::Tracer::combineDigest(acc, d);
+    return acc;
+  };
+  const std::uint64_t base = sweepDigest("1", 1);
+  constexpr const char* kShards[] = {"1", "2", "7", nullptr};
+  for (const char* shards : kShards) {
+    for (unsigned jobs : {1u, 4u}) {
+      EXPECT_EQ(sweepDigest(shards, jobs), base)
+          << "VIBE_SIM_SHARDS=" << (shards ? shards : "<unset>")
+          << " jobs=" << jobs;
+    }
+  }
 }
 
 }  // namespace

@@ -1,0 +1,45 @@
+// Scoped environment-variable override for tests that pivot on env
+// configuration (VIBE_SIM_SHARDS, VIBE_JOBS, ...). Saves the previous
+// value on construction and restores it — including "was unset" — on
+// destruction, so tests compose and leave the process environment alone.
+//
+// Not thread-safe (setenv never is): construct only on the main test
+// thread, outside any runSweep callback.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace vibe::testing {
+
+class ScopedEnv {
+ public:
+  /// Overrides `name` with `value`; nullptr unsets it.
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_ = true;
+      old_ = old;
+    }
+    if (value) {
+      ::setenv(name, value, 1);
+    } else {
+      ::unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_) {
+      ::setenv(name_, old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+  ScopedEnv(const ScopedEnv&) = delete;
+  ScopedEnv& operator=(const ScopedEnv&) = delete;
+
+ private:
+  const char* name_;
+  bool had_ = false;
+  std::string old_;
+};
+
+}  // namespace vibe::testing

@@ -2,8 +2,11 @@
 // injection, and switch forwarding.
 #include <gtest/gtest.h>
 
+#include <functional>
+#include <string>
 #include <vector>
 
+#include "fabric/domain.hpp"
 #include "fabric/link.hpp"
 #include "fabric/network.hpp"
 #include "simcore/engine.hpp"
@@ -594,6 +597,145 @@ TEST(FatTreeTest, BufferOccupancyStatsTrackBackpressure) {
     queued += sw->framesQueued();
   }
   EXPECT_GT(queued, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Topology accessor bounds guards (the Network::leafOf contract): every
+// index-based accessor throws SimError — never a raw std::out_of_range —
+// and names the accessor in the message.
+// ---------------------------------------------------------------------------
+
+void expectGuarded(const std::function<void()>& call, const char* name) {
+  try {
+    call();
+    FAIL() << name << " accepted an out-of-range index";
+  } catch (const sim::SimError& e) {
+    EXPECT_NE(std::string(e.what()).find(name), std::string::npos)
+        << name << " threw without naming itself: " << e.what();
+  } catch (const std::exception& e) {
+    FAIL() << name << " leaked a non-SimError exception: " << e.what();
+  }
+}
+
+TEST(TopologyGuardTest, StarAccessorsRejectOutOfRange) {
+  sim::Engine eng;
+  NetworkParams np;
+  np.nodes = 3;
+  Network net(eng, np);
+  Topology& topo = net.topology();
+  EXPECT_NO_THROW(topo.hostUplink(2));
+  EXPECT_NO_THROW(topo.hostDownlink(2));
+  expectGuarded([&] { topo.hostUplink(3); }, "Topology::hostUplink");
+  expectGuarded([&] { topo.hostDownlink(3); }, "Topology::hostDownlink");
+  // A star has no trunks or fabric links at all.
+  expectGuarded([&] { topo.trunkUp(0); }, "Topology::trunkUp");
+  expectGuarded([&] { topo.trunkDown(0); }, "Topology::trunkDown");
+  expectGuarded([&] { topo.fabricLink(0); }, "Topology::fabricLink");
+}
+
+TEST(TopologyGuardTest, TreeAndFatTreeAccessorsRejectOutOfRange) {
+  sim::Engine eng;
+  NetworkParams np;
+  np.nodes = 4;
+  np.nodesPerSwitch = 2;
+  np.trunk = np.link;
+  Network tree(eng, np);
+  Topology& ttopo = tree.topology();
+  EXPECT_NO_THROW(ttopo.trunkUp(1));
+  EXPECT_NO_THROW(ttopo.trunkDown(1));
+  expectGuarded([&] { ttopo.trunkUp(2); }, "Topology::trunkUp");
+  expectGuarded([&] { ttopo.trunkDown(2); }, "Topology::trunkDown");
+
+  sim::Engine eng2;
+  Network fat(eng2, fatTreeParams(4, 16));
+  Topology& ftopo = fat.topology();
+  ASSERT_GT(ftopo.fabricLinkCount(), 0u);
+  EXPECT_NO_THROW(ftopo.fabricLink(ftopo.fabricLinkCount() - 1));
+  expectGuarded([&] { ftopo.fabricLink(ftopo.fabricLinkCount()); },
+                "Topology::fabricLink");
+}
+
+TEST(TopologyGuardTest, SwitchPortAndRouteRejectOutOfRange) {
+  sim::Engine eng;
+  Network net(eng, fatTreeParams(4, 16));
+  const Switch& edge = *net.topology().switches().front();
+  ASSERT_GT(edge.portCount(), 0u);
+  EXPECT_NO_THROW(edge.port(edge.portCount() - 1));
+  expectGuarded([&] { edge.port(edge.portCount()); }, "Switch::port");
+  Switch& mut = *net.topology().switches().front();
+  expectGuarded([&] { mut.setHostRoute(16, 0); }, "Switch::setHostRoute");
+  expectGuarded([&] { mut.setHostRoute(0, mut.portCount()); },
+                "Switch::setHostRoute");
+}
+
+// ---------------------------------------------------------------------------
+// PDES domain partitioning (fabric/domain.hpp)
+// ---------------------------------------------------------------------------
+
+TEST(DomainPartitionTest, StarIsOneDomain) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::Star;
+  spec.nodes = 5;
+  const DomainPartition part = DomainPartition::fromSpec(spec);
+  EXPECT_EQ(part.domains, 1u);
+  for (std::uint32_t n = 0; n < 5; ++n) EXPECT_EQ(part.domainOf(n), 0u);
+  EXPECT_THROW(part.domainOf(5), sim::SimError);
+  EXPECT_EQ(crossDomainLookahead(spec), 0);
+  EXPECT_EQ(pathTier(spec, 0, 4), PathTier::SameEdge);
+}
+
+TEST(DomainPartitionTest, TreeGroupsByLeaf) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::TwoLevelTree;
+  spec.nodes = 7;
+  spec.nodesPerSwitch = 3;
+  const DomainPartition part = DomainPartition::fromSpec(spec);
+  EXPECT_EQ(part.domains, 3u);  // leaves {0,1,2}, {3,4,5}, {6}
+  EXPECT_EQ(part.domainOf(2), 0u);
+  EXPECT_EQ(part.domainOf(3), 1u);
+  EXPECT_EQ(part.domainOf(6), 2u);
+  EXPECT_EQ(pathTier(spec, 0, 2), PathTier::SameEdge);
+  EXPECT_EQ(pathTier(spec, 0, 6), PathTier::SamePod);
+  spec.nodesPerSwitch = 0;
+  EXPECT_THROW(DomainPartition::fromSpec(spec), sim::SimError);
+}
+
+TEST(DomainPartitionTest, FatTreeGroupsByEdgeSwitch) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::FatTree;
+  spec.nodes = 16;
+  spec.fatTreeK = 4;
+  const DomainPartition part = DomainPartition::fromSpec(spec);
+  EXPECT_EQ(part.domains, 8u);  // k/2 = 2 hosts per edge switch
+  EXPECT_EQ(part.domainOf(0), part.domainOf(1));
+  EXPECT_NE(part.domainOf(1), part.domainOf(2));
+  // Tiers: same edge, same pod (hosts 0..3), cross pod.
+  EXPECT_EQ(pathTier(spec, 0, 1), PathTier::SameEdge);
+  EXPECT_EQ(pathTier(spec, 0, 3), PathTier::SamePod);
+  EXPECT_EQ(pathTier(spec, 0, 4), PathTier::CrossPod);
+  EXPECT_THROW(pathTier(spec, 0, 16), sim::SimError);
+
+  TopologySpec bad = spec;
+  bad.fatTreeK = 3;
+  EXPECT_THROW(DomainPartition::fromSpec(bad), sim::SimError);
+  bad = spec;
+  bad.nodes = 17;
+  EXPECT_THROW(DomainPartition::fromSpec(bad), sim::SimError);
+}
+
+TEST(DomainPartitionTest, LookaheadIsHeaderHopPlusCoreLatency) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::FatTree;
+  spec.nodes = 16;
+  spec.fatTreeK = 4;
+  spec.fabricLink.bandwidthMBps = 100.0;
+  spec.fabricLink.headerBytes = 40;
+  spec.fabricLink.propagation = 250;
+  spec.coreLatency = 600;
+  const sim::Duration hop =
+      sim::transferTime(40, 100.0) + 250;  // serialize header + propagate
+  EXPECT_EQ(crossDomainLookahead(spec), 2 * hop + 600);
+  EXPECT_GT(crossDomainLookahead(spec), 0);
 }
 
 }  // namespace

@@ -3,11 +3,19 @@
 // entry point instead of defining main) and re-run in-process, with
 // stdout captured and diffed byte-for-byte against tests/golden/<name>.txt.
 //
-// Each bench runs twice — once serially (VIBE_JOBS=1) and once through
-// the sweep harness's thread pool (VIBE_JOBS=4) — so the suite pins two
-// properties at once: the tables themselves (any change to simulated
-// numbers or formatting must regenerate the goldens in the same commit),
-// and the harness guarantee that worker count never leaks into output.
+// Each bench runs across a (VIBE_JOBS x VIBE_SIM_SHARDS) matrix — jobs
+// in {1, 4} (serial vs the sweep harness's thread pool) composed with
+// sim shards in {1, 2, 7, hw} — so the suite pins three properties at
+// once: the tables themselves (any change to simulated numbers or
+// formatting must regenerate the goldens in the same commit), the
+// harness guarantee that worker count never leaks into output, and the
+// PDES guarantee that the within-simulation shard count never does
+// either (the two parallelism dimensions must not interact).
+//
+// When VIBE_SIM_SHARDS is already set in the environment, the shards
+// axis is pinned to that single value instead of the full sweep — the
+// pdes-tsan CI job uses this to run the whole suite at 4 shards without
+// quadrupling its size.
 //
 // Regenerate after an intentional table change with:
 //   ./tests/test_golden --update-golden
@@ -18,6 +26,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -25,6 +34,7 @@
 #include <sstream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "bench_registry.hpp"
@@ -117,11 +127,20 @@ std::vector<std::string> jsonKeys(const std::string& text) {
 
 class GoldenTableTest : public ::testing::Test {
  public:
-  GoldenTableTest(vibe::bench::BenchInfo info, unsigned jobs, bool update)
-      : info_(std::move(info)), jobs_(jobs), update_(update) {}
+  GoldenTableTest(vibe::bench::BenchInfo info, unsigned jobs,
+                  std::string shards, bool update)
+      : info_(std::move(info)),
+        jobs_(jobs),
+        shards_(std::move(shards)),
+        update_(update) {}
 
   void TestBody() override {
     setenv("VIBE_JOBS", std::to_string(jobs_).c_str(), 1);
+    if (shards_.empty()) {
+      unsetenv("VIBE_SIM_SHARDS");  // hardware default
+    } else {
+      setenv("VIBE_SIM_SHARDS", shards_.c_str(), 1);
+    }
     int rc = -1;
     const std::string out = captureBench(info_.fn, rc);
     EXPECT_EQ(rc, 0) << info_.name << " returned nonzero";
@@ -137,7 +156,9 @@ class GoldenTableTest : public ::testing::Test {
         << "missing golden " << goldenPath
         << " — run ./tests/test_golden --update-golden";
     EXPECT_EQ(want, out) << "bench " << info_.name << " at VIBE_JOBS="
-                         << jobs_ << " diverged from golden; first diff at "
+                         << jobs_ << " VIBE_SIM_SHARDS="
+                         << (shards_.empty() ? "<hw>" : shards_)
+                         << " diverged from golden; first diff at "
                          << firstDiff(want, out)
                          << "\nIf the change is intentional, regenerate "
                             "with ./tests/test_golden --update-golden";
@@ -174,8 +195,29 @@ class GoldenTableTest : public ::testing::Test {
 
   vibe::bench::BenchInfo info_;
   unsigned jobs_;
+  std::string shards_;  // VIBE_SIM_SHARDS value; empty = unset (hardware)
   bool update_;
 };
+
+/// Shard-axis variants, as (env value, test-name label) pairs. An empty
+/// env value means "unset" — let the PDES default to hardware_concurrency.
+/// When the caller already exported VIBE_SIM_SHARDS the axis is pinned to
+/// that single value (the pdes-tsan CI contract); otherwise it sweeps
+/// serial, even, prime-and-ragged, and the hardware default.
+std::vector<std::pair<std::string, std::string>> shardVariants(bool update) {
+  if (update) return {{"1", ""}};
+  if (const char* pre = std::getenv("VIBE_SIM_SHARDS"); pre && *pre) {
+    std::string label = "pin";
+    for (const char* p = pre; *p; ++p) {
+      if (std::isalnum(static_cast<unsigned char>(*p))) label += *p;
+    }
+    return {{pre, "_shards" + label}};
+  }
+  return {{"1", "_shards1"},
+          {"2", "_shards2"},
+          {"7", "_shards7"},
+          {"", "_shardshw"}};
+}
 
 }  // namespace
 
@@ -194,17 +236,21 @@ int main(int argc, char** argv) {
   unsetenv("VIBE_TRACE_OUT");
 
   auto& registry = vibe::bench::benchRegistry();
+  const auto shards = shardVariants(update);
   for (const auto& info : registry) {
     const std::vector<unsigned> jobVariants =
         update ? std::vector<unsigned>{1} : std::vector<unsigned>{1, 4};
     for (unsigned jobs : jobVariants) {
-      const std::string name =
-          info.name + (update ? "_update" : "_jobs" + std::to_string(jobs));
-      ::testing::RegisterTest(
-          "GoldenTable", name.c_str(), nullptr, nullptr, __FILE__, __LINE__,
-          [info, jobs, update]() -> ::testing::Test* {
-            return new GoldenTableTest(info, jobs, update);
-          });
+      for (const auto& [shardEnv, shardLabel] : shards) {
+        const std::string name =
+            info.name +
+            (update ? "_update" : "_jobs" + std::to_string(jobs) + shardLabel);
+        ::testing::RegisterTest(
+            "GoldenTable", name.c_str(), nullptr, nullptr, __FILE__, __LINE__,
+            [info, jobs, shardEnv = shardEnv, update]() -> ::testing::Test* {
+              return new GoldenTableTest(info, jobs, shardEnv, update);
+            });
+      }
     }
   }
   return RUN_ALL_TESTS();

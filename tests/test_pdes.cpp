@@ -1,0 +1,471 @@
+// Determinism proof wall for the conservative PDES engine
+// (src/simcore/pdes.hpp). The contract under test: every observable a
+// model can extract from a ShardedEngine — execution order, digests,
+// counters, window count, virtual end time — is a pure function of the
+// model, byte-identical for every shard count and thread schedule.
+//
+// The wall has four faces:
+//   - shards=1 bit-identity with the serial Engine on randomized
+//     workloads (the two engines replay the same cascade event-for-event),
+//   - deterministic cross-shard merge under adversarial same-timestamp
+//     storms (every domain receives same-time events from every other),
+//   - mailbox exactly-once delivery with exact cross-shard accounting,
+//   - lookahead-window safety: conservative violations throw instead of
+//     silently reordering.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "fabric/pdes_traffic.hpp"
+#include "simcore/engine.hpp"
+#include "simcore/pdes.hpp"
+#include "simcore/prng.hpp"
+#include "simcore/trace.hpp"
+#include "test_env.hpp"
+#include "test_seed.hpp"
+
+namespace vibe {
+namespace {
+
+using sim::Duration;
+using sim::EngineConfig;
+using sim::ShardedEngine;
+using sim::SimError;
+using sim::SimTime;
+using sim::Tracer;
+
+std::uint64_t mix64(std::uint64_t x) { return sim::splitmix64(x); }
+
+using testing::ScopedEnv;
+
+TEST(ShardCount, EnvOverridesHardware) {
+  {
+    ScopedEnv env("VIBE_SIM_SHARDS", "7");
+    EXPECT_EQ(sim::shardCount(), 7u);
+  }
+  {
+    ScopedEnv env("VIBE_SIM_SHARDS", nullptr);
+    EXPECT_GE(sim::shardCount(), 1u);
+  }
+  {
+    // Invalid and non-positive values fall back to hardware.
+    ScopedEnv env("VIBE_SIM_SHARDS", "0");
+    EXPECT_GE(sim::shardCount(), 1u);
+  }
+  {
+    ScopedEnv env("VIBE_SIM_SHARDS", "banana");
+    EXPECT_GE(sim::shardCount(), 1u);
+  }
+}
+
+TEST(ShardedEngineConfig, Validation) {
+  EXPECT_THROW(ShardedEngine({.domains = 0}), SimError);
+  EXPECT_THROW(ShardedEngine({.domains = 2, .lookahead = -1}), SimError);
+  // More than one shard without lookahead: no safe window exists.
+  EXPECT_THROW(ShardedEngine({.domains = 4, .lookahead = 0, .shards = 2}),
+               SimError);
+  // Shards are clamped to the domain count.
+  ShardedEngine clamped({.domains = 3, .lookahead = 10, .shards = 64});
+  EXPECT_EQ(clamped.shards(), 3u);
+  // One shard with zero lookahead is the serial degenerate case.
+  ShardedEngine serial({.domains = 5, .lookahead = 0, .shards = 1});
+  EXPECT_EQ(serial.shards(), 1u);
+  EXPECT_EQ(serial.domainCount(), 5u);
+}
+
+// --- Face 1: shards=1 bit-identity with the serial Engine -----------------
+
+/// A randomized event cascade replayed on both engines: every event
+/// mixes (now, id) into a digest and schedules 0-2 children at random
+/// future delays. Child ids are assigned in execution order, so the two
+/// digests match iff the engines execute the identical sequence.
+struct CascadeState {
+  std::uint64_t seed = 0;
+  std::uint64_t digest = Tracer::kDigestSeed;
+  std::uint64_t nextId = 1;
+  std::uint64_t executed = 0;
+};
+
+template <typename PostFn>
+void cascadeEvent(CascadeState* st, std::uint64_t id, SimTime now,
+                  const PostFn& post) {
+  ++st->executed;
+  st->digest = Tracer::combineDigest(
+      st->digest, mix64(st->seed ^ static_cast<std::uint64_t>(now) ^ id));
+  const std::uint64_t r = mix64(st->seed ^ (id * 0x9e3779b97f4a7c15ull));
+  const unsigned children = id < 2000 ? static_cast<unsigned>(r % 3) : 0;
+  for (unsigned c = 0; c < children; ++c) {
+    const Duration delay =
+        static_cast<Duration>(mix64(r ^ c) % 997);  // [0, 997) incl. 0
+    post(st->nextId++, delay);
+  }
+}
+
+TEST(ShardedEngineSerial, BitIdenticalWithSerialEngine) {
+  const std::uint64_t base = testing::testRunSeed();
+  for (std::uint64_t trial = 0; trial < 4; ++trial) {
+    CascadeState serial{base + 11 * trial + 1};
+    sim::Engine eng;
+    struct SerialPost {
+      sim::Engine* eng;
+      CascadeState* st;
+      const SerialPost* self;
+      void operator()(std::uint64_t id, Duration delay) const {
+        eng->post(delay, [st = st, id, self = self] {
+          cascadeEvent(st, id, self->eng->now(), *self);
+        });
+      }
+    };
+    SerialPost sp{&eng, &serial, nullptr};
+    sp.self = &sp;
+    sp(0, 0);
+    eng.run();
+
+    CascadeState sharded{base + 11 * trial + 1};
+    ShardedEngine seng({.domains = 1, .lookahead = 0, .shards = 1});
+    struct ShardedPost {
+      ShardedEngine* eng;
+      CascadeState* st;
+      const ShardedPost* self;
+      void operator()(std::uint64_t id, Duration delay) const {
+        eng->post(0, delay, [st = st, id, self = self] {
+          cascadeEvent(st, id, self->eng->now(0), *self);
+        });
+      }
+    };
+    ShardedPost hp{&seng, &sharded, nullptr};
+    hp.self = &hp;
+    hp(0, 0);
+    seng.run();
+
+    EXPECT_EQ(serial.executed, sharded.executed) << "trial " << trial;
+    EXPECT_EQ(serial.digest, sharded.digest) << "trial " << trial;
+    EXPECT_EQ(seng.executedEvents(), sharded.executed);
+    EXPECT_EQ(seng.pendingEvents(), 0u);
+    EXPECT_EQ(seng.crossDomainEvents(), 0u);
+    EXPECT_EQ(seng.crossShardEvents(), 0u);
+  }
+}
+
+// --- Face 2: deterministic merge under same-timestamp storms --------------
+
+/// Every domain sends every other domain (and itself) events that all
+/// land at exactly the same timestamp, for several waves. The merge at
+/// the window barrier must order them by (time, srcDomain, srcSeq) no
+/// matter which shard parked them in which outbox.
+struct StormLog {
+  // Per destination domain: the (wave, srcDomain) tags in execution order.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> seen;
+};
+
+StormLog runStorm(std::uint32_t domains, unsigned shards,
+                  std::uint32_t waves) {
+  const Duration la = 100;
+  ShardedEngine eng({.domains = domains, .lookahead = la, .shards = shards});
+  StormLog log;
+  log.seen.resize(domains);
+  struct Ctx {
+    ShardedEngine* eng;
+    StormLog* log;
+    std::uint32_t domains;
+    std::uint32_t waves;
+  };
+  Ctx ctx{&eng, &log, domains, waves};
+  // Wave w in domain d fires at t = (w+1)*la; at wave w every domain
+  // sends every domain an event for the *same* arrival time (w+2)*la.
+  struct Fire {
+    static void wave(Ctx* c, std::uint32_t dst, std::uint32_t src,
+                     std::uint32_t w) {
+      c->log->seen[dst].push_back({w, src});
+      if (w + 1 >= c->waves || src != dst) return;
+      // One fan-out per (domain, wave), issued by the self-event so the
+      // send happens inside dst's execution context.
+      for (std::uint32_t to = 0; to < c->domains; ++to) {
+        const std::uint32_t from = dst;
+        const std::uint32_t next = w + 1;
+        c->eng->send(dst, to, 100, [c, to, from, next] {
+          Fire::wave(c, to, from, next);
+        });
+      }
+    }
+  };
+  for (std::uint32_t d = 0; d < domains; ++d) {
+    eng.post(d, 100, [&ctx, d] { Fire::wave(&ctx, d, d, 0); });
+  }
+  eng.run();
+  EXPECT_EQ(eng.pendingEvents(), 0u);
+  return log;
+}
+
+TEST(ShardedEngineStorm, SameTimestampMergeIsDeterministic) {
+  const std::uint32_t kDomains = 6;
+  const std::uint32_t kWaves = 5;
+  const StormLog baseline = runStorm(kDomains, 1, kWaves);
+  // Waves arrive in wave order; within one wave (one shared timestamp)
+  // sources must appear in ascending srcDomain order — the documented
+  // (time, srcDomain, srcSeq) key, not arrival or shard order.
+  for (std::uint32_t d = 0; d < kDomains; ++d) {
+    ASSERT_EQ(baseline.seen[d].size(), 1 + (kWaves - 1) * kDomains);
+    EXPECT_EQ(baseline.seen[d][0], (std::pair<std::uint32_t, std::uint32_t>{
+                                       0u, d}));
+    for (std::uint32_t w = 1; w < kWaves; ++w) {
+      for (std::uint32_t s = 0; s < kDomains; ++s) {
+        EXPECT_EQ(baseline.seen[d][1 + (w - 1) * kDomains + s],
+                  (std::pair<std::uint32_t, std::uint32_t>{w, s}))
+            << "dst=" << d << " wave=" << w;
+      }
+    }
+  }
+  for (unsigned shards : {2u, 3u, 6u}) {
+    const StormLog got = runStorm(kDomains, shards, kWaves);
+    for (std::uint32_t d = 0; d < kDomains; ++d) {
+      EXPECT_EQ(got.seen[d], baseline.seen[d])
+          << "shards=" << shards << " dst=" << d;
+    }
+  }
+}
+
+// --- Face 3: mailbox exactly-once delivery --------------------------------
+
+TEST(ShardedEngineMailbox, ExactlyOnceWithExactAccounting) {
+  const std::uint32_t kDomains = 8;
+  const std::uint32_t kRounds = 16;
+  const Duration la = 50;
+  for (unsigned shards : {1u, 2u, 3u, 8u}) {
+    ShardedEngine eng(
+        {.domains = kDomains, .lookahead = la, .shards = shards});
+    // deliveries[src * kDomains + dst] counts (src -> dst) arrivals.
+    std::vector<std::uint32_t> deliveries(kDomains * kDomains, 0);
+    struct Ctx {
+      ShardedEngine* eng;
+      std::vector<std::uint32_t>* deliveries;
+      std::uint32_t domains;
+      std::uint32_t rounds;
+    };
+    Ctx ctx{&eng, &deliveries, kDomains, kRounds};
+    struct Hop {
+      static void run(Ctx* c, std::uint32_t at, std::uint32_t round) {
+        if (round > 0) {
+          const std::uint32_t src = (at + c->domains - 1) % c->domains;
+          ++(*c->deliveries)[src * c->domains + at];
+        }
+        if (round >= c->rounds) return;
+        const std::uint32_t next = (at + 1) % c->domains;
+        c->eng->send(at, next, 50,
+                     [c, next, round] { Hop::run(c, next, round + 1); });
+      }
+    };
+    for (std::uint32_t d = 0; d < kDomains; ++d) {
+      eng.post(d, 0, [&ctx, d] { Hop::run(&ctx, d, 0); });
+    }
+    eng.run();
+
+    // Each of the kDomains tokens hops kRounds times around the ring:
+    // every (src, src+1) edge is crossed exactly kRounds times total,
+    // spread one per token, and nothing is lost or duplicated.
+    for (std::uint32_t src = 0; src < kDomains; ++src) {
+      const std::uint32_t dst = (src + 1) % kDomains;
+      EXPECT_EQ(deliveries[src * kDomains + dst], kRounds)
+          << "shards=" << shards << " edge " << src << "->" << dst;
+    }
+    EXPECT_EQ(eng.executedEvents(), kDomains * (kRounds + 1));
+    EXPECT_EQ(eng.pendingEvents(), 0u);
+    EXPECT_EQ(eng.crossDomainEvents(), kDomains * kRounds);
+    // Ring edges that cross shard boundaries under round-robin packing
+    // (domain d -> shard d % shards): exactly the edges whose endpoints
+    // differ mod `shards`.
+    std::uint64_t expectCross = 0;
+    for (std::uint32_t src = 0; src < kDomains; ++src) {
+      const std::uint32_t dst = (src + 1) % kDomains;
+      if (src % shards != dst % shards) expectCross += kRounds;
+    }
+    EXPECT_EQ(eng.crossShardEvents(), expectCross) << "shards=" << shards;
+  }
+}
+
+// --- Face 4: lookahead-window safety --------------------------------------
+
+TEST(ShardedEngineSafety, CrossDomainBelowLookaheadThrows) {
+  ShardedEngine eng({.domains = 2, .lookahead = 100, .shards = 1});
+  bool threw = false;
+  eng.post(0, 0, [&] {
+    try {
+      eng.send(0, 1, 99, [] {});
+    } catch (const SimError&) {
+      threw = true;
+    }
+  });
+  eng.run();
+  EXPECT_TRUE(threw);
+  // At or above the lookahead is fine.
+  bool delivered = false;
+  eng.post(0, 0, [&] { eng.send(0, 1, 100, [&] { delivered = true; }); });
+  eng.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(ShardedEngineSafety, ForeignDomainPostThrowsDuringRun) {
+  ShardedEngine eng({.domains = 3, .lookahead = 10, .shards = 1});
+  std::string what;
+  eng.post(1, 0, [&] {
+    try {
+      eng.post(2, 0, [] {});  // domain 2's state from domain 1's context
+    } catch (const SimError& e) {
+      what = e.what();
+    }
+  });
+  eng.run();
+  EXPECT_NE(what.find("outside that domain's execution context"),
+            std::string::npos)
+      << what;
+  // send() from the wrong source context is rejected the same way.
+  what.clear();
+  eng.post(1, 0, [&] {
+    try {
+      eng.send(2, 0, 10, [] {});
+    } catch (const SimError& e) {
+      what = e.what();
+    }
+  });
+  eng.run();
+  EXPECT_NE(what.find("outside that domain's execution context"),
+            std::string::npos)
+      << what;
+}
+
+TEST(ShardedEngineSafety, PostValidation) {
+  ShardedEngine eng({.domains = 2, .lookahead = 10, .shards = 1});
+  EXPECT_THROW(eng.post(0, -1, [] {}), SimError);
+  EXPECT_THROW(eng.post(2, 0, [] {}), SimError);
+  EXPECT_THROW(eng.post(0, 0, sim::EventFn{}), SimError);
+  EXPECT_THROW(eng.send(0, 2, 10, [] {}), SimError);
+  EXPECT_THROW(eng.now(2), SimError);
+}
+
+TEST(ShardedEngineSafety, EventExceptionPropagatesAndAborts) {
+  for (unsigned shards : {1u, 4u}) {
+    ShardedEngine eng({.domains = 4, .lookahead = 10, .shards = shards});
+    eng.post(2, 5, [] { throw SimError("boom in domain 2"); });
+    for (std::uint32_t d = 0; d < 4; ++d) {
+      eng.post(d, 1000, [] {});  // far future: may be skipped after abort
+    }
+    try {
+      eng.run();
+      FAIL() << "expected SimError (shards=" << shards << ")";
+    } catch (const SimError& e) {
+      EXPECT_NE(std::string(e.what()).find("boom"), std::string::npos);
+    }
+    // The engine is not wedged: a fresh run() drains what remains.
+    eng.run();
+    EXPECT_EQ(eng.pendingEvents(), 0u);
+  }
+}
+
+// --- runUntil windows -----------------------------------------------------
+
+TEST(ShardedEngineRunUntil, HorizonPartitionsTheRun) {
+  for (unsigned shards : {1u, 3u}) {
+    auto build = [shards](ShardedEngine& eng, std::vector<SimTime>& fired) {
+      struct Ctx {
+        ShardedEngine* eng;
+        std::vector<SimTime>* fired;
+      };
+      auto* ctx = new Ctx{&eng, &fired};
+      for (std::uint32_t d = 0; d < 3; ++d) {
+        for (Duration t : {100, 250, 400, 900}) {
+          eng.post(d, t, [ctx, d] {
+            ctx->fired->push_back(ctx->eng->now(d));
+          });
+        }
+      }
+      return ctx;
+    };
+    ShardedEngine eng({.domains = 3, .lookahead = 20, .shards = shards});
+    std::vector<SimTime> fired;
+    auto* ctx = build(eng, fired);
+    EXPECT_FALSE(eng.runUntil(250));
+    EXPECT_EQ(fired.size(), 6u);  // t=100 and t=250 in all three domains
+    for (SimTime t : fired) EXPECT_LE(t, 250);
+    for (std::uint32_t d = 0; d < 3; ++d) EXPECT_GE(eng.now(d), 250);
+    EXPECT_TRUE(eng.runUntil(10'000));
+    EXPECT_EQ(fired.size(), 12u);
+    EXPECT_EQ(eng.pendingEvents(), 0u);
+    delete ctx;
+
+    // An uninterrupted run executes the identical multiset of times.
+    ShardedEngine whole({.domains = 3, .lookahead = 20, .shards = shards});
+    std::vector<SimTime> wholeFired;
+    auto* wctx = build(whole, wholeFired);
+    whole.run();
+    std::vector<SimTime> a = fired;
+    std::vector<SimTime> b = wholeFired;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    EXPECT_EQ(a, b);
+    delete wctx;
+  }
+}
+
+// --- The full-stack invariance proof on the fat-tree workload -------------
+
+TEST(PdesTraffic, DigestInvariantAcrossShardCounts) {
+  fabric::PdesTrafficConfig cfg;
+  cfg.fatTreeK = 4;   // 16 hosts, 8 edge domains
+  cfg.rounds = 6;
+  cfg.seed = testing::testRunSeed() + 401;
+  cfg.computeIters = 8;
+  cfg.shards = 1;
+  const fabric::PdesTrafficResult base = fabric::runPdesTraffic(cfg);
+  EXPECT_EQ(base.domains, 8u);
+  EXPECT_EQ(base.shardsUsed, 1u);
+  EXPECT_GT(base.lookahead, 0);
+  EXPECT_GT(base.events, 0u);
+  EXPECT_EQ(base.crossShard, 0u);  // one shard: nothing crosses
+  EXPECT_GT(base.crossDomain, 0u);
+  for (unsigned shards : {2u, 3u, 5u, 8u}) {
+    fabric::PdesTrafficConfig c = cfg;
+    c.shards = shards;
+    const fabric::PdesTrafficResult got = fabric::runPdesTraffic(c);
+    EXPECT_EQ(got.digest, base.digest) << "shards=" << shards;
+    EXPECT_EQ(got.events, base.events) << "shards=" << shards;
+    EXPECT_EQ(got.messages, base.messages) << "shards=" << shards;
+    EXPECT_EQ(got.crossDomain, base.crossDomain) << "shards=" << shards;
+    EXPECT_EQ(got.windows, base.windows) << "shards=" << shards;
+    EXPECT_EQ(got.endTime, base.endTime) << "shards=" << shards;
+    EXPECT_DOUBLE_EQ(got.meanRttUsec, base.meanRttUsec)
+        << "shards=" << shards;
+    EXPECT_EQ(got.shardsUsed, std::min(shards, 8u));
+  }
+}
+
+TEST(PdesTraffic, RaggedHostCountAndEnvDefaultShards) {
+  // A partial fat-tree (hosts not a multiple of the pod size) must
+  // partition and stay invariant too; shards=0 picks up VIBE_SIM_SHARDS.
+  fabric::PdesTrafficConfig cfg;
+  cfg.fatTreeK = 4;
+  cfg.hosts = 11;
+  cfg.rounds = 4;
+  cfg.seed = testing::testRunSeed() + 402;
+  cfg.computeIters = 4;
+  cfg.shards = 1;
+  const fabric::PdesTrafficResult base = fabric::runPdesTraffic(cfg);
+  EXPECT_EQ(base.domains, 6u);  // ceil(11 / 2) edge switches
+  {
+    ScopedEnv env("VIBE_SIM_SHARDS", "3");
+    fabric::PdesTrafficConfig c = cfg;
+    c.shards = 0;
+    const fabric::PdesTrafficResult got = fabric::runPdesTraffic(c);
+    EXPECT_EQ(got.shardsUsed, 3u);
+    EXPECT_EQ(got.digest, base.digest);
+    EXPECT_EQ(got.endTime, base.endTime);
+  }
+  EXPECT_THROW(fabric::runPdesTraffic({.fatTreeK = 3}), SimError);
+  EXPECT_THROW(fabric::runPdesTraffic({.fatTreeK = 4, .hosts = 17}),
+               SimError);
+}
+
+}  // namespace
+}  // namespace vibe
