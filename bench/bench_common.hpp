@@ -35,6 +35,20 @@ inline bool statsRequested() {
   return v != nullptr && v[0] == '1';
 }
 
+/// VIBE_METRICS_OUT destination for the final-registry JSON dump, or
+/// nullptr when unset/empty.
+inline const char* metricsOutPath() {
+  const char* v = std::getenv("VIBE_METRICS_OUT");
+  return (v != nullptr && v[0] != '\0') ? v : nullptr;
+}
+
+/// True when the benchmark clusters should publish into statsRegistry():
+/// either the stdout appendix (--stats / VIBE_STATS=1) or the JSON dump
+/// (VIBE_METRICS_OUT=<path>) was requested.
+inline bool statsAttached() {
+  return statsRequested() || metricsOutPath() != nullptr;
+}
+
 /// Process-wide registry the benchmark clusters publish into when stats
 /// are requested. Owned here so every cluster built via clusterFor()
 /// accumulates into one appendix.
@@ -43,7 +57,8 @@ inline obs::MetricsRegistry& statsRegistry() {
   return registry;
 }
 
-/// Installs the end-of-run appendix printer (idempotent).
+/// Installs the end-of-run appendix printer and, when VIBE_METRICS_OUT
+/// is set, the final-registry schema-2 JSON dump (idempotent).
 inline void installStatsAppendix() {
   static bool installed = false;
   if (installed) return;
@@ -53,8 +68,20 @@ inline void installStatsAppendix() {
   // the handler must come later to still find the registry alive.
   statsRegistry();
   std::atexit([] {
-    const std::string appendix = suite::renderStatsAppendix(statsRegistry());
-    if (!appendix.empty()) std::printf("%s", appendix.c_str());
+    if (statsRequested()) {
+      const std::string appendix =
+          suite::renderStatsAppendix(statsRegistry());
+      if (!appendix.empty()) std::printf("%s", appendix.c_str());
+    }
+    if (const char* path = metricsOutPath()) {
+      const std::string body = obs::renderMetricsJson(statsRegistry());
+      if (std::FILE* f = std::fopen(path, "w")) {
+        std::fwrite(body.data(), 1, body.size(), f);
+        std::fclose(f);
+      } else {
+        std::fprintf(stderr, "VIBE_METRICS_OUT: cannot open %s\n", path);
+      }
+    }
   });
 }
 
@@ -70,7 +97,7 @@ inline void parseStatsFlag(int& argc, char** argv) {
       break;
     }
   }
-  if (statsRequested()) installStatsAppendix();
+  if (statsAttached()) installStatsAppendix();
 }
 
 inline suite::ClusterConfig clusterFor(const nic::NicProfile& p,
@@ -78,7 +105,7 @@ inline suite::ClusterConfig clusterFor(const nic::NicProfile& p,
   suite::ClusterConfig c;
   c.profile = p;
   c.nodes = nodes;
-  if (statsRequested()) {
+  if (statsAttached()) {
     c.metrics = &statsRegistry();
     installStatsAppendix();
   }
@@ -105,7 +132,7 @@ inline suite::ClusterConfig clusterFor(const nic::NicProfile& p,
 /// registries into statsRegistry().
 inline harness::SweepOptions sweepOptions() {
   harness::SweepOptions opts;
-  if (statsRequested()) {
+  if (statsAttached()) {
     installStatsAppendix();
     opts.mergeInto = &statsRegistry();
   }

@@ -19,6 +19,8 @@
 #include "bench_json.hpp"
 #include "bench_registry.hpp"
 #include "fabric/pdes_traffic.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/timeseries.hpp"
 #include "simcore/pdes.hpp"
 
 namespace {
@@ -59,6 +61,7 @@ int run(int, char**) {
   double speedup4AtScale = 0.0;   // >= 4096 hosts, 4 shards
   double xshardFracAtScale = 0.0;
   double evPerSecSerial = 0.0;
+  std::vector<ShardRun> atScale;  // k=32 runs, kept for the profiler table
   for (const Size& sz : sizes) {
     std::vector<ShardRun> runs;
     for (unsigned shards : shardCounts) {
@@ -67,6 +70,7 @@ int run(int, char**) {
       cfg.rounds = sz.rounds;
       cfg.seed = 42;
       cfg.shards = shards;
+      cfg.profileShards = true;
       const auto t0 = std::chrono::steady_clock::now();
       ShardRun r;
       r.res = fabric::runPdesTraffic(cfg);
@@ -111,10 +115,62 @@ int run(int, char**) {
                     static_cast<double>(r.res.events) / (r.wallMs / 1e3),
                     speedup, xfrac});
     }
+    if (sz.k == 32) atScale = runs;
   }
   vibe::bench::emit(table);
   std::printf("determinism across shard counts: %s\n",
               deterministic ? "OK (digests byte-identical)" : "FAILED");
+
+  // --- PDES runtime profiler: per-shard breakdown at scale ------------
+  // Wall-clock columns (exec_ms, barrier_pct) vary run to run; the event
+  // and window counts are deterministic. Totals must reconcile with the
+  // engine-wide executedEvents()/windowsExecuted() introspection.
+  bool reconciled = true;
+  for (const ShardRun& r : atScale) {
+    suite::ResultTable prof(
+        "PDES shard profile (k=32, shards=" + std::to_string(r.shards) +
+            ", imbalance=max/mean events)",
+        {"shard", "domains", "events", "ev_per_window", "occupancy",
+         "exec_ms", "barrier_pct", "xshard_sent"});
+    std::uint64_t evTotal = 0;
+    for (const sim::ShardProfile& p : r.res.shardProfiles) {
+      evTotal += p.events;
+      const double busyNs =
+          static_cast<double>(p.execNs + p.barrierWaitNs);
+      prof.addRow({static_cast<double>(p.shard),
+                   static_cast<double>(p.domains),
+                   static_cast<double>(p.events),
+                   r.res.windows == 0
+                       ? 0.0
+                       : static_cast<double>(p.events) /
+                             static_cast<double>(r.res.windows),
+                   r.res.windows == 0
+                       ? 0.0
+                       : static_cast<double>(p.windowsActive) /
+                             static_cast<double>(r.res.windows),
+                   static_cast<double>(p.execNs) / 1e6,
+                   busyNs == 0.0
+                       ? 0.0
+                       : 100.0 * static_cast<double>(p.barrierWaitNs) /
+                             busyNs,
+                   static_cast<double>(p.crossShardSent)});
+    }
+    vibe::bench::emit(prof);
+    std::printf("shard profile reconciliation (shards=%u): events %llu/%llu "
+                "windows %llu, load imbalance %.3f: %s\n",
+                r.shards, static_cast<unsigned long long>(evTotal),
+                static_cast<unsigned long long>(r.res.events),
+                static_cast<unsigned long long>(r.res.windows),
+                r.res.loadImbalance,
+                evTotal == r.res.events ? "OK" : "FAIL");
+    if (evTotal != r.res.events) reconciled = false;
+    if (statsAttached()) {
+      obs::publishShardProfiles(
+          statsRegistry(),
+          "pdes.shards" + std::to_string(r.shards), r.res.shardProfiles,
+          r.res.loadImbalance);
+    }
+  }
   std::printf(
       "Each shard owns the hosts under its edge switches; the window\n"
       "width is the derived cross-edge lookahead (header serialization +\n"
@@ -132,9 +188,22 @@ int run(int, char**) {
            {"events_at_scale_serial_per_sec", evPerSecSerial},
            {"speedup_shards4_at_scale", speedup4AtScale},
            {"cross_shard_fraction_at_scale", xshardFracAtScale},
-           {"deterministic", deterministic ? 1.0 : 0.0}}}});
+           {"deterministic", deterministic ? 1.0 : 0.0},
+           {"profile_reconciled", reconciled ? 1.0 : 0.0}}}});
   }
-  return deterministic ? 0 : 1;
+  if (!deterministic || !reconciled) {
+    // Bench-abort path: dump whatever the flight recorder can see so the
+    // failure leaves a post-mortem artifact (VIBE_FLIGHT_OUT).
+    if (auto recorder = obs::FlightRecorder::fromEnv()) {
+      recorder->dump(!deterministic
+                         ? "bench_ext_pdes: determinism divergence across "
+                           "shard counts"
+                         : "bench_ext_pdes: shard profile failed to "
+                           "reconcile with executedEvents()");
+    }
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace

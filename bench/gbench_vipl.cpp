@@ -11,6 +11,7 @@
 #include "bench_json.hpp"
 #include "nic/profiles.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace_export.hpp"
 #include "simcore/trace.hpp"
 #include "vibe/clientserver.hpp"
@@ -158,6 +159,7 @@ bench::MetricGroup runAttributedPingPong() {
   auto exporter = obs::TraceJsonExporter::fromEnv();
   obs::SpanProfiler spans;
   sim::Tracer tracer;
+  obs::TimeSeriesSampler sampler;
   suite::ClusterConfig cc = clanCluster();
   cc.spans = &spans;
   if (exporter) {
@@ -165,6 +167,11 @@ bench::MetricGroup runAttributedPingPong() {
     tracer.enableAll();
     tracer.setSink(exporter->makeSink());
     cc.tracer = &tracer;
+    // Counter tracks ride along with the span stream: NIC/fabric queue
+    // depths sampled every 50 us of virtual time render as ph:"C" tracks
+    // above the spans in the Perfetto UI.
+    cc.sampler = &sampler;
+    cc.samplePeriod = sim::usec(50);
   }
   suite::TransferConfig cfg;
   cfg.msgBytes = 64;
@@ -176,10 +183,11 @@ bench::MetricGroup runAttributedPingPong() {
               pp.latencyUsec);
   if (exporter) {
     exporter->exportSpans(spans);
+    sampler.exportCounterTracks(*exporter);
     const std::size_t n = exporter->eventCount();
     if (exporter->finish()) {
-      std::printf("wrote %s (%zu trace events)\n", exporter->path().c_str(),
-                  n);
+      std::printf("wrote %s (%zu trace events, %zu counter windows)\n",
+                  exporter->path().c_str(), n, sampler.windowCount());
     }
   }
   bench::MetricGroup group{"stage_usec", {}};
@@ -206,7 +214,7 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
 
   std::vector<vibe::bench::MetricGroup> groups;
-  if (vibe::bench::statsRequested() ||
+  if (vibe::bench::statsAttached() ||
       vibe::obs::TraceJsonExporter::envPath() != nullptr) {
     groups.push_back(runAttributedPingPong());
   }

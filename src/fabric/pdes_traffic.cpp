@@ -175,6 +175,7 @@ PdesTrafficResult runPdesTraffic(const PdesTrafficConfig& cfg) {
   ec.lookahead = lookahead;
   ec.shards = cfg.shards;
   sim::ShardedEngine eng(ec);
+  eng.setProfiling(cfg.profileShards);
   m.eng = &eng;
   m.t0.assign(hosts, 0);
   m.dom.resize(m.part.domains);
@@ -220,6 +221,10 @@ PdesTrafficResult runPdesTraffic(const PdesTrafficConfig& cfg) {
   out.domains = m.part.domains;
   out.shardsUsed = eng.shards();
   out.lookahead = lookahead;
+  if (cfg.profileShards) {
+    out.shardProfiles = eng.shardProfiles();
+    out.loadImbalance = eng.loadImbalance();
+  }
   return out;
 }
 

@@ -20,7 +20,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "simcore/pdes.hpp"
 #include "simcore/time.hpp"
 
 namespace vibe::fabric {
@@ -42,6 +44,11 @@ struct PdesTrafficConfig {
   sim::Duration coreLatency = 400;     // aggr/core forward
   sim::Duration serviceTime = 2000;    // server think time per request
   std::uint32_t computeIters = 96;     // synthetic host compute per event
+
+  // Enables the ShardedEngine runtime profiler; per-shard snapshots land
+  // in PdesTrafficResult::shardProfiles. Wall-clock only — the digest and
+  // every other deterministic output are unaffected (pinned by test_pdes).
+  bool profileShards = false;
 };
 
 struct PdesTrafficResult {
@@ -56,6 +63,9 @@ struct PdesTrafficResult {
   std::uint32_t domains = 0;
   unsigned shardsUsed = 0;
   sim::Duration lookahead = 0;
+  // Filled when cfg.profileShards was set (empty otherwise).
+  std::vector<sim::ShardProfile> shardProfiles;
+  double loadImbalance = 1.0;  // max/mean per-shard events
 };
 
 /// Runs the workload to completion and returns its deterministic

@@ -52,6 +52,9 @@ void InvariantChecker::violation(const sim::TraceRecord& rec,
      << sim::toString(rec.category) << "] " << what << " (record: \""
      << rec.message << "\")";
   violations_.push_back(os.str());
+  if (violations_.size() == 1 && violationHook_) {
+    violationHook_(violations_.front());
+  }
 }
 
 void InvariantChecker::onRecord(const sim::TraceRecord& rec) {

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -54,6 +55,14 @@ class InvariantChecker {
   /// that deliberately end mid-outage (or drive the circuit breaker to
   /// Down on purpose) opt out here.
   void setAllowDownAtExit(bool allow) { allowDownAtExit_ = allow; }
+
+  /// Invoked once, on the FIRST violation, with its description — the
+  /// flight-recorder trigger (obs::FlightRecorder::violationHook), so a
+  /// failing chaos run dumps its telemetry rings at the moment things
+  /// went wrong rather than at teardown. Null by default.
+  void setViolationHook(std::function<void(const std::string&)> hook) {
+    violationHook_ = std::move(hook);
+  }
 
   /// Consumes one record; normally called through the tracer sink.
   void onRecord(const sim::TraceRecord& rec);
@@ -107,6 +116,7 @@ class InvariantChecker {
   std::uint64_t sessionRecoveries_ = 0;
   std::uint64_t mttrBoundUsec_ = 0;
   bool allowDownAtExit_ = false;
+  std::function<void(const std::string&)> violationHook_;
 };
 
 }  // namespace vibe::fault

@@ -111,6 +111,22 @@ void NicDevice::postCompletion(ViEndpointId id, Completion c, sim::SimTime at) {
   });
 }
 
+std::size_t NicDevice::txBacklog() const {
+  std::size_t n = 0;
+  for (const auto& [id, e] : endpoints_) {
+    if (e->active) n += e->sendQ.size() + e->unacked.size();
+  }
+  return n;
+}
+
+std::size_t NicDevice::rxBacklog() const {
+  std::size_t n = 0;
+  for (const auto& [id, e] : endpoints_) {
+    if (e->active) n += e->recvQ.size();
+  }
+  return n;
+}
+
 ViEndpointId NicDevice::createEndpoint(mem::PtagId ptag) {
   const ViEndpointId id = nextEndpoint_++;
   auto e = std::make_unique<Endpoint>();

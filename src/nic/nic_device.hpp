@@ -102,6 +102,13 @@ class NicDevice {
   /// VIs the firmware must scan (drives FirmwarePoll discovery cost).
   std::size_t activeEndpoints() const { return activeEndpoints_; }
 
+  /// Send-side backlog across all endpoints: descriptors awaiting pickup
+  /// or window space plus unacked frames in the retransmit buffers. A
+  /// time-series sampler probes this as the NIC's doorbell/queue depth.
+  std::size_t txBacklog() const;
+  /// Receive descriptors posted and not yet consumed, across endpoints.
+  std::size_t rxBacklog() const;
+
   /// `epoch` is the connection incarnation negotiated in the connect
   /// handshake; it only tags the trace stream (cross-epoch invariant
   /// checks), the data path never consults it.

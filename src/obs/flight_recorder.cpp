@@ -1,0 +1,90 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/slo.hpp"
+#include "obs/timeseries.hpp"
+
+namespace vibe::obs {
+
+bool FlightRecorder::dump(const std::string& reason) {
+  std::ostringstream os;
+  os << "{\n\"reason\": \"" << jsonEscape(reason) << "\",\n\"dump\": "
+     << (dumps_ + 1) << ",\n\"windows\": {";
+  if (sampler_ != nullptr) {
+    os << "\n  \"dropped\": " << sampler_->droppedWindows()
+       << ",\n  \"t_ns\": [";
+    for (std::size_t w = 0; w < sampler_->windowCount(); ++w) {
+      os << (w ? "," : "") << sampler_->windowTime(w);
+    }
+    os << "],\n  \"series\": {";
+    for (std::size_t s = 0; s < sampler_->seriesCount(); ++s) {
+      os << (s ? ",\n" : "\n") << "    \""
+         << jsonEscape(sampler_->seriesName(s)) << "\": [";
+      for (std::size_t w = 0; w < sampler_->windowCount(); ++w) {
+        os << (w ? "," : "") << jsonNumber(sampler_->value(w, s));
+      }
+      os << "]";
+    }
+    os << (sampler_->seriesCount() ? "\n  " : "") << "}\n";
+  }
+  os << "},\n\"slo\": [";
+  if (slo_ != nullptr) {
+    bool first = true;
+    for (const SloMonitor::Window& w : slo_->windows()) {
+      os << (first ? "\n" : ",\n") << "  {\"t_ns\": " << w.t
+         << ", \"count\": " << w.count << ", \"p50\": " << jsonNumber(w.p50)
+         << ", \"p99\": " << jsonNumber(w.p99)
+         << ", \"p999\": " << jsonNumber(w.p999)
+         << ", \"over\": " << w.overThreshold
+         << ", \"burn\": " << jsonNumber(w.burnRate) << "}";
+      first = false;
+    }
+    os << (first ? "" : "\n");
+  }
+  os << "],\n\"trace\": [";
+  if (tracer_ != nullptr) {
+    bool first = true;
+    for (const sim::TraceRecord& r : tracer_->snapshot()) {
+      os << (first ? "\n" : ",\n") << "  {\"t_ns\": " << r.time
+         << ", \"cat\": \"" << jsonEscape(sim::toString(r.category))
+         << "\", \"component\": " << r.component << ", \"message\": \""
+         << jsonEscape(r.message) << "\"}";
+      first = false;
+    }
+    os << (first ? "" : "\n");
+  }
+  os << "]\n}\n";
+
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "flight_recorder: cannot open %s\n", path_.c_str());
+    return false;
+  }
+  const std::string body = os.str();
+  const bool wrote = std::fwrite(body.data(), 1, body.size(), f) ==
+                     body.size();
+  const bool ok = std::fclose(f) == 0 && wrote;
+  if (ok) {
+    ++dumps_;
+    std::fprintf(stderr, "flight_recorder: wrote %s (%s)\n", path_.c_str(),
+                 reason.c_str());
+  }
+  return ok;
+}
+
+const char* FlightRecorder::envPath() {
+  const char* v = std::getenv("VIBE_FLIGHT_OUT");
+  return (v != nullptr && v[0] != '\0') ? v : nullptr;
+}
+
+std::unique_ptr<FlightRecorder> FlightRecorder::fromEnv() {
+  const char* path = envPath();
+  if (path == nullptr) return nullptr;
+  return std::make_unique<FlightRecorder>(path);
+}
+
+}  // namespace vibe::obs

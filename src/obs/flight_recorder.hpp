@@ -1,0 +1,64 @@
+// Flight recorder: post-mortem dump of the observability rings.
+//
+// A FlightRecorder holds pointers to the bounded in-memory histories the
+// other obs components already retain — the TimeSeriesSampler's last N
+// sample windows, an SloMonitor's window history, and the Tracer's
+// record ring — and serializes them all to one JSON file on demand.
+// "On demand" is the failure path: fault::InvariantChecker calls its
+// violation hook on the first violation, and benches call dump() when
+// they abort (e.g. bench_ext_pdes on determinism divergence), so the
+// file shows what the system looked like in the windows leading up to
+// the failure. Activated via VIBE_FLIGHT_OUT=<path> (fromEnv), or
+// constructed directly in tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "simcore/trace.hpp"
+
+namespace vibe::obs {
+
+class TimeSeriesSampler;
+class SloMonitor;
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::string path) : path_(std::move(path)) {}
+
+  const std::string& path() const { return path_; }
+
+  /// Sources are optional; null ones are omitted from the dump. All must
+  /// outlive the recorder's use.
+  void setSampler(const TimeSeriesSampler* sampler) { sampler_ = sampler; }
+  void setSlo(const SloMonitor* slo) { slo_ = slo; }
+  void setTracer(const sim::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Writes the dump file, overwriting a previous one (the latest
+  /// failure wins; dumps() counts how many were written). Returns false
+  /// on I/O failure. `reason` is recorded verbatim (escaped) in the file.
+  bool dump(const std::string& reason);
+
+  std::uint32_t dumps() const { return dumps_; }
+
+  /// A hook suitable for fault::InvariantChecker::setViolationHook.
+  std::function<void(const std::string&)> violationHook() {
+    return [this](const std::string& what) { dump(what); };
+  }
+
+  /// VIBE_FLIGHT_OUT destination, or nullptr when unset/empty.
+  static const char* envPath();
+  /// Recorder for VIBE_FLIGHT_OUT, or null when the env var is unset.
+  static std::unique_ptr<FlightRecorder> fromEnv();
+
+ private:
+  std::string path_;
+  const TimeSeriesSampler* sampler_ = nullptr;
+  const SloMonitor* slo_ = nullptr;
+  const sim::Tracer* tracer_ = nullptr;
+  std::uint32_t dumps_ = 0;
+};
+
+}  // namespace vibe::obs

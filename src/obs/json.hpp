@@ -1,0 +1,59 @@
+// Shared JSON string escaping for the observability exporters.
+//
+// Every name that reaches a JSON output — trace-event names, counter
+// track names, metric keys, flight-recorder reasons — passes through
+// jsonEscape() so hostile names (quotes, backslashes, control
+// characters) cannot produce an unparseable file. One implementation,
+// audited once, used by trace_export, metrics JSON, the time-series
+// sampler, and the flight recorder.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace vibe::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal: quote,
+/// backslash, and the named control characters get two-character
+/// escapes; any other byte below 0x20 becomes \u00XX. Everything else
+/// passes through byte-for-byte (UTF-8 stays valid because multi-byte
+/// sequences never contain bytes below 0x80).
+inline std::string jsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Renders a double as a JSON number: %.17g round-trips exactly;
+/// non-finite values (JSON has no NaN/Infinity literal) become null.
+inline std::string jsonNumber(double v) {
+  if (!(v == v) || v > 1.7976931348623157e308 || v < -1.7976931348623157e308) {
+    return "null";
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace vibe::obs

@@ -5,6 +5,8 @@
 #include <iomanip>
 #include <sstream>
 
+#include "obs/json.hpp"
+
 namespace vibe::obs {
 
 namespace {
@@ -95,6 +97,19 @@ void Histogram::merge(const Histogram& other) {
   overflow_ += other.overflow_;
 }
 
+std::uint64_t Histogram::countAbove(std::uint64_t threshold) const {
+  std::uint64_t n = 0;
+  for (std::size_t i = buckets_.size(); i-- > 0;) {
+    if (buckets_[i] == 0) continue;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+    bucketBounds(i, lo, hi);
+    if (lo <= threshold) break;  // buckets below are all <= threshold
+    n += buckets_[i];
+  }
+  return n;
+}
+
 void Histogram::clear() {
   buckets_.clear();
   count_ = 0;
@@ -146,6 +161,39 @@ std::string MetricsRegistry::renderText() const {
        << "us  p99=" << h.quantile(0.99) / 1e3
        << "us  max=" << static_cast<double>(h.max()) / 1e3 << "us\n";
   }
+  return os.str();
+}
+
+std::string renderMetricsJson(const MetricsRegistry& registry) {
+  std::ostringstream os;
+  os << "{\n  \"schema\": 2,\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : registry.counters()) {
+    os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+       << "\": " << c.value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : registry.gauges()) {
+    os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+       << "\": " << jsonNumber(g.value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : registry.histograms()) {
+    os << (first ? "\n" : ",\n") << "    \"" << jsonEscape(name)
+       << "\": {\"count\": " << h.count() << ", \"min\": " << h.min()
+       << ", \"max\": " << h.max() << ", \"sum\": " << jsonNumber(h.sum())
+       << ", \"mean\": " << jsonNumber(h.mean())
+       << ", \"p50\": " << jsonNumber(h.quantile(0.5))
+       << ", \"p99\": " << jsonNumber(h.quantile(0.99))
+       << ", \"p999\": " << jsonNumber(h.quantile(0.999))
+       << ", \"overflow\": " << h.overflowCount() << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
   return os.str();
 }
 

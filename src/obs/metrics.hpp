@@ -77,6 +77,19 @@ class Histogram {
 
   void clear();
 
+  /// Samples strictly greater than `threshold`, at bucket resolution:
+  /// counts every bucket whose lower bound exceeds the threshold, plus an
+  /// interpolation-free inclusion of the covering bucket when the
+  /// threshold sits below its upper bound is deliberately avoided — the
+  /// answer is exact whenever `threshold` is a bucket boundary and within
+  /// one bucket otherwise. The SLO monitor's burn rate is built on this.
+  std::uint64_t countAbove(std::uint64_t threshold) const;
+
+  /// Raw bucket counts, index-aligned with bucketBounds(). The vector is
+  /// only as long as the highest occupied bucket. Exposed so rolling-
+  /// window consumers (SloMonitor) can diff successive snapshots.
+  const std::vector<std::uint64_t>& bucketCounts() const { return buckets_; }
+
   /// Bucket index for a value (exposed for tests).
   static std::size_t bucketIndex(std::uint64_t value);
   /// Inclusive [lo, hi] value range of a bucket (exposed for tests).
@@ -128,6 +141,13 @@ class MetricsRegistry {
   std::map<std::string, Gauge> gauges_;
   std::map<std::string, Histogram> histograms_;
 };
+
+/// Renders a registry as the schema-2 JSON the bench trajectory tooling
+/// consumes: {"schema":2,"counters":{...},"gauges":{...},"histograms":
+/// {name:{count,min,max,sum,mean,p50,p99,p999}}}. Names are escaped;
+/// iteration is name-ordered, so output is deterministic. Used by
+/// VIBE_METRICS_OUT (see bench_common.hpp and docs/OBSERVABILITY.md).
+std::string renderMetricsJson(const MetricsRegistry& registry);
 
 /// Joins scope and name with the conventional "/" separator.
 inline std::string scoped(std::string_view scope, std::string_view name) {

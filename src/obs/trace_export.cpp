@@ -4,35 +4,11 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/json.hpp"
+
 namespace vibe::obs {
 
 namespace {
-
-/// JSON string escaping for trace messages (quotes, backslashes, control
-/// characters; everything else passes through byte-for-byte).
-std::string escapeJson(std::string_view s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
 
 /// Trace-event timestamps are microseconds; ns-resolution sim times render
 /// with three decimals so nothing is lost.
@@ -48,7 +24,7 @@ void appendUsec(std::ostringstream& os, sim::SimTime t) {
 
 void TraceJsonExporter::instant(const sim::TraceRecord& r) {
   std::ostringstream os;
-  os << "{\"name\":\"" << escapeJson(r.message) << "\",\"cat\":\""
+  os << "{\"name\":\"" << jsonEscape(r.message) << "\",\"cat\":\""
      << sim::toString(r.category) << "\",\"ph\":\"i\",\"s\":\"p\",\"ts\":";
   appendUsec(os, r.time);
   os << ",\"pid\":" << r.component << ",\"tid\":0}";
@@ -57,13 +33,27 @@ void TraceJsonExporter::instant(const sim::TraceRecord& r) {
 
 void TraceJsonExporter::span(const SpanEvent& e) {
   std::ostringstream os;
-  os << "{\"name\":\"" << toString(e.stage)
+  // Stage names come from an enum toString and contain no specials, but
+  // they go through the same escape as every other name on principle.
+  os << "{\"name\":\"" << jsonEscape(toString(e.stage))
      << "\",\"cat\":\"stage\",\"ph\":\"X\",\"ts\":";
   appendUsec(os, e.begin);
   os << ",\"dur\":";
   appendUsec(os, e.end - e.begin);
   os << ",\"pid\":" << e.node << ",\"tid\":" << e.vi
      << ",\"args\":{\"bytes\":" << e.bytes << "}}";
+  events_.push_back(os.str());
+}
+
+void TraceJsonExporter::counter(std::string_view track, sim::SimTime t,
+                                double value, std::uint32_t pid) {
+  if (!(value == value)) value = 0.0;  // no NaN literal in JSON
+  std::ostringstream os;
+  os << "{\"name\":\"" << jsonEscape(track)
+     << "\",\"cat\":\"timeseries\",\"ph\":\"C\",\"ts\":";
+  appendUsec(os, t);
+  os << ",\"pid\":" << pid << ",\"tid\":0,\"args\":{\"value\":"
+     << jsonNumber(value) << "}}";
   events_.push_back(os.str());
 }
 

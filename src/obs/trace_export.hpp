@@ -3,10 +3,12 @@
 // Bridges the simulator's observability streams into the trace-event JSON
 // format that chrome://tracing and https://ui.perfetto.dev open directly:
 // Tracer records become instant events (ph:"i"), profiler spans become
-// complete duration events (ph:"X"). Events are buffered in memory and
-// written on finish(), so a crashed run loses the file rather than leaving
-// a truncated, unparseable one. Activated in the bench binaries via
-// VIBE_TRACE_OUT=<file> (see docs/OBSERVABILITY.md).
+// complete duration events (ph:"X"), and time-series samples become
+// counter tracks (ph:"C"). Events are buffered in memory and written on
+// finish(), so a crashed run loses the file rather than leaving a
+// truncated, unparseable one. Activated in the bench binaries via
+// VIBE_TRACE_OUT=<file> (see docs/OBSERVABILITY.md). All names pass
+// through obs::jsonEscape, so hostile metric/track names stay parseable.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +37,12 @@ class TraceJsonExporter {
 
   /// Adds one duration event (pid = node, tid = vi, name = stage).
   void span(const SpanEvent& e);
+
+  /// Adds one counter-track sample (ph:"C"). Perfetto renders one value
+  /// track per (pid, track) pair; the time-series sampler emits its whole
+  /// ring through this. Non-finite values are clamped to 0.
+  void counter(std::string_view track, sim::SimTime t, double value,
+               std::uint32_t pid = 0);
 
   /// Adds every event the profiler retained (needs setKeepEvents(true)).
   void exportSpans(const SpanProfiler& profiler);

@@ -72,7 +72,10 @@ void Engine::run() {
       --staleInHeap_;
       continue;
     }
-    now_ = h.time;
+    if (h.time != now_) {
+      now_ = h.time;
+      if (observer_ != nullptr) observer_->onTimeAdvance(now_);
+    }
     ++executed_;
     --live_;
     EventFn fn = std::move(s.fn);
@@ -94,13 +97,19 @@ bool Engine::runUntil(SimTime until) {
       continue;
     }
     if (top.time > until) {
-      now_ = std::max(now_, until);
+      if (until > now_) {
+        now_ = until;
+        if (observer_ != nullptr) observer_->onTimeAdvance(now_);
+      }
       return false;
     }
     std::pop_heap(heap_.begin(), heap_.end(), HandleAfter{});
     heap_.pop_back();
     Slot& s = slotAt(top.slot);
-    now_ = top.time;
+    if (top.time != now_) {
+      now_ = top.time;
+      if (observer_ != nullptr) observer_->onTimeAdvance(now_);
+    }
     ++executed_;
     --live_;
     EventFn fn = std::move(s.fn);
@@ -108,7 +117,10 @@ bool Engine::runUntil(SimTime until) {
     freeSlot(top.slot);
     fn();
   }
-  now_ = std::max(now_, until);
+  if (until > now_) {
+    now_ = until;
+    if (observer_ != nullptr) observer_->onTimeAdvance(now_);
+  }
   checkDeadlock();
   return true;
 }

@@ -48,6 +48,19 @@ class DeadlockError : public SimError {
   using SimError::SimError;
 };
 
+/// Observer of virtual-time advancement. The run loop invokes
+/// onTimeAdvance(now) whenever now() moves to a new timestamp, BEFORE the
+/// first event at that timestamp executes — so the observer sees the
+/// simulation state with every event strictly before `now` applied,
+/// which is what makes sampling at window boundaries deterministic.
+/// Observers must not post events or otherwise mutate simulation state;
+/// they read (counters, queue depths) and record.
+class TimeObserver {
+ public:
+  virtual ~TimeObserver() = default;
+  virtual void onTimeAdvance(SimTime now) = 0;
+};
+
 class Engine {
  public:
   Engine() = default;
@@ -89,6 +102,12 @@ class Engine {
 
   /// Total events executed so far (diagnostics / gbench).
   std::uint64_t executedEvents() const { return executed_; }
+
+  /// Attaches a time observer (nullptr detaches). Null by default and the
+  /// only cost when detached is one pointer test per executed event, so
+  /// the data path stays byte-identical with observability off.
+  void setTimeObserver(TimeObserver* observer) { observer_ = observer; }
+  TimeObserver* timeObserver() const { return observer_; }
 
   /// --- Introspection for tests and diagnostics ---
 
@@ -170,6 +189,7 @@ class Engine {
   SimTime now_ = 0;
   std::uint64_t nextSeq_ = 1;
   std::uint64_t executed_ = 0;
+  TimeObserver* observer_ = nullptr;
 
   std::vector<Handle> heap_;
   std::vector<std::unique_ptr<Slot[]>> slabs_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <barrier>
+#include <chrono>
 #include <cstdlib>
 #include <limits>
 #include <string>
@@ -17,6 +18,13 @@ constexpr SimTime kMaxTime = std::numeric_limits<SimTime>::max();
 
 constexpr SimTime satAdd(SimTime t, Duration d) {
   return t > kMaxTime - d ? kMaxTime : t + d;
+}
+
+std::uint64_t wallNowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 // Execution context of the current thread: which engine/domain the event
@@ -209,9 +217,11 @@ SimTime ShardedEngine::nextEventTime() const {
   return t;
 }
 
-void ShardedEngine::runDomainWindow(std::uint32_t d, SimTime windowEnd) {
+std::uint64_t ShardedEngine::runDomainWindow(std::uint32_t d,
+                                             SimTime windowEnd) {
   Domain& dom = domains_[d];
-  if (dom.heap.empty() || dom.heap.front().time >= windowEnd) return;
+  if (dom.heap.empty() || dom.heap.front().time >= windowEnd) return 0;
+  const std::uint64_t executedBefore = dom.executed;
   const ShardedEngine* prevEngine = tlEngine;
   const std::uint32_t prevDomain = tlDomain;
   tlEngine = this;
@@ -250,6 +260,7 @@ void ShardedEngine::runDomainWindow(std::uint32_t d, SimTime windowEnd) {
   }
   tlEngine = prevEngine;
   tlDomain = prevDomain;
+  return dom.executed - executedBefore;
 }
 
 void ShardedEngine::deliverOutboxes() {
@@ -269,8 +280,14 @@ bool ShardedEngine::runWindows(SimTime horizon) {
     if (t > horizon) return false;
     const SimTime windowEnd = std::min(
         satAdd(t, lookahead_ > 0 ? lookahead_ : 1), satAdd(horizon, 1));
+    const std::uint64_t w0 = profiling_ ? wallNowNs() : 0;
+    std::uint64_t executed = 0;
     for (std::uint32_t d = 0; d < domainCountU32_; ++d) {
-      runDomainWindow(d, windowEnd);
+      executed += runDomainWindow(d, windowEnd);
+    }
+    if (profiling_) {
+      timing_[0].execNs += wallNowNs() - w0;
+      if (executed > 0) ++timing_[0].windowsActive;
     }
     deliverOutboxes();
     ++windows_;
@@ -319,16 +336,24 @@ bool ShardedEngine::runWindowsParallel(SimTime horizon) {
       while (!done_) {
         if (!abort_.load(std::memory_order_relaxed)) {
           try {
+            const std::uint64_t w0 = profiling_ ? wallNowNs() : 0;
+            std::uint64_t executed = 0;
             for (std::uint32_t d = shard; d < domainCountU32_;
                  d += shards_) {
-              runDomainWindow(d, windowEnd_);
+              executed += runDomainWindow(d, windowEnd_);
+            }
+            if (profiling_) {
+              timing_[shard].execNs += wallNowNs() - w0;
+              if (executed > 0) ++timing_[shard].windowsActive;
             }
           } catch (...) {
             shardErrors_[shard] = std::current_exception();
             abort_.store(true, std::memory_order_relaxed);
           }
         }
+        const std::uint64_t b0 = profiling_ ? wallNowNs() : 0;
         sync.arrive_and_wait();
+        if (profiling_) timing_[shard].barrierWaitNs += wallNowNs() - b0;
       }
     };
     std::vector<std::thread> pool;
@@ -400,6 +425,52 @@ std::uint64_t ShardedEngine::crossShardEvents() const {
   std::uint64_t n = 0;
   for (const Domain& dom : domains_) n += dom.crossShard;
   return n;
+}
+
+void ShardedEngine::setProfiling(bool on) {
+  if (running_) {
+    throw SimError("ShardedEngine::setProfiling: engine is running");
+  }
+  profiling_ = on;
+  if (on && timing_.size() != shards_) {
+    timing_.assign(shards_, ShardTiming{});
+  }
+}
+
+std::vector<ShardProfile> ShardedEngine::shardProfiles() const {
+  std::vector<ShardProfile> out(shards_);
+  for (unsigned s = 0; s < shards_; ++s) {
+    out[s].shard = s;
+    if (s < timing_.size()) {
+      out[s].execNs = timing_[s].execNs;
+      out[s].barrierWaitNs = timing_[s].barrierWaitNs;
+      out[s].windowsActive = timing_[s].windowsActive;
+    }
+  }
+  for (std::uint32_t d = 0; d < domainCountU32_; ++d) {
+    ShardProfile& p = out[shardOf(d)];
+    ++p.domains;
+    p.events += domains_[d].executed;
+    p.crossShardSent += domains_[d].crossShard;
+  }
+  return out;
+}
+
+double ShardedEngine::loadImbalance() const {
+  std::uint64_t maxEv = 0;
+  std::uint64_t total = 0;
+  std::vector<std::uint64_t> perShard(shards_, 0);
+  for (std::uint32_t d = 0; d < domainCountU32_; ++d) {
+    perShard[shardOf(d)] += domains_[d].executed;
+  }
+  for (const std::uint64_t ev : perShard) {
+    maxEv = std::max(maxEv, ev);
+    total += ev;
+  }
+  if (total == 0) return 1.0;
+  const double mean =
+      static_cast<double>(total) / static_cast<double>(shards_);
+  return static_cast<double>(maxEv) / mean;
 }
 
 }  // namespace vibe::sim

@@ -56,6 +56,20 @@ namespace vibe::sim {
 /// so tests can flip the variable. Mirrors harness::jobCount().
 unsigned shardCount();
 
+/// Runtime-profiler snapshot for one shard of a ShardedEngine (see
+/// shardProfiles()). Event/domain counts are deterministic; the *Ns
+/// fields are host wall-clock and vary run to run — keep them out of
+/// golden output.
+struct ShardProfile {
+  unsigned shard = 0;
+  std::uint32_t domains = 0;        // domains packed onto this shard
+  std::uint64_t events = 0;         // events executed by those domains
+  std::uint64_t crossShardSent = 0; // sends that left this shard
+  std::uint64_t windowsActive = 0;  // windows with >= 1 event here
+  std::uint64_t execNs = 0;         // wall time executing events
+  std::uint64_t barrierWaitNs = 0;  // wall time blocked at the barrier
+};
+
 /// Construction parameters for a ShardedEngine.
 struct EngineConfig {
   /// Number of state-disjoint domains the model is partitioned into.
@@ -129,6 +143,24 @@ class ShardedEngine {
   /// Conservative windows executed (barrier count in a parallel run).
   std::uint64_t windowsExecuted() const { return windows_; }
 
+  /// --- Runtime profiler (opt-in; see docs/PDES.md) ---
+
+  /// Enables per-shard wall-clock profiling for subsequent run()s. The
+  /// timers feed diagnostics only — nothing they measure flows back into
+  /// the simulation, so the determinism contract is unaffected (pinned
+  /// by test_pdes). Call between runs, not during one.
+  void setProfiling(bool on);
+  bool profiling() const { return profiling_; }
+
+  /// One snapshot per shard: deterministic event/window counts summed
+  /// from the shard's domains plus wall-clock exec and barrier-wait time
+  /// accumulated while profiling was enabled. Call when not running.
+  std::vector<ShardProfile> shardProfiles() const;
+
+  /// max/mean of per-shard executed events: 1.0 = perfectly balanced.
+  /// Returns 1.0 when nothing executed.
+  double loadImbalance() const;
+
  private:
   struct Domain;
   struct CrossMsg;
@@ -136,8 +168,16 @@ class ShardedEngine {
   // Strict weak order "a fires after b" over the (time, src, seq) key.
   struct ItemAfter;
 
+  // Per-shard wall-clock accumulators; cache-line aligned because every
+  // shard writes its own entry concurrently during a parallel run.
+  struct alignas(64) ShardTiming {
+    std::uint64_t execNs = 0;
+    std::uint64_t barrierWaitNs = 0;
+    std::uint64_t windowsActive = 0;
+  };
+
   SimTime nextEventTime() const;
-  void runDomainWindow(std::uint32_t d, SimTime windowEnd);
+  std::uint64_t runDomainWindow(std::uint32_t d, SimTime windowEnd);
   void deliverOutboxes();
   void pushEvent(Domain& dom, SimTime t, std::uint32_t srcDomain,
                  std::uint64_t seq, EventFn fn);
@@ -150,6 +190,8 @@ class ShardedEngine {
   unsigned shards_ = 1;
   Duration lookahead_ = 0;
   std::uint64_t windows_ = 0;
+  bool profiling_ = false;
+  std::vector<ShardTiming> timing_;  // sized to shards_ when profiling
 
   // Parallel-run shared state. Written only by the barrier completion
   // step (or before the pool starts) and read by workers after the

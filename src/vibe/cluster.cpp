@@ -5,6 +5,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 
 namespace vibe::suite {
 
@@ -41,6 +42,65 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   if (config_.tracer != nullptr) setTracer(config_.tracer);
   if (config_.spans != nullptr) setSpanProfiler(config_.spans);
   if (config_.metrics != nullptr) setMetricsRegistry(config_.metrics);
+  if (config_.sampler != nullptr) {
+    setSampler(config_.sampler, config_.samplePeriod);
+  }
+}
+
+void Cluster::setSampler(obs::TimeSeriesSampler* sampler,
+                         sim::Duration period) {
+  if (sampler == nullptr) {
+    sampler_ = nullptr;
+    return;
+  }
+  if (period <= 0) {
+    throw sim::SimError("Cluster::setSampler: samplePeriod must be > 0");
+  }
+  if (sampler_ != nullptr) {
+    throw sim::SimError("Cluster::setSampler: a sampler is already set "
+                        "(probes register once)");
+  }
+  sampler_ = sampler;
+  samplePeriod_ = period;
+  sampler_->setPeriod(period);
+  // Aggregate probes: sums over nodes, so the series count stays O(1)
+  // whether the cluster has 2 nodes or 1024. Probes only read.
+  sampler_->addProbe("nic/tx_backlog", [this](sim::SimTime) {
+    std::size_t n = 0;
+    for (auto& p : providers_) n += p->device().txBacklog();
+    return static_cast<double>(n);
+  });
+  sampler_->addProbe("nic/rx_backlog", [this](sim::SimTime) {
+    std::size_t n = 0;
+    for (auto& p : providers_) n += p->device().rxBacklog();
+    return static_cast<double>(n);
+  });
+  sampler_->addProbe("nic/cq_depth", [this](sim::SimTime) {
+    std::size_t n = 0;
+    for (auto& p : providers_) n += p->cqDepthTotal();
+    return static_cast<double>(n);
+  });
+  sampler_->addProbe("fabric/host_link_frames", [this](sim::SimTime at) {
+    std::uint64_t n = 0;
+    for (std::uint32_t i = 0; i < config_.nodes; ++i) {
+      n += net_->uplink(i).queuedFrames(at);
+      n += net_->downlink(i).queuedFrames(at);
+    }
+    return static_cast<double>(n);
+  });
+  sampler_->addProbe("fabric/switch_queue_frames", [this](sim::SimTime at) {
+    std::uint64_t n = 0;
+    for (const auto& sw : net_->topology().switches()) {
+      for (std::uint32_t i = 0; i < sw->portCount(); ++i) {
+        const fabric::Switch::Port& port = sw->port(i);
+        if (port.out != nullptr) n += port.out->queuedFrames(at);
+      }
+    }
+    return static_cast<double>(n);
+  });
+  sampler_->addProbe("fabric/switch_buffer_drops", [this](sim::SimTime) {
+    return static_cast<double>(net_->switchBufferDrops());
+  });
 }
 
 void Cluster::setSpanProfiler(obs::SpanProfiler* spans) {
@@ -134,7 +194,20 @@ void Cluster::run(std::vector<std::function<void(NodeEnv&)>> programs) {
           providers_[i]->quiesce();
         }));
   }
-  engine_.run();
+  if (sampler_ != nullptr) sampler_->attach(engine_);
+  try {
+    engine_.run();
+  } catch (...) {
+    if (sampler_ != nullptr) sampler_->detach();
+    throw;
+  }
+  if (sampler_ != nullptr) {
+    // Capture remaining whole boundaries up to the drain time, so the
+    // timeline's tail does not depend on whether a final event happened
+    // to land past the last boundary.
+    sampler_->flushUntil(engine_.now());
+    sampler_->detach();
+  }
   publishStats();
 }
 

@@ -22,6 +22,7 @@ class FaultInjector;
 namespace vibe::obs {
 class MetricsRegistry;
 class SpanProfiler;
+class TimeSeriesSampler;
 }
 
 namespace vibe::suite {
@@ -51,6 +52,12 @@ struct ClusterConfig {
   sim::Tracer* tracer = nullptr;
   obs::SpanProfiler* spans = nullptr;
   obs::MetricsRegistry* metrics = nullptr;
+  // Time-series sampler: when set, the Cluster registers aggregate queue-
+  // depth probes (NIC tx/rx backlog, CQ depth, link + switch occupancy)
+  // and drives the sampler at `samplePeriod` during run(). Null = no
+  // probes registered, no observer attached, zero cost.
+  obs::TimeSeriesSampler* sampler = nullptr;
+  sim::Duration samplePeriod = 0;  // required > 0 when sampler is set
 };
 
 /// Per-node view handed to a node program.
@@ -101,6 +108,14 @@ class Cluster {
   /// exposed for programs that inspect metrics mid-simulation.
   void publishStats();
 
+  /// Registers a time-series sampler: aggregate queue-depth probes are
+  /// added once (NIC tx/rx backlog summed over nodes, total CQ depth,
+  /// host-link occupancy, switch buffer depth/drops) and run() attaches
+  /// the sampler to the engine at `period` cadence for its duration.
+  /// Call once per sampler; the sampler must outlive the cluster's use.
+  void setSampler(obs::TimeSeriesSampler* sampler, sim::Duration period);
+  obs::TimeSeriesSampler* sampler() const { return sampler_; }
+
   /// Records the fault injector driving this cluster (called by
   /// fault::FaultInjector::arm). Purely an attachment registry — the
   /// injector acts on the network links directly.
@@ -120,6 +135,8 @@ class Cluster {
   sim::Tracer* tracer_ = nullptr;
   obs::SpanProfiler* spans_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::TimeSeriesSampler* sampler_ = nullptr;
+  sim::Duration samplePeriod_ = 0;
   fault::FaultInjector* injector_ = nullptr;
   // Counter snapshots from the last publishStats() (delta publishing).
   std::vector<nic::NicStats> lastPublished_;

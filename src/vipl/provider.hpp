@@ -245,6 +245,15 @@ class Provider {
   mem::HostMemory& memory() { return memory_; }
   mem::MemoryRegistry& registry() { return registry_; }
   nic::NicDevice& device() { return device_; }
+  /// Un-reaped completion entries summed over this provider's open CQs.
+  /// A time-series sampler probes this as the node's CQ depth.
+  std::size_t cqDepthTotal() const {
+    std::size_t n = 0;
+    for (const auto& cq : cqs_) {
+      if (cq) n += cq->depth();
+    }
+    return n;
+  }
   const nic::NicProfile& profile() const { return profile_; }
   fabric::NodeId nodeId() const { return node_; }
   const std::string& hostName() const { return hostName_; }

@@ -6,13 +6,21 @@
 
 #include <cstdio>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 
+#include "fault/invariants.hpp"
 #include "nic/profiles.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/span.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace_export.hpp"
+#include "simcore/engine.hpp"
+#include "test_env.hpp"
 #include "vibe/datatransfer.hpp"
 
 namespace vibe {
@@ -395,6 +403,475 @@ TEST(ObsIntegration, AttachedProfilerDoesNotPerturbTiming) {
   EXPECT_DOUBLE_EQ(observed.latencyUsec, plain.latencyUsec);
   EXPECT_DOUBLE_EQ(observed.latencyP99Usec, plain.latencyP99Usec);
   EXPECT_GT(spans.totalSpans(), 0u);
+}
+
+// --- countAbove / shard-merge identity -----------------------------------
+
+TEST(HistogramTest, CountAboveIsExactAtBucketBoundaries) {
+  Histogram h;
+  // Values < 2^kSubBits sit in exact unit buckets.
+  for (int v = 0; v < 8; ++v) h.add(v);
+  EXPECT_EQ(h.countAbove(3), 4u);  // 4, 5, 6, 7
+  EXPECT_EQ(h.countAbove(7), 0u);
+  EXPECT_EQ(h.countAbove(0), 7u);
+
+  // For a coarse bucket, a threshold at the bucket's upper bound excludes
+  // exactly that bucket; one below its lower bound includes it.
+  Histogram big;
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  Histogram::bucketBounds(Histogram::bucketIndex(100'000), lo, hi);
+  big.add(100'000);
+  big.add(static_cast<std::int64_t>(hi) * 100);
+  EXPECT_EQ(big.countAbove(hi), 1u);
+  EXPECT_EQ(big.countAbove(lo - 1), 2u);
+}
+
+TEST(HistogramTest, ShardMergedQuantilesMatchSeriallyBuilt) {
+  // Property check for the sweep harness's merge path: a histogram merged
+  // from per-shard pieces must report the same quantiles as one built
+  // serially from the same samples — identical buckets, identical
+  // min/max clamp, so equality is exact, not approximate.
+  std::uint64_t lcg = 12345;
+  auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+  };
+  Histogram serial;
+  Histogram shards[4];
+  for (int i = 0; i < 4000; ++i) {
+    // Mixed magnitudes: mostly ~20 us, a heavy tail into tens of ms.
+    const std::int64_t v = (next() % 7 == 0)
+                               ? static_cast<std::int64_t>(next() % 50'000'000)
+                               : static_cast<std::int64_t>(next() % 20'000);
+    serial.add(v);
+    shards[i % 4].add(v);
+  }
+  Histogram merged;
+  for (const Histogram& s : shards) merged.merge(s);
+  EXPECT_EQ(merged.count(), serial.count());
+  EXPECT_EQ(merged.min(), serial.min());
+  EXPECT_EQ(merged.max(), serial.max());
+  EXPECT_DOUBLE_EQ(merged.sum(), serial.sum());
+  EXPECT_EQ(merged.bucketCounts(), serial.bucketCounts());
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(merged.quantile(q), serial.quantile(q)) << "q=" << q;
+  }
+}
+
+// --- TimeSeriesSampler ---------------------------------------------------
+
+TEST(TimeSeriesSamplerTest, CapturesEveryBoundaryExactlyOnce) {
+  sim::Engine eng;
+  int applied = 0;
+  obs::TimeSeriesSampler sampler;
+  sampler.setPeriod(100);
+  sampler.addProbe("applied", [&](sim::SimTime) {
+    return static_cast<double>(applied);
+  });
+  sampler.attach(eng);
+  for (const sim::SimTime t : {5, 105, 110, 399, 400, 401, 1000}) {
+    eng.postAt(t, [&] { ++applied; });
+  }
+  eng.run();
+  sampler.flushUntil(eng.now());
+  sampler.detach();
+
+  ASSERT_EQ(sampler.windowCount(), 10u);
+  for (std::size_t w = 0; w < sampler.windowCount(); ++w) {
+    EXPECT_EQ(sampler.windowTime(w), static_cast<sim::SimTime>((w + 1) * 100));
+  }
+  // A boundary captures the state with every event strictly before it
+  // applied: at t=400 the event at 399 has run, the one at 400 has not.
+  EXPECT_DOUBLE_EQ(sampler.value(0, 0), 1.0);   // t=100: only t=5
+  EXPECT_DOUBLE_EQ(sampler.value(1, 0), 3.0);   // t=200: 5, 105, 110
+  EXPECT_DOUBLE_EQ(sampler.value(3, 0), 4.0);   // t=400: ... + 399
+  EXPECT_DOUBLE_EQ(sampler.value(4, 0), 6.0);   // t=500: ... + 400, 401
+  EXPECT_DOUBLE_EQ(sampler.value(9, 0), 6.0);   // t=1000: before the last
+  EXPECT_EQ(sampler.droppedWindows(), 0u);
+}
+
+TEST(TimeSeriesSamplerTest, RingDropsOldestWindows) {
+  obs::TimeSeriesSampler sampler(/*maxWindows=*/4);
+  sampler.setPeriod(10);
+  sampler.addProbe("t", [](sim::SimTime at) {
+    return static_cast<double>(at);
+  });
+  sampler.flushUntil(100);
+  EXPECT_EQ(sampler.windowCount(), 4u);
+  EXPECT_EQ(sampler.droppedWindows(), 6u);
+  EXPECT_EQ(sampler.windowTime(0), 70);
+  EXPECT_EQ(sampler.windowTime(3), 100);
+  EXPECT_DOUBLE_EQ(sampler.value(3, 0), 100.0);
+}
+
+TEST(TimeSeriesSamplerTest, RegistrationAndAttachmentAreValidated) {
+  obs::TimeSeriesSampler sampler;
+  EXPECT_THROW(sampler.setPeriod(0), sim::SimError);
+  sim::Engine eng;
+  EXPECT_THROW(sampler.attach(eng), sim::SimError) << "period unset";
+  sampler.setPeriod(50);
+  sampler.addProbe("a", [](sim::SimTime) { return 0.0; });
+  sampler.attach(eng);
+  EXPECT_THROW(sampler.attach(eng), sim::SimError) << "already attached";
+  sampler.detach();
+  sampler.flushUntil(50);
+  // Rows are rectangular: no new series once a window exists.
+  EXPECT_THROW(sampler.addProbe("b", [](sim::SimTime) { return 0.0; }),
+               sim::SimError);
+  const std::string csv = sampler.renderCsv();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')), "t_ns,a");
+}
+
+TEST(TimeSeriesSamplerTest, TimelineByteIdenticalAcrossJobsAndShards) {
+  // The sampler stamps rows at virtual-time boundaries, so the CSV is a
+  // determinism witness: identical across host-parallelism settings.
+  std::vector<std::string> csvs;
+  for (const char* jobs : {"1", "4"}) {
+    for (const char* shardsEnv : {"1", "4"}) {
+      testing::ScopedEnv j("VIBE_JOBS", jobs);
+      testing::ScopedEnv s("VIBE_SIM_SHARDS", shardsEnv);
+      obs::TimeSeriesSampler sampler;
+      suite::ClusterConfig cc{nic::clanProfile()};
+      cc.sampler = &sampler;
+      cc.samplePeriod = sim::usec(20);
+      suite::TransferConfig cfg;
+      cfg.msgBytes = 256;
+      cfg.iterations = 40;
+      cfg.warmup = 2;
+      (void)suite::runPingPong(cc, cfg);
+      ASSERT_GT(sampler.windowCount(), 0u);
+      csvs.push_back(sampler.renderCsv());
+    }
+  }
+  for (std::size_t i = 1; i < csvs.size(); ++i) {
+    EXPECT_EQ(csvs[i], csvs[0]) << "combo " << i << " diverged";
+  }
+}
+
+// --- SloMonitor ----------------------------------------------------------
+
+namespace {
+/// One log-bucket of tolerance around `expected` (plus 1 for the unit
+/// buckets): the resolution the monitor promises against an offline
+/// recomputation from the exact window samples.
+double bucketTolerance(double expected) {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+  Histogram::bucketBounds(
+      Histogram::bucketIndex(static_cast<std::uint64_t>(expected)), lo, hi);
+  return static_cast<double>(hi - lo) + 1.0;
+}
+}  // namespace
+
+TEST(SloMonitorTest, WindowQuantilesMatchOfflineRecomputation) {
+  std::uint64_t lcg = 99;
+  auto next = [&lcg] {
+    lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+    return lcg >> 33;
+  };
+  Histogram cumulative;
+  obs::SloMonitor slo("lat", cumulative);
+  for (int w = 1; w <= 8; ++w) {
+    Histogram offline;  // rebuilt from exactly this window's samples
+    const std::uint64_t base = 1000ull << w;  // magnitude drifts per window
+    for (int i = 0; i < 300; ++i) {
+      const std::int64_t v =
+          static_cast<std::int64_t>(base + next() % (base * 3));
+      cumulative.add(v);
+      offline.add(v);
+    }
+    slo.sample(w * 1000);
+    const obs::SloMonitor::Window& win = slo.lastWindow();
+    EXPECT_EQ(win.t, w * 1000);
+    EXPECT_EQ(win.count, offline.count());
+    EXPECT_NEAR(win.p50, offline.quantile(0.5), bucketTolerance(win.p50));
+    EXPECT_NEAR(win.p99, offline.quantile(0.99), bucketTolerance(win.p99));
+    EXPECT_NEAR(win.p999, offline.quantile(0.999),
+                bucketTolerance(win.p999));
+  }
+  EXPECT_EQ(slo.windows().size(), 8u);
+}
+
+TEST(SloMonitorTest, BurnRateSpendsTheErrorBudget) {
+  Histogram h;
+  obs::SloMonitor slo("lat", h);
+  // Threshold on an exact bucket boundary so countAbove has no slack.
+  std::uint64_t lo = 0;
+  std::uint64_t thr = 0;
+  Histogram::bucketBounds(Histogram::bucketIndex(100'000), lo, thr);
+  slo.setThresholdNs(thr);
+  slo.setTarget(0.9);
+
+  for (int i = 0; i < 95; ++i) h.add(1000);
+  for (int i = 0; i < 5; ++i) {
+    h.add(static_cast<std::int64_t>(thr) * 50);
+  }
+  slo.sample(100);
+  const obs::SloMonitor::Window& w = slo.lastWindow();
+  EXPECT_EQ(w.count, 100u);
+  EXPECT_EQ(w.overThreshold, 5u);
+  // 5% of samples over, 10% budget: half the budget burned.
+  EXPECT_NEAR(w.burnRate, 0.5, 1e-9);
+
+  // A clean second window burns nothing.
+  for (int i = 0; i < 10; ++i) h.add(500);
+  slo.sample(200);
+  EXPECT_EQ(slo.lastWindow().overThreshold, 0u);
+  EXPECT_DOUBLE_EQ(slo.lastWindow().burnRate, 0.0);
+  EXPECT_THROW(slo.setTarget(1.0), sim::SimError);
+  EXPECT_THROW(slo.setTarget(0.0), sim::SimError);
+}
+
+TEST(SloMonitorTest, ThresholdCrossingsEmitUserTraceRecords) {
+  Histogram h;
+  sim::Tracer tracer;
+  tracer.enable(sim::TraceCategory::User);
+  obs::SloMonitor slo("rpc", h);
+  slo.setThresholdNs(10'000);
+  slo.setTracer(&tracer, /*component=*/7);
+
+  for (int i = 0; i < 100; ++i) h.add(100);
+  slo.sample(100);
+  EXPECT_FALSE(slo.breached());
+  for (int i = 0; i < 100; ++i) h.add(1'000'000);
+  slo.sample(200);
+  EXPECT_TRUE(slo.breached());
+  for (int i = 0; i < 100; ++i) h.add(100);
+  slo.sample(300);
+  EXPECT_FALSE(slo.breached());
+  EXPECT_EQ(slo.crossings(), 2u);
+
+  const auto records = tracer.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].category, sim::TraceCategory::User);
+  EXPECT_EQ(records[0].component, 7u);
+  EXPECT_NE(records[0].message.find("slo rpc breach"), std::string::npos);
+  EXPECT_NE(records[1].message.find("slo rpc recover"), std::string::npos);
+}
+
+TEST(SloMonitorTest, BindToSamplerAlignsWindowsWithRows) {
+  sim::Engine eng;
+  Histogram h;
+  obs::TimeSeriesSampler sampler;
+  sampler.setPeriod(100);
+  obs::SloMonitor slo("x", h);
+  slo.bindTo(sampler);
+  sampler.attach(eng);
+  for (int i = 1; i <= 10; ++i) {
+    eng.postAt(i * 37, [&, i] { h.add(i * 10); });
+  }
+  eng.run();
+  sampler.flushUntil(eng.now());
+  sampler.detach();
+  ASSERT_EQ(sampler.windowCount(), 3u);
+  ASSERT_EQ(slo.windows().size(), 3u);
+  for (std::size_t w = 0; w < 3; ++w) {
+    EXPECT_EQ(slo.windows()[w].t, sampler.windowTime(w));
+    // The row's p50 series is the window's p50, captured in the same pass.
+    EXPECT_DOUBLE_EQ(sampler.value(w, 0), slo.windows()[w].p50);
+  }
+  const std::string header =
+      sampler.renderCsv().substr(0, sampler.renderCsv().find('\n'));
+  EXPECT_EQ(header, "t_ns,x/p50_ns,x/p99_ns,x/p999_ns,x/burn_rate");
+}
+
+// --- SpanProfiler retention under sampler load ---------------------------
+
+TEST(SpanProfilerTest, RetentionCapHoldsUnderSamplerLoad) {
+  SpanProfiler spans(/*maxEvents=*/64);
+  spans.setKeepEvents(true);
+  obs::TimeSeriesSampler sampler;
+  suite::ClusterConfig cc{nic::clanProfile()};
+  cc.spans = &spans;
+  cc.sampler = &sampler;
+  cc.samplePeriod = sim::usec(10);
+  suite::TransferConfig cfg;
+  cfg.msgBytes = 64;
+  cfg.iterations = 100;
+  cfg.warmup = 4;
+  (void)suite::runPingPong(cc, cfg);
+  EXPECT_GT(sampler.windowCount(), 0u);
+  EXPECT_EQ(spans.events().size(), 64u);
+  EXPECT_GT(spans.eventsDropped(), 0u);
+  // The retention cap bounds raw events only; aggregation still sees all.
+  EXPECT_EQ(spans.messageCount(),
+            static_cast<std::size_t>(cfg.iterations + cfg.warmup) * 2);
+}
+
+// --- hostile-name JSON round trips ---------------------------------------
+
+namespace {
+/// String-aware brace balance plus a raw-control-character scan: the
+/// structural soundness check for emitters that don't write traceEvents.
+bool jsonStructurallySound(const std::string& json) {
+  int depth = 0;
+  bool inString = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (static_cast<unsigned char>(c) < 0x20 && c != '\n') {
+      return false;  // control characters must be escaped
+    }
+    if (inString) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        inString = false;
+      }
+      continue;
+    }
+    if (c == '"') inString = true;
+    if (c == '{') ++depth;
+    if (c == '}' && --depth < 0) return false;
+  }
+  return depth == 0 && !inString;
+}
+}  // namespace
+
+TEST(JsonEscapeTest, EscapesEveryHostileByte) {
+  EXPECT_EQ(obs::jsonEscape("plain"), "plain");
+  EXPECT_EQ(obs::jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::jsonEscape("a\nb\tc\rd"), "a\\nb\\tc\\rd");
+  EXPECT_EQ(obs::jsonEscape(std::string("a\x01z", 3)), "a\\u0001z");
+  EXPECT_EQ(obs::jsonEscape("a\b\f"), "a\\b\\f");
+  EXPECT_EQ(obs::jsonNumber(1.5), "1.5");
+  EXPECT_EQ(obs::jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+            "null");
+  EXPECT_EQ(obs::jsonNumber(std::numeric_limits<double>::infinity()),
+            "null");
+}
+
+TEST(JsonEscapeTest, HostileNamesSurviveAllEmitters) {
+  // Split the literal so \x01 doesn't greedily absorb the 'c' after it.
+  const std::string hostile = "evil\"name\\ with\nnewline\tand\x01" "ctrl";
+
+  // Trace exporter: counter tracks and instants.
+  const std::string path = ::testing::TempDir() + "vibe_hostile_trace.json";
+  {
+    obs::TraceJsonExporter exp(path);
+    exp.counter(hostile, 1000, 42.0);
+    sim::TraceRecord rec;
+    rec.time = 2000;
+    rec.message = hostile;
+    exp.instant(rec);
+    EXPECT_TRUE(exp.finish());
+  }
+  const std::string trace = readFile(path);
+  EXPECT_EQ(countTraceEvents(trace), 2u);
+  EXPECT_TRUE(jsonStructurallySound(trace)) << trace;
+  EXPECT_NE(trace.find("evil\\\"name\\\\ with\\nnewline\\tand\\u0001ctrl"),
+            std::string::npos);
+  std::remove(path.c_str());
+
+  // Metrics JSON: hostile metric names in every section.
+  MetricsRegistry reg;
+  reg.counter(hostile).add(3);
+  reg.gauge("g\"\\").set(1.25);
+  reg.histogram("h\n").add(5000);
+  const std::string metrics = obs::renderMetricsJson(reg);
+  EXPECT_TRUE(jsonStructurallySound(metrics)) << metrics;
+  EXPECT_NE(metrics.find("\"schema\": 2"), std::string::npos);
+  EXPECT_NE(metrics.find("g\\\"\\\\"), std::string::npos);
+  EXPECT_NE(metrics.find("h\\n"), std::string::npos);
+}
+
+// --- FlightRecorder ------------------------------------------------------
+
+TEST(FlightRecorderTest, DumpWritesRingsAndReason) {
+  obs::TimeSeriesSampler sampler;
+  sampler.setPeriod(100);
+  sampler.addProbe("depth", [](sim::SimTime at) {
+    return static_cast<double>(at) / 100.0;
+  });
+  sampler.flushUntil(300);
+
+  Histogram h;
+  obs::SloMonitor slo("lat", h);
+  for (int i = 0; i < 10; ++i) h.add(1000 * (i + 1));
+  slo.sample(300);
+
+  sim::Tracer tracer;
+  tracer.enable(sim::TraceCategory::User);
+  tracer.record(250, sim::TraceCategory::User, 3, "mark \"one\"");
+
+  const std::string path = ::testing::TempDir() + "vibe_flight.json";
+  obs::FlightRecorder rec(path);
+  rec.setSampler(&sampler);
+  rec.setSlo(&slo);
+  rec.setTracer(&tracer);
+  ASSERT_TRUE(rec.dump("it broke \"badly\"\n"));
+  EXPECT_EQ(rec.dumps(), 1u);
+
+  const std::string json = readFile(path);
+  EXPECT_TRUE(jsonStructurallySound(json)) << json;
+  EXPECT_NE(json.find("it broke \\\"badly\\\"\\n"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"slo\""), std::string::npos);
+  EXPECT_NE(json.find("mark \\\"one\\\""), std::string::npos);
+
+  ASSERT_TRUE(rec.dump("second"));
+  EXPECT_EQ(rec.dumps(), 2u);
+  EXPECT_NE(readFile(path).find("\"second\""), std::string::npos)
+      << "latest dump wins";
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, InvariantViolationTriggersOneDump) {
+  // With VIBE_FLIGHT_OUT set, dump there and keep the file — CI runs this
+  // test as its flight-recorder smoke and uploads the dump as an artifact.
+  const char* envPath = obs::FlightRecorder::envPath();
+  const std::string path =
+      envPath ? envPath : ::testing::TempDir() + "vibe_flight_inv.json";
+  std::remove(path.c_str());
+  obs::FlightRecorder rec(path);
+  obs::TimeSeriesSampler sampler;
+  sampler.setPeriod(5);
+  sampler.addProbe("inflight", [](sim::SimTime at) {
+    return static_cast<double>(at % 3);
+  });
+  sampler.flushUntil(10);
+  sim::Tracer tracer;
+  tracer.enable(sim::TraceCategory::Rx);
+  rec.setSampler(&sampler);
+  rec.setTracer(&tracer);
+  fault::InvariantChecker checker;
+  checker.setViolationHook(rec.violationHook());
+
+  sim::TraceRecord bad;
+  bad.time = 10;
+  bad.category = sim::TraceCategory::Rx;
+  bad.component = 0;
+  bad.message = "deliver vi=1 rel=Reliable";  // no msg= -> unparseable
+  tracer.record(bad.time, bad.category, bad.component, bad.message);
+  checker.onRecord(bad);
+  ASSERT_FALSE(checker.ok());
+  EXPECT_EQ(rec.dumps(), 1u);
+  const std::string dump = readFile(path);
+  EXPECT_NE(dump.find("unparseable deliver record"), std::string::npos);
+  EXPECT_TRUE(jsonStructurallySound(dump)) << dump;
+  EXPECT_NE(dump.find("\"inflight\""), std::string::npos);
+
+  // Later violations do not thrash the dump: first-failure state wins.
+  checker.onRecord(bad);
+  EXPECT_EQ(checker.violations().size(), 2u);
+  EXPECT_EQ(rec.dumps(), 1u);
+  if (envPath == nullptr) std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, FromEnvReadsVibeFlightOut) {
+  {
+    testing::ScopedEnv env("VIBE_FLIGHT_OUT", nullptr);
+    EXPECT_EQ(obs::FlightRecorder::envPath(), nullptr);
+    EXPECT_EQ(obs::FlightRecorder::fromEnv(), nullptr);
+  }
+  {
+    const std::string path = ::testing::TempDir() + "vibe_flight_env.json";
+    testing::ScopedEnv env("VIBE_FLIGHT_OUT", path.c_str());
+    auto rec = obs::FlightRecorder::fromEnv();
+    ASSERT_NE(rec, nullptr);
+    EXPECT_EQ(rec->path(), path);
+  }
 }
 
 }  // namespace

@@ -467,5 +467,81 @@ TEST(PdesTraffic, RaggedHostCountAndEnvDefaultShards) {
                SimError);
 }
 
+// --- Runtime profiler ------------------------------------------------------
+
+TEST(PdesProfiler, ProfilingDoesNotPerturbTheSimulation) {
+  // The profiler reads wall clocks and writes per-shard tallies; it must
+  // never feed back into virtual time. Same digest with it on and off.
+  fabric::PdesTrafficConfig cfg;
+  cfg.fatTreeK = 4;
+  cfg.rounds = 5;
+  cfg.seed = testing::testRunSeed() + 403;
+  cfg.computeIters = 6;
+  for (unsigned shards : {1u, 3u}) {
+    fabric::PdesTrafficConfig plain = cfg;
+    plain.shards = shards;
+    const fabric::PdesTrafficResult off = fabric::runPdesTraffic(plain);
+    EXPECT_TRUE(off.shardProfiles.empty());
+
+    fabric::PdesTrafficConfig prof = cfg;
+    prof.shards = shards;
+    prof.profileShards = true;
+    const fabric::PdesTrafficResult on = fabric::runPdesTraffic(prof);
+    EXPECT_EQ(on.digest, off.digest) << "shards=" << shards;
+    EXPECT_EQ(on.events, off.events) << "shards=" << shards;
+    EXPECT_EQ(on.windows, off.windows) << "shards=" << shards;
+    EXPECT_EQ(on.endTime, off.endTime) << "shards=" << shards;
+    ASSERT_EQ(on.shardProfiles.size(), on.shardsUsed);
+  }
+}
+
+TEST(PdesProfiler, ShardProfilesReconcileWithEngineTotals) {
+  fabric::PdesTrafficConfig cfg;
+  cfg.fatTreeK = 4;
+  cfg.rounds = 6;
+  cfg.seed = testing::testRunSeed() + 404;
+  cfg.computeIters = 8;
+  cfg.shards = 3;
+  cfg.profileShards = true;
+  const fabric::PdesTrafficResult res = fabric::runPdesTraffic(cfg);
+  ASSERT_EQ(res.shardProfiles.size(), 3u);
+
+  std::uint64_t events = 0;
+  std::uint64_t crossSent = 0;
+  std::uint32_t domains = 0;
+  for (const sim::ShardProfile& p : res.shardProfiles) {
+    events += p.events;
+    crossSent += p.crossShardSent;
+    domains += p.domains;
+    // A shard is active in at most every window the engine executed.
+    EXPECT_LE(p.windowsActive, res.windows) << "shard " << p.shard;
+  }
+  EXPECT_EQ(events, res.events);
+  EXPECT_EQ(crossSent, res.crossShard);
+  EXPECT_EQ(domains, res.domains);
+  EXPECT_GE(res.loadImbalance, 1.0);
+  // 8 edge domains over 3 shards: imbalance is real but bounded — the
+  // max-loaded shard cannot exceed the total.
+  EXPECT_LE(res.loadImbalance, 3.0);
+}
+
+TEST(PdesProfiler, SerialPathTimesWindowsToo) {
+  fabric::PdesTrafficConfig cfg;
+  cfg.fatTreeK = 4;
+  cfg.rounds = 3;
+  cfg.seed = testing::testRunSeed() + 405;
+  cfg.shards = 1;
+  cfg.profileShards = true;
+  const fabric::PdesTrafficResult res = fabric::runPdesTraffic(cfg);
+  ASSERT_EQ(res.shardProfiles.size(), 1u);
+  const sim::ShardProfile& p = res.shardProfiles.front();
+  EXPECT_EQ(p.events, res.events);
+  EXPECT_EQ(p.domains, res.domains);
+  EXPECT_GT(p.windowsActive, 0u);
+  EXPECT_LE(p.windowsActive, res.windows);
+  EXPECT_EQ(p.barrierWaitNs, 0u) << "no barrier on the serial path";
+  EXPECT_DOUBLE_EQ(res.loadImbalance, 1.0);
+}
+
 }  // namespace
 }  // namespace vibe
