@@ -1,5 +1,7 @@
 #include "fault/fault_plan.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -118,6 +120,50 @@ FaultPlan FaultPlan::generate(std::uint64_t seed, const FaultPlanParams& p) {
     // generated plan and its parsed print are byte-for-byte equivalent.
     a.rate = static_cast<double>(rateToMicro(a.rate)) / 1e6;
     plan.actions.push_back(a);
+  }
+  return plan;
+}
+
+FaultPlan FaultPlan::generateChurn(std::uint64_t seed, const ChurnParams& p) {
+  FaultPlan plan;
+  plan.seed = seed;
+  sim::Xoshiro256 rng(seed, "faultchurn");
+  const std::uint64_t span =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(p.horizon));
+  auto partition = [](std::uint32_t node, sim::SimTime start,
+                      sim::Duration dur) {
+    FaultAction a;
+    a.kind = FaultKind::Partition;
+    a.node = node;
+    a.side = LinkSide::Both;
+    a.start = start;
+    a.duration = dur;
+    a.rate = 1.0;
+    return a;
+  };
+  for (std::uint32_t n = 0; n < p.nodes; ++n) {
+    // Flap count: integer part plus a Bernoulli draw on the remainder,
+    // so fractional flapsPerNode still averages out across nodes.
+    const double whole = std::floor(p.flapsPerNode);
+    std::uint32_t flaps = static_cast<std::uint32_t>(whole);
+    if (rng.uniform() < p.flapsPerNode - whole) ++flaps;
+    for (std::uint32_t f = 0; f < flaps; ++f) {
+      const sim::SimTime at =
+          p.start + static_cast<sim::SimTime>(rng.below(span));
+      // Uniform in (0, 2*mean]: mean meanFlapLen, never zero-length.
+      const sim::Duration len =
+          1 + static_cast<sim::Duration>(rng.below(std::max<std::uint64_t>(
+                  1, 2 * static_cast<std::uint64_t>(p.meanFlapLen))));
+      plan.actions.push_back(partition(p.firstNode + n, at, len));
+    }
+  }
+  for (std::uint32_t d = 0; d < p.departs && p.nodes > 0; ++d) {
+    const std::uint32_t node = p.firstNode + p.nodes - 1 - (d % p.nodes);
+    // Departures open in the middle half of the horizon, so the session
+    // is established before the break and the revival fits the run.
+    const sim::SimTime at =
+        p.start + static_cast<sim::SimTime>(span / 4 + rng.below(span / 2));
+    plan.actions.push_back(partition(node, at, p.departLen));
   }
   return plan;
 }

@@ -67,6 +67,23 @@ struct FaultPlanParams {
   sim::Duration partitionLength = sim::msec(3);
 };
 
+/// Knobs for FaultPlan::generateChurn: per-client session churn for the
+/// serving benchmarks. Each churning node draws short full-duplex flaps
+/// (connection breaks the session layer recovers from within its retry
+/// budget); `departs` nodes additionally get one long partition — a
+/// deliberate "client left" episode that trips the session circuit
+/// breaker, so reviving it exercises Session::reopen.
+struct ChurnParams {
+  std::uint32_t firstNode = 1;   // first churning node id
+  std::uint32_t nodes = 1;       // how many consecutive nodes churn
+  sim::SimTime start = 0;        // episode windows open in [start, ...)
+  sim::Duration horizon = sim::msec(100);
+  double flapsPerNode = 1.0;     // expected short flaps per node
+  sim::Duration meanFlapLen = sim::msec(2);
+  std::uint32_t departs = 0;     // nodes given one long partition each
+  sim::Duration departLen = sim::msec(50);
+};
+
 struct FaultPlan {
   std::uint64_t seed = 0;
   std::vector<FaultAction> actions;
@@ -74,6 +91,12 @@ struct FaultPlan {
   /// Derives a plan deterministically from `seed`: same seed and params,
   /// same plan, always.
   static FaultPlan generate(std::uint64_t seed, const FaultPlanParams& p);
+
+  /// Session-churn plan for serving scenarios: short Partition flaps on
+  /// each churning node plus `departs` long partitions, all windows drawn
+  /// deterministically from `seed`. Departing nodes are taken from the
+  /// high end of the node range so low-numbered clients keep flapping.
+  static FaultPlan generateChurn(std::uint64_t seed, const ChurnParams& p);
 
   /// Round-trippable text form (one `key=value ...` line per action);
   /// parse(toString()) reproduces the plan exactly. Durations are integer

@@ -54,6 +54,9 @@ void SloMonitor::bindTo(TimeSeriesSampler& sampler) {
   sampler.addProbe(name_ + "/p999_ns", [this](sim::SimTime) {
     return windows_.empty() ? 0.0 : windows_.back().p999;
   });
+  sampler.addProbe(name_ + "/p9999_ns", [this](sim::SimTime) {
+    return windows_.empty() ? 0.0 : windows_.back().p9999;
+  });
   sampler.addProbe(name_ + "/burn_rate", [this](sim::SimTime) {
     return windows_.empty() ? 0.0 : windows_.back().burnRate;
   });
@@ -75,6 +78,7 @@ void SloMonitor::sample(sim::SimTime t) {
     w.p50 = quantileFromCounts(delta, 0.5);
     w.p99 = quantileFromCounts(delta, 0.99);
     w.p999 = quantileFromCounts(delta, 0.999);
+    w.p9999 = quantileFromCounts(delta, 0.9999);
   }
   const std::uint64_t above = source_->countAbove(thresholdNs_);
   w.overThreshold = above - prevAbove_;

@@ -36,6 +36,7 @@ class SloMonitor {
     double p50 = 0.0;
     double p99 = 0.0;
     double p999 = 0.0;
+    double p9999 = 0.0;
     std::uint64_t overThreshold = 0;
     double burnRate = 0.0;          // (over/count) / (1 - target)
   };
@@ -64,7 +65,8 @@ class SloMonitor {
     component_ = component;
   }
 
-  /// Registers sample() as a window hook plus p50/p99/p99.9/burn series
+  /// Registers sample() as a window hook plus p50/p99/p99.9/p99.99/burn
+  /// series
   /// on the sampler, so the monitor runs in lockstep with the sampler
   /// cadence and its stats land in the same CSV / counter tracks.
   void bindTo(TimeSeriesSampler& sampler);
@@ -76,6 +78,7 @@ class SloMonitor {
   const Window& lastWindow() const { return windows_.back(); }
   /// Total threshold crossings (each direction counts one).
   std::uint64_t crossings() const { return crossings_; }
+  std::uint64_t crossingCount() const { return crossings_; }
   /// True while the most recent window's p99 exceeds the threshold.
   bool breached() const { return over_; }
 

@@ -1,0 +1,166 @@
+// Admission control and load shedding for an overloaded server.
+//
+// An AdmissionQueue sits between a transport that delivers requests and
+// the handler that services them, and decides — deterministically — which
+// requests are worth the server's time once the offered load exceeds
+// capacity. Policies compose (each can be disabled independently):
+//
+//   * Token bucket (`bucket`): a rate limiter at the front door. Admits
+//     while tokens remain; an empty bucket rejects before the request
+//     ever touches the backlog.
+//   * Bounded backlog (`backlogLimit` + `admit`): RejectNew turns a full
+//     queue into a rejection of the newcomer; DropOldest evicts from the
+//     head to make room (newest-is-freshest, the overload-shedding
+//     classic for deadline traffic).
+//   * Deadline-aware shed (`deadlineShed`): at dequeue time, a request
+//     whose absolute deadline has already passed is shed instead of
+//     served — no point spending service time on a reply the client will
+//     discard.
+//   * CoDel (`codel`): queue-delay shedding. When the head-of-line
+//     sojourn time has stayed above `target` for a full `interval`, the
+//     queue enters a dropping state and sheds heads on the standard
+//     interval/sqrt(count) control-law schedule until sojourn falls back
+//     under target.
+//
+// Every decision lands in `serve.*` metrics when a registry is attached
+// (offered/admitted/rejected/evicted/shed/served plus the queue-delay
+// histogram) and the first shed after a healthy period emits a
+// TraceCategory::User "serve shed ..." record; draining back to empty
+// emits "serve recover ..." — the flight-recorder breadcrumbs for when
+// the server went red and came back.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "simcore/time.hpp"
+#include "simcore/trace.hpp"
+
+namespace vibe::serve {
+
+/// What to do with a new request when the backlog is full.
+enum class AdmitPolicy : std::uint8_t {
+  RejectNew,   // refuse the newcomer
+  DropOldest,  // evict the head to make room for the newcomer
+};
+
+const char* toString(AdmitPolicy p);
+
+struct TokenBucketConfig {
+  double ratePerSec = 0.0;  // refill rate; 0 disables the limiter
+  double burst = 0.0;       // bucket capacity, in requests
+};
+
+struct CodelConfig {
+  sim::Duration target = 0;               // sojourn target; 0 disables
+  sim::Duration interval = sim::msec(100);  // sustained-delay window
+};
+
+struct PolicyConfig {
+  std::uint32_t backlogLimit = 0;  // max queued requests; 0 = unbounded
+  AdmitPolicy admit = AdmitPolicy::RejectNew;
+  bool deadlineShed = false;  // shed requests already past deadline
+  TokenBucketConfig bucket{};
+  CodelConfig codel{};
+};
+
+/// One queued request. `client`/`token`/`method` identify it for the
+/// transport; `genTime`/`deadline` come from the load generator's stamp
+/// (deadline 0 = none); `enqueued` is set by offer().
+struct Request {
+  std::uint32_t client = 0;
+  std::uint32_t token = 0;
+  std::uint32_t method = 0;
+  sim::SimTime genTime = 0;
+  sim::SimTime deadline = 0;
+  sim::SimTime enqueued = 0;
+  std::vector<std::byte> payload;
+};
+
+enum class Verdict : std::uint8_t {
+  Admitted,
+  RejectedBacklog,  // backlog full under RejectNew
+  RejectedRate,     // token bucket empty
+};
+
+enum class Dequeue : std::uint8_t {
+  Serve,         // out = request to run
+  ShedDeadline,  // out = request whose deadline already passed
+  ShedCodel,     // out = request shed by the CoDel control law
+  Empty,
+};
+
+struct AdmissionStats {
+  std::uint64_t offered = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejectedBacklog = 0;
+  std::uint64_t rejectedRate = 0;
+  std::uint64_t evicted = 0;       // DropOldest victims
+  std::uint64_t shedDeadline = 0;  // expired at dequeue
+  std::uint64_t shedCodel = 0;
+  std::uint64_t served = 0;        // handed to the handler
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(const PolicyConfig& cfg);
+
+  /// Optional observability (both may stay unset; zero-cost then).
+  /// Counters land under "<scope>/serve.*".
+  void setMetrics(obs::MetricsRegistry* metrics, std::string scope = "serve");
+  void setTracer(sim::Tracer* tracer, std::uint32_t component = 0) {
+    tracer_ = tracer;
+    component_ = component;
+  }
+
+  /// Admission decision for one arriving request. DropOldest victims are
+  /// appended to `evicted` so the transport can account for them.
+  Verdict offer(Request r, sim::SimTime now, std::vector<Request>& evicted);
+
+  /// Pops the next decision: at most one request per call (a served one,
+  /// or one shed victim), so callers interleave dequeues with transport
+  /// polling. On Serve the head's queue delay lands in the histogram.
+  Dequeue next(sim::SimTime now, Request& out);
+
+  std::size_t depth() const { return q_.size(); }
+  const AdmissionStats& stats() const { return stats_; }
+  const PolicyConfig& config() const { return cfg_; }
+  /// True between the first shed/reject of a congestion episode and the
+  /// drain back to an empty queue.
+  bool shedding() const { return shedding_; }
+
+ private:
+  void bump(std::uint64_t AdmissionStats::* field, const char* name);
+  void onShed(const char* reason, sim::SimTime now);
+  void maybeRecover(sim::SimTime now);
+  void refill(sim::SimTime now);
+  bool codelDrop(sim::Duration sojourn, sim::SimTime now);
+  sim::SimTime controlLaw(sim::SimTime t) const;
+
+  PolicyConfig cfg_;
+  std::deque<Request> q_;
+  AdmissionStats stats_;
+
+  obs::MetricsRegistry* metrics_ = nullptr;
+  std::string scope_ = "serve";
+  sim::Tracer* tracer_ = nullptr;
+  std::uint32_t component_ = 0;
+
+  // Token bucket.
+  double tokens_ = 0.0;
+  sim::SimTime lastRefill_ = 0;
+  bool primed_ = false;  // bucket starts full on first offer
+
+  // CoDel control-law state.
+  sim::SimTime firstAbove_ = 0;
+  sim::SimTime dropNext_ = 0;
+  std::uint32_t dropCount_ = 0;
+  bool dropping_ = false;
+
+  bool shedding_ = false;
+};
+
+}  // namespace vibe::serve

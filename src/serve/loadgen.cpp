@@ -1,0 +1,92 @@
+#include "serve/loadgen.hpp"
+
+#include <cmath>
+#include <cstring>
+
+#include "simcore/prng.hpp"
+
+namespace vibe::serve {
+
+namespace {
+
+/// Exponential draw by inverse CDF; the uniform is clamped away from 0 so
+/// the log stays finite. Mean is in the caller's units (nanoseconds).
+double expDraw(sim::Xoshiro256& rng, double mean) {
+  double u = rng.uniform();
+  if (u < 1e-12) u = 1e-12;
+  return -mean * std::log(u);
+}
+
+}  // namespace
+
+std::vector<sim::SimTime> generateArrivals(const ArrivalConfig& cfg,
+                                           std::uint64_t seed,
+                                           std::uint32_t clientId) {
+  std::vector<sim::SimTime> out;
+  if (cfg.ratePerSec <= 0.0 || cfg.horizon <= 0) return out;
+  sim::Xoshiro256 rng(seed ^ (sim::hashTag("serve.loadgen") + clientId));
+  const double begin = static_cast<double>(cfg.start);
+  const double end = static_cast<double>(cfg.start + cfg.horizon);
+  const double meanGapNs = 1e9 / cfg.ratePerSec;
+
+  if (cfg.meanOn <= 0 || cfg.meanOff <= 0) {
+    double t = begin;
+    for (;;) {
+      t += expDraw(rng, meanGapNs);
+      if (t >= end) break;
+      out.push_back(static_cast<sim::SimTime>(t));
+    }
+    return out;
+  }
+
+  // MMPP on/off: the on-phase gap shrinks by the duty-cycle factor so the
+  // long-run mean rate stays ratePerSec.
+  const double onFrac =
+      static_cast<double>(cfg.meanOn) /
+      static_cast<double>(cfg.meanOn + cfg.meanOff);
+  const double onGapNs = meanGapNs * onFrac;
+  double t = begin;
+  bool on = true;
+  double phaseEnd = t + expDraw(rng, static_cast<double>(cfg.meanOn));
+  while (t < end) {
+    if (!on) {
+      if (phaseEnd >= end) break;
+      t = phaseEnd;
+      on = true;
+      phaseEnd = t + expDraw(rng, static_cast<double>(cfg.meanOn));
+      continue;
+    }
+    const double next = t + expDraw(rng, onGapNs);
+    if (next >= end) break;
+    if (next < phaseEnd) {
+      out.push_back(static_cast<sim::SimTime>(next));
+      t = next;
+    } else {
+      if (phaseEnd >= end) break;
+      t = phaseEnd;
+      on = false;
+      phaseEnd = t + expDraw(rng, static_cast<double>(cfg.meanOff));
+    }
+  }
+  return out;
+}
+
+std::vector<std::byte> stampArgs(const Stamp& s,
+                                 std::span<const std::byte> payload) {
+  std::vector<std::byte> out(kStampBytes + payload.size());
+  std::memcpy(out.data(), &s.genTime, 8);
+  std::memcpy(out.data() + 8, &s.deadline, 8);
+  if (!payload.empty()) {
+    std::memcpy(out.data() + kStampBytes, payload.data(), payload.size());
+  }
+  return out;
+}
+
+bool readStamp(std::span<const std::byte> args, Stamp& out) {
+  if (args.size() < kStampBytes) return false;
+  std::memcpy(&out.genTime, args.data(), 8);
+  std::memcpy(&out.deadline, args.data() + 8, 8);
+  return true;
+}
+
+}  // namespace vibe::serve

@@ -1,0 +1,70 @@
+// Open-loop load generation for the serving layer.
+//
+// Closed-loop clients (call, wait, call again) can never overload a
+// server: when the server slows down, so do they. The serving
+// macro-benchmark needs genuinely open-loop arrivals — requests fire at
+// times drawn from an arrival process regardless of how the server is
+// doing — so overload, queue growth, and shedding become observable.
+//
+// Two processes are provided, both seed-deterministic (same seed, same
+// client id, same config => the same arrival vector, always):
+//
+//   * Poisson: i.i.d. exponential inter-arrival gaps at `ratePerSec`.
+//   * MMPP on/off: a two-state Markov-modulated Poisson process. The
+//     client alternates exponential "on" and "off" dwells; while on,
+//     arrivals come at ratePerSec scaled by (meanOn+meanOff)/meanOn, so
+//     the long-run mean rate is preserved while the short-run load is
+//     bursty — the regime that exercises queue-delay shedders.
+//
+// Every request carries a 16-byte stamp (generation time + absolute
+// deadline) prefixed to its RPC arguments; the server's admission queue
+// reads it to age requests and shed the expired.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace vibe::serve {
+
+/// Arrival-process parameters for one open-loop client.
+struct ArrivalConfig {
+  double ratePerSec = 1000.0;             // long-run mean arrival rate
+  sim::SimTime start = 0;                 // first possible arrival
+  sim::Duration horizon = sim::msec(100); // arrivals in [start, start+horizon)
+  /// MMPP on/off dwell means. Both > 0 switches from plain Poisson to the
+  /// bursty process; the on-phase rate is scaled so the mean rate over
+  /// the horizon still converges to ratePerSec.
+  sim::Duration meanOn = 0;
+  sim::Duration meanOff = 0;
+  /// Per-request relative deadline (absolute deadline = arrival + this).
+  sim::Duration deadline = sim::msec(10);
+};
+
+/// Derives the full arrival schedule deterministically from
+/// (seed, clientId). Strictly within [start, start + horizon).
+std::vector<sim::SimTime> generateArrivals(const ArrivalConfig& cfg,
+                                           std::uint64_t seed,
+                                           std::uint32_t clientId);
+
+/// Request stamp, prefixed to the RPC argument bytes at generation time:
+/// [genTime i64][deadline i64], little-endian. deadline 0 = none.
+struct Stamp {
+  sim::SimTime genTime = 0;
+  sim::SimTime deadline = 0;
+};
+
+constexpr std::size_t kStampBytes = 16;
+
+/// Builds the on-wire argument blob: stamp followed by the payload.
+std::vector<std::byte> stampArgs(const Stamp& s,
+                                 std::span<const std::byte> payload);
+
+/// Reads the stamp off the front of an argument blob. False when the
+/// blob is too short to carry one.
+bool readStamp(std::span<const std::byte> args, Stamp& out);
+
+}  // namespace vibe::serve

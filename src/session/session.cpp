@@ -165,6 +165,29 @@ bool Session::establish() {
   return connectLoop();
 }
 
+bool Session::reopen() {
+  if (state_ == SessionState::Established) return true;
+  if (state_ != SessionState::Down) return false;
+  if (!cfg_.initiator) {
+    // A passive reopen can only succeed while the peer is redialing, so
+    // peek with a 1 us wait instead of burning the whole retry schedule.
+    const vipl::VipNetAddress local{nic_.nodeId(), cfg_.discriminator};
+    vipl::PendingConn conn;
+    if (nic_.connectWait(local, sim::usec(1), conn) !=
+        vipl::VipResult::VIP_SUCCESS) {
+      return false;
+    }
+    claimed_ = conn;
+  }
+  ++stats_.reopens;
+  if (obs::Counter* c = counter("session.reopened")) c->add();
+  traceRec(fmt("reopen sid=%u", cfg_.sid));
+  // downAt_ still marks the original break, so a successful revival's
+  // MTTR covers the whole outage including the Down dwell.
+  state_ = SessionState::Recovering;
+  return connectLoop();
+}
+
 void Session::markBroken() {
   if (state_ != SessionState::Established) return;
   downAt_ = engine_.now();

@@ -89,6 +89,7 @@ struct SessionStats {
   std::uint64_t delivered = 0;        // messages handed to the application
   sim::Duration totalDowntime = 0;    // sum of all recovery episodes
   sim::Duration lastMttr = 0;         // most recent recovery episode
+  std::uint64_t reopens = 0;          // deliberate reopen() revivals tried
 };
 
 struct SessionConfig {
@@ -119,6 +120,17 @@ class Session {
 
   /// Connects (blocking, with the full retry schedule). False => Down.
   bool establish();
+
+  /// Deliberate revival of a Down session: resets the tripped circuit
+  /// breaker and re-runs the full connect schedule. On the passive side
+  /// this first peeks (non-blocking) for a pending connect request and
+  /// returns false immediately when the peer is not redialing, so a
+  /// server loop can call it periodically without stalling. Returns true
+  /// when the session is Established again (trivially so if it already
+  /// is); false when it was never Down, the peer is not dialing, or the
+  /// retry schedule failed again (back to Down). The replay buffer and
+  /// watermarks survive, so the revived stream stays exactly-once.
+  bool reopen();
 
   /// Queues one message for exactly-once delivery. Never blocks: during an
   /// outage messages accumulate in the replay buffer and flow after

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "serve/loadgen.hpp"
 #include "vipl/vipl.hpp"
 
 namespace vibe::upper::rpc {
@@ -279,6 +280,130 @@ void RpcServer::serveSessions() {
   }
 }
 
+void RpcServer::enqueueOpenLoop(Client& c, std::uint32_t clientIndex,
+                                std::span<const std::byte> request,
+                                serve::AdmissionQueue& queue) {
+  const RpcHeader h = unpackHeader(request.data());
+  if (h.method == kShutdownMethod) {
+    c.active = false;
+    return;
+  }
+  serve::Request r;
+  r.client = clientIndex;
+  r.token = h.token;
+  r.method = h.method;
+  auto args = request.subspan(kHeaderBytes, h.size);
+  serve::Stamp stamp;
+  if (serve::readStamp(args, stamp)) {
+    r.genTime = stamp.genTime;
+    r.deadline = stamp.deadline;
+    args = args.subspan(serve::kStampBytes);
+  }
+  r.payload.assign(args.begin(), args.end());
+  // Rejected/evicted requests are dropped without a reply — the client
+  // observes a deadline miss, as against a real overloaded server. The
+  // queue's serve.* counters carry the accounting.
+  std::vector<serve::Request> evicted;
+  (void)queue.offer(std::move(r), env_.now(), evicted);
+}
+
+void RpcServer::replyTo(std::uint32_t clientIndex, const serve::Request& req) {
+  Client& c = *clients_.at(clientIndex);
+  RpcHeader reply;
+  reply.method = req.method;
+  reply.token = req.token;
+  std::vector<std::byte> payload;
+  auto it = methods_.find(req.method);
+  if (it == methods_.end()) {
+    reply.status = kStatusUnknownMethod;
+  } else {
+    payload = it->second(req.payload);
+  }
+  reply.size = payload.size();
+  if (kHeaderBytes + payload.size() > config_.maxMessageBytes) {
+    throw std::length_error("rpc: reply exceeds maxMessageBytes");
+  }
+  std::vector<std::byte> frame(kHeaderBytes + payload.size());
+  packHeader(reply, frame.data());
+  if (!payload.empty()) {
+    std::memcpy(frame.data() + kHeaderBytes, payload.data(), payload.size());
+  }
+  if (c.active && !c.session->down()) (void)c.session->send(frame);
+  ++served_;
+}
+
+void RpcServer::serveOpenLoop(serve::AdmissionQueue& queue,
+                              const ServeOptions& opts) {
+  if (!config_.recovery) {
+    throw std::logic_error("rpc: serveOpenLoop requires recovery mode");
+  }
+  auto anyActive = [this] {
+    for (const auto& c : clients_) {
+      if (c->active) return true;
+    }
+    return false;
+  };
+  std::vector<sim::SimTime> lastReopen(clients_.size(), 0);
+  sim::SimTime lastProgress = env_.now();
+  std::vector<std::byte> msg;
+  serve::Request req;
+  while (anyActive()) {
+    bool made = false;
+    // Sweep every inbox into the admission queue before dispatching, so
+    // backlog decisions see the freshest depth.
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      Client& c = *clients_[i];
+      if (!c.active) continue;
+      if (c.session->down()) {
+        if (opts.reopenInterval > 0 &&
+            env_.now() - lastReopen[i] >= opts.reopenInterval) {
+          lastReopen[i] = env_.now();
+          if (c.session->reopen()) made = true;
+        }
+        continue;
+      }
+      while (c.session->poll(msg)) {
+        enqueueOpenLoop(c, static_cast<std::uint32_t>(i), msg, queue);
+        made = true;
+      }
+    }
+    // One dequeue per sweep: serving advances virtual time (the handler's
+    // service cost), during which interrupts refill the inboxes above.
+    switch (queue.next(env_.now(), req)) {
+      case serve::Dequeue::Serve:
+        replyTo(req.client, req);
+        made = true;
+        break;
+      case serve::Dequeue::ShedDeadline:
+      case serve::Dequeue::ShedCodel:
+        made = true;  // dropped without a reply
+        break;
+      case serve::Dequeue::Empty:
+        break;
+    }
+    if (made) {
+      lastProgress = env_.now();
+      continue;
+    }
+    // Nothing pending anywhere: block briefly on one live session (its
+    // recv drives that session's recovery), or idle-advance when every
+    // remaining client is down.
+    bool blocked = false;
+    for (std::size_t i = 0; i < clients_.size(); ++i) {
+      Client& c = *clients_[i];
+      if (!c.active || c.session->down()) continue;
+      if (c.session->recv(msg, sim::usec(100))) {
+        enqueueOpenLoop(c, static_cast<std::uint32_t>(i), msg, queue);
+        lastProgress = env_.now();
+      }
+      blocked = true;
+      break;
+    }
+    if (!blocked) env_.self.advance(sim::usec(100), sim::CpuUse::Idle);
+    if (env_.now() - lastProgress >= opts.idleTimeout) return;
+  }
+}
+
 void RpcServer::serve() {
   if (config_.recovery) {
     serveSessions();
@@ -402,6 +527,64 @@ std::vector<std::byte> RpcClient::call(std::uint32_t method,
   }
   lastRttUsec_ = sim::toUsec(env_.now() - t0);
   return {reply.begin() + kHeaderBytes, reply.end()};
+}
+
+std::uint32_t RpcClient::callAsync(std::uint32_t method,
+                                   std::span<const std::byte> args) {
+  if (!config_.recovery) {
+    throw std::logic_error("rpc: callAsync requires recovery mode");
+  }
+  if (kHeaderBytes + args.size() > config_.maxMessageBytes) {
+    throw std::length_error("rpc: request exceeds maxMessageBytes");
+  }
+  RpcHeader h;
+  h.method = method;
+  h.token = nextTokenValue_++;
+  h.size = args.size();
+  std::vector<std::byte> frame(kHeaderBytes + args.size());
+  packHeader(h, frame.data());
+  if (!args.empty()) {
+    std::memcpy(frame.data() + kHeaderBytes, args.data(), args.size());
+  }
+  if (!session_->send(frame)) return 0;
+  return h.token;
+}
+
+bool RpcClient::pollReply(AsyncReply& out) {
+  if (!config_.recovery) {
+    throw std::logic_error("rpc: pollReply requires recovery mode");
+  }
+  std::vector<std::byte> reply;
+  if (!session_->poll(reply)) return false;
+  const RpcHeader rh = unpackHeader(reply.data());
+  out.token = rh.token;
+  out.status = rh.status;
+  out.payload.assign(reply.begin() + kHeaderBytes, reply.end());
+  return true;
+}
+
+bool RpcClient::waitReply(AsyncReply& out, sim::Duration timeout) {
+  if (!config_.recovery) {
+    throw std::logic_error("rpc: waitReply requires recovery mode");
+  }
+  std::vector<std::byte> reply;
+  if (!session_->recv(reply, timeout)) return false;
+  const RpcHeader rh = unpackHeader(reply.data());
+  out.token = rh.token;
+  out.status = rh.status;
+  out.payload.assign(reply.begin() + kHeaderBytes, reply.end());
+  return true;
+}
+
+bool RpcClient::down() const {
+  return session_ != nullptr && session_->down();
+}
+
+bool RpcClient::reopen() {
+  if (!config_.recovery) {
+    throw std::logic_error("rpc: reopen requires recovery mode");
+  }
+  return session_->reopen();
 }
 
 void RpcClient::shutdown() {

@@ -13,11 +13,16 @@
 #include <unordered_map>
 #include <vector>
 
+#include "serve/admission.hpp"
 #include "session/session.hpp"
 #include "vibe/cluster.hpp"
 #include "vipl/provider.hpp"
 
 namespace vibe::upper::rpc {
+
+/// Reply status codes on the wire (RpcHeader::status).
+constexpr std::uint32_t kStatusOk = 0;
+constexpr std::uint32_t kStatusUnknownMethod = 1;
 
 struct RpcConfig {
   std::uint32_t maxMessageBytes = 32 * 1024;  // header + payload limit
@@ -36,6 +41,25 @@ struct RpcConfig {
   std::uint32_t clientId = 0;  // recovery only: index in [0, clients)
   obs::MetricsRegistry* metrics = nullptr;  // optional, recovery only
   obs::SpanProfiler* spans = nullptr;       // optional, recovery only
+};
+
+/// Knobs for RpcServer::serveOpenLoop.
+struct ServeOptions {
+  /// The loop returns once it has made no progress (no request enqueued,
+  /// served, or shed) for this much virtual time. Guards against clients
+  /// that went Down without sending their shutdown message.
+  sim::Duration idleTimeout = sim::kSecond;
+  /// When > 0, a Down client session gets a Session::reopen() attempt at
+  /// most this often, so deliberately departed clients can rejoin. 0
+  /// leaves Down clients down (serveSessions behaviour).
+  sim::Duration reopenInterval = 0;
+};
+
+/// One completed async call, surfaced by RpcClient::pollReply/waitReply.
+struct AsyncReply {
+  std::uint32_t token = 0;
+  std::uint32_t status = 0;  // kStatusOk / kStatusUnknownMethod
+  std::vector<std::byte> payload;
 };
 
 /// Server: accepts clients, dispatches registered handlers.
@@ -65,6 +89,21 @@ class RpcServer {
   /// message (method 0 is reserved for shutdown).
   void serve();
 
+  /// Open-loop serving with admission control (recovery mode only): every
+  /// inbound request goes through `queue` (which may reject, evict, or
+  /// shed it — those requests are dropped without a reply, so the client
+  /// observes a deadline miss, exactly like a real overloaded server);
+  /// admitted requests run their registered handler and get a reply.
+  /// Returns when every client has sent its shutdown message, or when no
+  /// progress was made for `opts.idleTimeout`. Requests still queued at
+  /// that point are abandoned (visible as admitted - served in the queue
+  /// stats). Arguments are expected to carry the serve::stampArgs prefix
+  /// (generation time + deadline); the stamp is stripped before the
+  /// handler runs. Unstamped requests shorter than the stamp are passed
+  /// through with no deadline.
+  void serveOpenLoop(serve::AdmissionQueue& queue,
+                     const ServeOptions& opts = {});
+
   std::uint64_t requestsServed() const { return served_; }
 
  private:
@@ -81,6 +120,10 @@ class RpcServer {
   void handleRequest(Client& c, vipl::VipDescriptor* done);
   void handleSessionRequest(Client& c, std::span<const std::byte> request);
   void serveSessions();
+  void enqueueOpenLoop(Client& c, std::uint32_t clientIndex,
+                       std::span<const std::byte> request,
+                       serve::AdmissionQueue& queue);
+  void replyTo(std::uint32_t clientIndex, const serve::Request& req);
 
   suite::NodeEnv& env_;
   vipl::Provider* nic_;
@@ -108,10 +151,38 @@ class RpcClient {
   std::vector<std::byte> call(std::uint32_t method,
                               std::span<const std::byte> args);
 
+  /// Open-loop send (recovery mode only): fires the request and returns
+  /// its token (> 0) without waiting for the reply — the session layer
+  /// buffers and replays it across reconnects. Returns 0 when the
+  /// session's circuit breaker has tripped (the request is not sent).
+  std::uint32_t callAsync(std::uint32_t method,
+                          std::span<const std::byte> args);
+
+  /// Non-blocking reply pickup for callAsync (recovery mode only).
+  /// Replies can complete out of token order when the server sheds, so
+  /// match on AsyncReply::token.
+  bool pollReply(AsyncReply& out);
+
+  /// Blocking variant: waits up to `timeout` for one reply.
+  bool waitReply(AsyncReply& out, sim::Duration timeout);
+
+  /// True when the underlying session's circuit breaker has tripped
+  /// (recovery mode only; false otherwise).
+  bool down() const;
+
+  /// Revives a Down session via Session::reopen (recovery mode only).
+  bool reopen();
+
   /// Tells the server this client is done (reserved method 0).
   void shutdown();
 
   double lastRoundTripUsec() const { return lastRttUsec_; }
+
+  /// Recovery-mode session accounting (reconnects, replay, reopens);
+  /// null when recovery is off.
+  const session::SessionStats* sessionStats() const {
+    return session_ ? &session_->stats() : nullptr;
+  }
 
  private:
   suite::NodeEnv& env_;

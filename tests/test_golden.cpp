@@ -234,6 +234,8 @@ int main(int argc, char** argv) {
   unsetenv("VIBE_CSV");
   unsetenv("VIBE_STATS");
   unsetenv("VIBE_TRACE_OUT");
+  unsetenv("VIBE_CHAOS_SEEDS");  // soak-only sweep, absent from goldens
+  unsetenv("VIBE_FLIGHT_OUT");
 
   auto& registry = vibe::bench::benchRegistry();
   const auto shards = shardVariants(update);

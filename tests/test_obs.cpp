@@ -650,6 +650,73 @@ TEST(SloMonitorTest, ThresholdCrossingsEmitUserTraceRecords) {
   EXPECT_NE(records[1].message.find("slo rpc recover"), std::string::npos);
 }
 
+TEST(SloMonitorTest, BurstStraddlingWindowBoundariesKeepsHysteresis) {
+  Histogram cumulative;
+  sim::Tracer tracer;
+  tracer.enable(sim::TraceCategory::User);
+  obs::SloMonitor slo("burst", cumulative);
+  slo.setThresholdNs(10'000);
+  slo.setTracer(&tracer);
+
+  // Offline replay of the same boundaries: diff the bucket counts, apply
+  // quantileFromCounts to the delta, and replicate the monitor's rule
+  // that only a non-empty window can flip the breach state.
+  std::vector<std::uint64_t> prev;
+  std::uint64_t offlineCrossings = 0;
+  bool offlineOver = false;
+  auto boundary = [&](sim::SimTime t) {
+    const std::vector<std::uint64_t>& cur = cumulative.bucketCounts();
+    std::vector<std::uint64_t> delta(cur.size(), 0);
+    std::uint64_t n = 0;
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      delta[i] = cur[i] - (i < prev.size() ? prev[i] : 0);
+      n += delta[i];
+    }
+    prev = cur;
+    if (n > 0) {
+      const bool nowOver =
+          obs::SloMonitor::quantileFromCounts(delta, 0.99) > 10'000.0;
+      if (nowOver != offlineOver) {
+        ++offlineCrossings;
+        offlineOver = nowOver;
+      }
+    }
+    slo.sample(t);
+  };
+
+  // Window 1: healthy baseline.
+  for (int i = 0; i < 50; ++i) cumulative.add(1'000);
+  boundary(100);
+  EXPECT_FALSE(slo.breached());
+  // Window 2: a burst lands entirely before the next boundary — breach.
+  for (int i = 0; i < 50; ++i) cumulative.add(1'000'000);
+  boundary(200);
+  EXPECT_TRUE(slo.breached());
+  // Window 3: the burst straddles the boundary — this window happens to
+  // hold zero samples. An empty window carries no evidence either way,
+  // so it must NOT read as a recovery (hysteresis holds).
+  boundary(300);
+  EXPECT_TRUE(slo.breached());
+  EXPECT_EQ(slo.crossingCount(), 1u);
+  // Window 4: the tail of the burst, still slow.
+  for (int i = 0; i < 50; ++i) cumulative.add(1'000'000);
+  boundary(400);
+  EXPECT_TRUE(slo.breached());
+  // Window 5: healthy again — the one genuine recovery.
+  for (int i = 0; i < 50; ++i) cumulative.add(1'000);
+  boundary(500);
+  EXPECT_FALSE(slo.breached());
+
+  EXPECT_EQ(slo.crossingCount(), 2u);
+  EXPECT_EQ(slo.crossingCount(), offlineCrossings);
+  const auto records = tracer.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_NE(records[0].message.find("slo burst breach"), std::string::npos);
+  EXPECT_EQ(records[0].time, 200);
+  EXPECT_NE(records[1].message.find("slo burst recover"), std::string::npos);
+  EXPECT_EQ(records[1].time, 500);
+}
+
 TEST(SloMonitorTest, BindToSamplerAlignsWindowsWithRows) {
   sim::Engine eng;
   Histogram h;
@@ -673,7 +740,7 @@ TEST(SloMonitorTest, BindToSamplerAlignsWindowsWithRows) {
   }
   const std::string header =
       sampler.renderCsv().substr(0, sampler.renderCsv().find('\n'));
-  EXPECT_EQ(header, "t_ns,x/p50_ns,x/p99_ns,x/p999_ns,x/burn_rate");
+  EXPECT_EQ(header, "t_ns,x/p50_ns,x/p99_ns,x/p999_ns,x/p9999_ns,x/burn_rate");
 }
 
 // --- SpanProfiler retention under sampler load ---------------------------

@@ -270,6 +270,97 @@ TEST(SessionRecovery, CircuitBreakerDegradesToDown) {
   EXPECT_TRUE(checker.ok()) << checker.report();
 }
 
+TEST(SessionRecovery, ReopenRevivesATrippedSession) {
+  ClusterConfig cfg;
+  cfg.profile = nic::profileByName("clan");
+  cfg.seed = 29;
+  Cluster cluster(cfg);
+
+  // 300 ms partition: long enough that the initiator's RTO budget burns
+  // (~150 ms) and its tightened breaker trips Down while the link is
+  // still dead — but the link comes back, so reopen() can revive it.
+  FaultInjector injector(breakPlan(29, sim::msec(10), sim::msec(300)));
+  injector.arm(cluster);
+  sim::Tracer dbgTracer(8192);
+  dbgTracer.enable(sim::TraceCategory::Session);
+  cluster.setTracer(&dbgTracer);
+
+  constexpr int kTotal = 30;
+  constexpr int kBeforeBreak = 20;
+  bool initiatorTripped = false;
+
+  // Tight policy on both sides: 4 attempts bounded by a 3 ms connect and
+  // a 5 ms hello burn out in ~40 ms, far less than the partition's
+  // remaining life, so the breaker genuinely trips instead of the
+  // reconnect loop outliving the outage.
+  auto tighten = [](SessionConfig& sc) {
+    sc.policy.attemptsPerRound = 2;
+    sc.policy.maxRounds = 2;
+    sc.policy.connectTimeout = sim::msec(3);
+    sc.policy.helloTimeout = sim::msec(5);
+  };
+
+  auto node0 = [&](NodeEnv& env) {
+    SessionConfig sc = sessionCfg(1, 1, true, 29);
+    tighten(sc);
+    Session s(env.nic, sc);
+    ASSERT_TRUE(s.establish());
+    int sent = 0;
+    // Send into the partition, then idle until the breaker trips; the
+    // messages unconfirmed at the break survive the Down episode and
+    // replay after the revival.
+    while (!s.down()) {
+      if (sent < kBeforeBreak && s.send(pattern(64, sent))) ++sent;
+      env.self.advance(sim::msec(5), sim::CpuUse::Idle);
+      s.progress();
+      ASSERT_LT(env.now(), sim::kSecond * 5) << "breaker never tripped";
+    }
+    EXPECT_EQ(s.state(), SessionState::Down);
+    initiatorTripped = true;
+    EXPECT_FALSE(s.send(pattern(64, sent)));  // Down refuses sends
+    while (s.down()) {
+      env.self.advance(sim::msec(10), sim::CpuUse::Idle);
+      (void)s.reopen();
+      ASSERT_LT(env.now(), sim::kSecond * 5) << "reopen never succeeded";
+    }
+    EXPECT_EQ(s.state(), SessionState::Established);
+    EXPECT_GE(s.stats().reopens, 1u);
+    while (sent < kTotal) {
+      ASSERT_TRUE(s.send(pattern(64, sent)));
+      ++sent;
+    }
+    ASSERT_TRUE(s.flush(sim::kSecond * 5));
+    EXPECT_EQ(s.unconfirmed(), 0u);
+  };
+  auto node1 = [&](NodeEnv& env) {
+    SessionConfig sc = sessionCfg(1, 0, false, 29);
+    tighten(sc);
+    Session s(env.nic, sc);
+    ASSERT_TRUE(s.establish());
+    int got = 0;
+    // Exactly-once, in order, across the break: a passive session that
+    // trips Down keeps offering reopen() (a cheap claim poll) until the
+    // peer redials.
+    while (got < kTotal) {
+      if (s.down()) {
+        env.self.advance(sim::msec(10), sim::CpuUse::Idle);
+        (void)s.reopen();
+      } else {
+        std::vector<std::byte> m;
+        if (s.recv(m, sim::msec(20))) {
+          EXPECT_EQ(m, pattern(64, got)) << "message " << got;
+          ++got;
+        }
+      }
+      ASSERT_LT(env.now(), sim::kSecond * 5) << "stream never completed";
+    }
+    EXPECT_EQ(s.stats().delivered, static_cast<std::uint64_t>(kTotal));
+  };
+  cluster.run({node0, node1});
+  EXPECT_TRUE(initiatorTripped);
+  if (::testing::Test::HasFailure()) std::fputs(dbgTracer.dump().c_str(), stderr);
+}
+
 // ---------------------------------------------------------------------------
 // Recovery-mode upper layers
 // ---------------------------------------------------------------------------

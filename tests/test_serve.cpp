@@ -1,0 +1,270 @@
+// Tests for the serving layer: open-loop arrival generation (seed
+// determinism, mean-rate preservation, MMPP burstiness, the on-wire
+// stamp) and every AdmissionQueue policy — bounded backlog under both
+// admit policies, deadline shed, token bucket, the CoDel control law —
+// plus the serve.* metrics and the shed/recover trace breadcrumbs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "serve/admission.hpp"
+#include "serve/loadgen.hpp"
+#include "simcore/trace.hpp"
+
+namespace vibe {
+namespace {
+
+using serve::AdmissionQueue;
+using serve::AdmitPolicy;
+using serve::ArrivalConfig;
+using serve::Dequeue;
+using serve::PolicyConfig;
+using serve::Request;
+using serve::Stamp;
+using serve::Verdict;
+
+// ---------------------------------------------------------------- loadgen
+
+TEST(LoadGen, PoissonDeterministicPerSeedAndClient) {
+  ArrivalConfig cfg;
+  cfg.ratePerSec = 5000;
+  cfg.horizon = sim::msec(100);
+  const auto a = serve::generateArrivals(cfg, 42, 3);
+  const auto b = serve::generateArrivals(cfg, 42, 3);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, serve::generateArrivals(cfg, 43, 3));
+  EXPECT_NE(a, serve::generateArrivals(cfg, 42, 4));
+}
+
+TEST(LoadGen, ArrivalsSortedAndInsideWindow) {
+  ArrivalConfig cfg;
+  cfg.ratePerSec = 2000;
+  cfg.start = sim::msec(7);
+  cfg.horizon = sim::msec(50);
+  const auto a = serve::generateArrivals(cfg, 1, 0);
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a[i], cfg.start);
+    EXPECT_LT(a[i], cfg.start + cfg.horizon);
+    if (i > 0) {
+      EXPECT_GE(a[i], a[i - 1]);
+    }
+  }
+}
+
+TEST(LoadGen, PoissonMeanRateConverges) {
+  ArrivalConfig cfg;
+  cfg.ratePerSec = 20000;
+  cfg.horizon = sim::kSecond;
+  const auto a = serve::generateArrivals(cfg, 9, 0);
+  // sd of a Poisson count at n=20000 is ~141; 5% is a ~7-sigma corridor.
+  EXPECT_NEAR(static_cast<double>(a.size()), 20000.0, 1000.0);
+}
+
+// Squared coefficient of variation of the inter-arrival gaps: 1 for a
+// Poisson process, larger for anything burstier.
+double gapCv2(const std::vector<sim::SimTime>& a) {
+  double sum = 0, sum2 = 0;
+  const double n = static_cast<double>(a.size() - 1);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const double g = static_cast<double>(a[i] - a[i - 1]);
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / n;
+  return (sum2 / n - mean * mean) / (mean * mean);
+}
+
+TEST(LoadGen, MmppPreservesMeanButIsBurstier) {
+  ArrivalConfig cfg;
+  cfg.ratePerSec = 20000;
+  cfg.horizon = sim::kSecond;
+  const auto poisson = serve::generateArrivals(cfg, 5, 0);
+  cfg.meanOn = sim::msec(5);
+  cfg.meanOff = sim::msec(5);
+  const auto mmpp = serve::generateArrivals(cfg, 5, 0);
+  // Long-run mean is preserved (looser corridor: on/off dwell variance
+  // adds to the count variance)...
+  EXPECT_NEAR(static_cast<double>(mmpp.size()), 20000.0, 3000.0);
+  // ...but the short-run process is measurably burstier.
+  EXPECT_GT(gapCv2(mmpp), 1.5 * gapCv2(poisson));
+}
+
+TEST(LoadGen, StampRoundTrip) {
+  const std::vector<std::byte> payload(5, std::byte{0xAB});
+  const Stamp in{sim::msec(3), sim::msec(11)};
+  const std::vector<std::byte> wire = serve::stampArgs(in, payload);
+  ASSERT_EQ(wire.size(), serve::kStampBytes + payload.size());
+  Stamp out;
+  ASSERT_TRUE(serve::readStamp(wire, out));
+  EXPECT_EQ(out.genTime, in.genTime);
+  EXPECT_EQ(out.deadline, in.deadline);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    EXPECT_EQ(wire[serve::kStampBytes + i], payload[i]);
+  }
+  const std::vector<std::byte> runt(serve::kStampBytes - 1);
+  EXPECT_FALSE(serve::readStamp(runt, out));
+}
+
+// -------------------------------------------------------------- admission
+
+Request req(std::uint32_t token, sim::SimTime deadline = 0) {
+  Request r;
+  r.client = 0;
+  r.token = token;
+  r.method = 1;
+  r.deadline = deadline;
+  return r;
+}
+
+TEST(Admission, RejectNewBoundsTheBacklog) {
+  PolicyConfig cfg;
+  cfg.backlogLimit = 4;
+  cfg.admit = AdmitPolicy::RejectNew;
+  AdmissionQueue q(cfg);
+  std::vector<Request> evicted;
+  for (std::uint32_t t = 1; t <= 6; ++t) {
+    const Verdict v = q.offer(req(t), sim::msec(1), evicted);
+    EXPECT_EQ(v, t <= 4 ? Verdict::Admitted : Verdict::RejectedBacklog);
+  }
+  EXPECT_TRUE(evicted.empty());
+  EXPECT_EQ(q.depth(), 4u);
+  EXPECT_EQ(q.stats().offered, 6u);
+  EXPECT_EQ(q.stats().admitted, 4u);
+  EXPECT_EQ(q.stats().rejectedBacklog, 2u);
+}
+
+TEST(Admission, DropOldestEvictsFromTheHead) {
+  PolicyConfig cfg;
+  cfg.backlogLimit = 4;
+  cfg.admit = AdmitPolicy::DropOldest;
+  AdmissionQueue q(cfg);
+  std::vector<Request> evicted;
+  for (std::uint32_t t = 1; t <= 6; ++t) {
+    EXPECT_EQ(q.offer(req(t), sim::msec(1), evicted), Verdict::Admitted);
+  }
+  // Tokens 1 and 2 made room for 5 and 6, in eviction order.
+  ASSERT_EQ(evicted.size(), 2u);
+  EXPECT_EQ(evicted[0].token, 1u);
+  EXPECT_EQ(evicted[1].token, 2u);
+  EXPECT_EQ(q.stats().evicted, 2u);
+  Request out;
+  for (std::uint32_t expect = 3; expect <= 6; ++expect) {
+    ASSERT_EQ(q.next(sim::msec(2), out), Dequeue::Serve);
+    EXPECT_EQ(out.token, expect);
+  }
+  EXPECT_EQ(q.next(sim::msec(2), out), Dequeue::Empty);
+}
+
+TEST(Admission, DeadlineShedDropsExpiredHeads) {
+  PolicyConfig cfg;
+  cfg.deadlineShed = true;
+  AdmissionQueue q(cfg);
+  std::vector<Request> evicted;
+  q.offer(req(1, /*deadline=*/sim::msec(2)), sim::msec(1), evicted);
+  q.offer(req(2, /*deadline=*/sim::msec(3)), sim::msec(1), evicted);
+  q.offer(req(3, /*deadline=*/sim::msec(9)), sim::msec(1), evicted);
+  q.offer(req(4, /*deadline=*/0), sim::msec(1), evicted);  // unstamped
+  Request out;
+  EXPECT_EQ(q.next(sim::msec(5), out), Dequeue::ShedDeadline);
+  EXPECT_EQ(out.token, 1u);
+  EXPECT_EQ(q.next(sim::msec(5), out), Dequeue::ShedDeadline);
+  EXPECT_EQ(out.token, 2u);
+  EXPECT_EQ(q.next(sim::msec(5), out), Dequeue::Serve);
+  EXPECT_EQ(out.token, 3u);
+  // deadline 0 = none: never shed, no matter how old.
+  EXPECT_EQ(q.next(sim::kSecond, out), Dequeue::Serve);
+  EXPECT_EQ(out.token, 4u);
+  EXPECT_EQ(q.stats().shedDeadline, 2u);
+  EXPECT_EQ(q.stats().served, 2u);
+}
+
+TEST(Admission, TokenBucketStartsFullAndRefills) {
+  PolicyConfig cfg;
+  cfg.bucket.ratePerSec = 1000;  // one token per ms
+  cfg.bucket.burst = 2;
+  AdmissionQueue q(cfg);
+  std::vector<Request> evicted;
+  EXPECT_EQ(q.offer(req(1), 0, evicted), Verdict::Admitted);
+  EXPECT_EQ(q.offer(req(2), 0, evicted), Verdict::Admitted);
+  EXPECT_EQ(q.offer(req(3), 0, evicted), Verdict::RejectedRate);
+  // One refill interval later exactly one more fits.
+  EXPECT_EQ(q.offer(req(4), sim::msec(1), evicted), Verdict::Admitted);
+  EXPECT_EQ(q.offer(req(5), sim::msec(1), evicted), Verdict::RejectedRate);
+  EXPECT_EQ(q.stats().rejectedRate, 2u);
+}
+
+TEST(Admission, CodelShedsOnlyAfterSustainedDelay) {
+  PolicyConfig cfg;
+  cfg.codel.target = sim::msec(1);
+  cfg.codel.interval = sim::msec(10);
+  AdmissionQueue q(cfg);
+  std::vector<Request> evicted;
+  for (std::uint32_t t = 1; t <= 8; ++t) q.offer(req(t), 0, evicted);
+  Request out;
+  // Sojourn above target arms the interval timer but does not drop yet.
+  EXPECT_EQ(q.next(sim::msec(2), out), Dequeue::Serve);
+  EXPECT_EQ(q.next(sim::msec(5), out), Dequeue::Serve);
+  // Interval expired (armed at 2 ms + 10 ms): the control law kicks in.
+  EXPECT_EQ(q.next(sim::msec(12), out), Dequeue::ShedCodel);
+  EXPECT_EQ(out.token, 3u);
+  // dropNext = 12 + interval: no second drop inside the same window.
+  EXPECT_EQ(q.next(sim::msec(12), out), Dequeue::Serve);
+  EXPECT_EQ(q.next(sim::msec(22), out), Dequeue::ShedCodel);
+  EXPECT_EQ(q.stats().shedCodel, 2u);
+  // A fresh head under target ends the dropping state.
+  q.offer(req(100), sim::msec(22), evicted);
+  while (q.next(sim::msec(22), out) == Dequeue::Serve && out.token != 100) {
+  }
+  EXPECT_EQ(out.token, 100u);
+  EXPECT_EQ(q.stats().shedCodel, 2u);
+}
+
+TEST(Admission, ShedRecoverBreadcrumbsAndMetrics) {
+  PolicyConfig cfg;
+  cfg.backlogLimit = 1;
+  cfg.admit = AdmitPolicy::RejectNew;
+  AdmissionQueue q(cfg);
+  obs::MetricsRegistry metrics;
+  q.setMetrics(&metrics);
+  sim::Tracer tracer(64);
+  tracer.enable(sim::TraceCategory::User);
+  std::vector<std::string> records;
+  tracer.setSink([&](const sim::TraceRecord& r) {
+    records.push_back(r.message);
+  });
+  q.setTracer(&tracer);
+
+  std::vector<Request> evicted;
+  EXPECT_EQ(q.offer(req(1), sim::msec(1), evicted), Verdict::Admitted);
+  EXPECT_FALSE(q.shedding());
+  EXPECT_EQ(q.offer(req(2), sim::msec(1), evicted),
+            Verdict::RejectedBacklog);
+  EXPECT_TRUE(q.shedding());
+  // Only the first shed of the episode leaves a breadcrumb.
+  EXPECT_EQ(q.offer(req(3), sim::msec(2), evicted),
+            Verdict::RejectedBacklog);
+  Request out;
+  EXPECT_EQ(q.next(sim::msec(3), out), Dequeue::Serve);
+  EXPECT_EQ(q.next(sim::msec(3), out), Dequeue::Empty);
+  EXPECT_FALSE(q.shedding());
+
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].rfind("serve shed backlog", 0), 0u);
+  EXPECT_EQ(records[1], "serve recover");
+  EXPECT_EQ(metrics.counter("serve/serve.offered").value(), 3u);
+  EXPECT_EQ(metrics.counter("serve/serve.admitted").value(), 1u);
+  EXPECT_EQ(metrics.counter("serve/serve.rejected_backlog").value(), 2u);
+  EXPECT_EQ(metrics.counter("serve/serve.served").value(), 1u);
+}
+
+TEST(Admission, PolicyNamesRoundTrip) {
+  EXPECT_STREQ(serve::toString(AdmitPolicy::RejectNew), "reject_new");
+  EXPECT_STREQ(serve::toString(AdmitPolicy::DropOldest), "drop_oldest");
+}
+
+}  // namespace
+}  // namespace vibe

@@ -219,6 +219,37 @@ TEST(SocketsTest, ListenerAcceptsSequentialConnections) {
   cluster.run({client, server});
 }
 
+TEST(SocketsTest, ExpiredAcceptLeavesListenerReusable) {
+  ClusterConfig cc;
+  cc.profile = nic::clanProfile();
+  Cluster cluster(cc);
+  const auto payload = pattern(64, 0x51);
+  bool expired = false;
+  std::size_t served = 0;
+  auto server = [&](NodeEnv& env) {
+    StreamListener listener(env, 8080);
+    // Nobody dials for 20 ms, so a 5 ms accept must expire by throwing —
+    // and must tear down its half-built endpoint, leaving the listener
+    // fully reusable for the next accept on the same port.
+    EXPECT_THROW(listener.accept(sim::msec(5)), std::runtime_error);
+    expired = true;
+    auto sock = listener.accept(sim::kSecond);
+    std::vector<std::byte> got(payload.size());
+    sock->recvAll(got);
+    EXPECT_EQ(got, payload);
+    served = got.size();
+  };
+  auto client = [&](NodeEnv& env) {
+    env.self.advance(sim::msec(20), sim::CpuUse::Idle);
+    auto sock = StreamSocket::connect(env, 0, 8080);
+    sock->sendAll(payload);
+    sock->close();
+  };
+  cluster.run({server, client});
+  EXPECT_TRUE(expired);
+  EXPECT_EQ(served, payload.size());
+}
+
 TEST(SocketsTest, SurvivesLossyFabric) {
   ClusterConfig cc;
   cc.profile = nic::clanProfile();
