@@ -33,6 +33,7 @@
 #include "obs/timeseries.hpp"
 #include "serve/admission.hpp"
 #include "serve/loadgen.hpp"
+#include "simcore/pdes.hpp"
 #include "simcore/trace.hpp"
 #include "upper/rpc/rpc.hpp"
 
@@ -74,6 +75,9 @@ struct RunConfig {
   /// correlated demand). Off: independent per-client draws, whose MMPP
   /// phases average out across clients.
   bool syncArrivals = false;
+  /// >= 1 hosts the whole run on the sharded PDES engine (one domain per
+  /// switch); 0 = the classic serial engine.
+  std::uint32_t simShards = 0;
 };
 
 struct RunResult {
@@ -139,6 +143,7 @@ RunResult runServing(const RunConfig& rc, const harness::PointEnv* penv,
                                 ? clusterFor(rc.profile, nodes, *penv)
                                 : clusterFor(rc.profile, nodes);
   cc.fatTreeK = rc.fatTreeK;
+  cc.simShards = rc.simShards;
   if (sampler != nullptr) {
     cc.sampler = sampler;
     cc.samplePeriod = sim::msec(5);
@@ -650,6 +655,35 @@ int run(int argc, char** argv) {
           seeds, good, lost, reconnects,
           static_cast<unsigned long long>(digest));
     }
+  }
+
+  // --- 6. The serving macro-benchmark hosted on the sharded PDES engine --
+  // The full stack — open-loop arrivals, admission queue, recovery RPC —
+  // runs with one PDES domain per switch. Per-domain schedules are
+  // shard-count-invariant, so the table is byte-identical at any
+  // VIBE_SIM_SHARDS >= 1 and the golden matrix's shards axis re-runs it
+  // on real worker threads against the same bytes.
+  {
+    const std::vector<double> pdesLoads = {1.0, 2.0};
+    const auto pdesRuns = harness::runSweep(
+        pdesLoads.size(),
+        [&](harness::PointEnv& env) {
+          RunConfig rc;
+          rc.loadMult = pdesLoads[env.index];
+          rc.policy = shedPolicy;
+          rc.simShards = std::max(1u, sim::shardCount());
+          return runServing(rc, &env);
+        },
+        bench::sweepOptions());
+    suite::ResultTable pdes(
+        "Goodput under overload hosted on the sharded PDES engine "
+        "(cLAN k=16, deadline shed, any shard count)",
+        {"offered_x", "good_rps", "p99_ms", "shed", "lost"});
+    for (std::size_t i = 0; i < pdesLoads.size(); ++i) {
+      const RunResult& r = pdesRuns[i];
+      pdes.addRow({pdesLoads[i], r.goodputRps, r.p99Ms, r.shed, r.lost});
+    }
+    bench::emit(pdes);
   }
 
   if (bench::jsonRequested()) {

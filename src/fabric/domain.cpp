@@ -90,4 +90,32 @@ sim::Duration crossDomainLookahead(const TopologySpec& spec) {
   return 2 * hop + spec.coreLatency;
 }
 
+sim::Duration hopLookahead(const TopologySpec& spec) {
+  if (hostsPerEdge(spec) == 0) return 0;  // single switch: nothing crosses
+  return sim::transferTime(spec.fabricLink.headerBytes,
+                           spec.fabricLink.bandwidthMBps) +
+         spec.fabricLink.propagation;
+}
+
+std::uint32_t stackDomainCount(const TopologySpec& spec) {
+  const std::uint32_t perEdge = hostsPerEdge(spec);  // validates the spec
+  switch (spec.kind) {
+    case TopologyKind::Star:
+      return 1;
+    case TopologyKind::TwoLevelTree: {
+      const std::uint32_t leaves =
+          spec.nodes == 0 ? 1 : (spec.nodes - 1) / perEdge + 1;
+      return leaves + 1;  // + root
+    }
+    case TopologyKind::FatTree: {
+      const std::uint32_t half = spec.fatTreeK / 2;
+      const std::uint32_t numEdges = spec.fatTreeK * half;
+      const std::uint32_t numAggrs = spec.fatTreeK * half;
+      const std::uint32_t numCores = half * half;
+      return numEdges + numAggrs + numCores;
+    }
+  }
+  throw sim::SimError("stackDomainCount: unknown topology kind");
+}
+
 }  // namespace vibe::fabric

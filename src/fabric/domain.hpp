@@ -65,4 +65,24 @@ PathTier pathTier(const TopologySpec& spec, std::uint32_t src,
 /// this bound always satisfy ShardedEngine::send.
 sim::Duration crossDomainLookahead(const TopologySpec& spec);
 
+/// Single-hop lookahead for the switch-per-domain decomposition used by
+/// the sharded Topology (one PDES domain per switch, not per edge
+/// switch): the minimum virtual time between a frame entering any
+/// inter-switch link and its delivery at the far switch,
+///
+///   hop = serialize(fabricLink.headerBytes) + fabricLink.propagation
+///
+/// Link::send schedules delivery at serialization-complete + propagation
+/// with serialization-complete >= now + serialize(header), and latency
+/// windows only add delay, so every cross-domain delivery arrives at
+/// least `hop` after the send. Star topologies (one switch) return 0 —
+/// there is nothing to cross.
+sim::Duration hopLookahead(const TopologySpec& spec);
+
+/// Number of PDES domains the sharded Topology builds for `spec` — one
+/// per switch, in the builder's numbering (star: 1; tree: leaves then
+/// root; fat-tree: edges, then aggregations, then cores). Use this to
+/// size the hosted ShardedEngine before constructing the Topology.
+std::uint32_t stackDomainCount(const TopologySpec& spec);
+
 }  // namespace vibe::fabric

@@ -79,9 +79,18 @@ void Link::send(Packet&& p) {
     spans_->emit(obs::Stage::Wire, p.src, p.srcVi, now, done + prop, wire);
   }
   // The packet rides inside the event callback itself (EventFn is
-  // move-capable), so delivery costs no shared_ptr round-trip.
-  engine_.postAt(done + prop,
-                 [this, p = std::move(p)]() mutable { sink_(std::move(p)); });
+  // move-capable), so delivery costs no shared_ptr round-trip. A link
+  // whose receive side lives in another PDES domain routes the delivery
+  // through the cross-domain mailbox instead of its own engine; the
+  // arrival time done + prop >= now + serialize(header) + propagation, so
+  // the hop-lookahead bound is always paid.
+  if (remote_) {
+    remote_(done + prop,
+            [this, p = std::move(p)]() mutable { sink_(std::move(p)); });
+  } else {
+    engine_.postAt(done + prop,
+                   [this, p = std::move(p)]() mutable { sink_(std::move(p)); });
+  }
 }
 
 }  // namespace vibe::fabric

@@ -52,6 +52,14 @@ class Link {
   /// Sets the receive-side sink. Must be called before send().
   void connect(Deliver sink) { sink_ = std::move(sink); }
 
+  /// Cross-domain delivery hook (conservative PDES): when set, the final
+  /// delivery event is scheduled through `post(arrivalTime, fn)` — the
+  /// topology wires this to ShardedEngine::sendAt — instead of the owning
+  /// engine. Everything else (serialization FIFO, fault windows, stats)
+  /// still runs in the sending domain. Setup-time only; nullptr clears.
+  using RemotePost = std::function<void(sim::SimTime, sim::EventFn)>;
+  void setRemoteDelivery(RemotePost post) { remote_ = std::move(post); }
+
   /// Queues a frame for transmission. Delivery happens at
   /// serialization-complete + propagation, unless the frame is dropped.
   void send(Packet&& p);
@@ -136,6 +144,7 @@ class Link {
   sim::Xoshiro256 rng_;
   sim::Xoshiro256 corruptRng_;
   Deliver sink_;
+  RemotePost remote_;
   obs::SpanProfiler* spans_ = nullptr;
   std::uint64_t framesSent_ = 0;
   std::uint64_t framesDropped_ = 0;

@@ -5,9 +5,7 @@
 
 namespace vibe::fabric {
 
-namespace {
-
-TopologySpec specFor(const NetworkParams& p) {
+TopologySpec Network::specFor(const NetworkParams& p) {
   TopologySpec spec;
   if (p.fatTreeK != 0) {
     spec.kind = TopologyKind::FatTree;
@@ -28,18 +26,31 @@ TopologySpec specFor(const NetworkParams& p) {
   return spec;
 }
 
+namespace {
+
+/// Both ctors deliver through the same receiver table.
+Topology::Deliver deliverInto(std::vector<Network::Receiver>* receivers) {
+  return [receivers](NodeId n, Packet&& p) {
+    if (!(*receivers)[n]) {
+      throw sim::SimError("Network: no receiver registered for node " +
+                          std::to_string(n));
+    }
+    (*receivers)[n](std::move(p));
+  };
+}
+
 }  // namespace
 
 Network::Network(sim::Engine& engine, const NetworkParams& params)
     : params_(params), receivers_(params.nodes) {
-  topo_ = std::make_unique<Topology>(
-      engine, specFor(params_), [this](NodeId n, Packet&& p) {
-        if (!receivers_[n]) {
-          throw sim::SimError("Network: no receiver registered for node " +
-                              std::to_string(n));
-        }
-        receivers_[n](std::move(p));
-      });
+  topo_ = std::make_unique<Topology>(engine, specFor(params_),
+                                     deliverInto(&receivers_));
+}
+
+Network::Network(sim::ShardedEngine& pdes, const NetworkParams& params)
+    : params_(params), receivers_(params.nodes) {
+  topo_ = std::make_unique<Topology>(pdes, specFor(params_),
+                                     deliverInto(&receivers_));
 }
 
 void Network::setSpanProfiler(obs::SpanProfiler* spans) {

@@ -68,8 +68,19 @@ class Network {
 
   Network(sim::Engine& engine, const NetworkParams& params);
 
+  /// Sharded construction: builds the topology across the hosted
+  /// ShardedEngine's domains (one per switch — size the engine with
+  /// stackDomainCount(specFor(params))). See the Topology sharded ctor
+  /// for the placement and lookahead contract.
+  Network(sim::ShardedEngine& pdes, const NetworkParams& params);
+
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+
+  /// The TopologySpec these params translate to — the single source of
+  /// truth shared by both ctors and by callers that need to derive
+  /// domain partitions or lookahead bounds before construction.
+  static TopologySpec specFor(const NetworkParams& params);
 
   std::uint32_t nodeCount() const { return params_.nodes; }
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "obs/span.hpp"
+#include "simcore/pdes.hpp"
 
 namespace vibe::fabric {
 
@@ -43,10 +44,13 @@ const char* toString(SwitchTier t) {
 
 // --- Switch ---------------------------------------------------------------
 
-Switch::Switch(Topology& topo, std::uint32_t id, std::string name,
-               SwitchTier tier, sim::Duration latency, std::uint32_t nodes,
+Switch::Switch(Topology& topo, sim::Engine& engine, std::uint32_t domain,
+               std::uint32_t id, std::string name, SwitchTier tier,
+               sim::Duration latency, std::uint32_t nodes,
                std::uint32_t bufferFrames)
     : topo_(topo),
+      engine_(engine),
+      domain_(domain),
       id_(id),
       name_(std::move(name)),
       tier_(tier),
@@ -78,15 +82,15 @@ void Switch::ingress(Packet&& p, std::uint32_t ingressHeaderBytes,
                      bool fromHost) {
   // Switch-hop Wire span: cut-through latency, sized with the bytes the
   // ingress wire actually carried (each hop attributes its own link's
-  // header, not a topology-wide constant).
-  obs::SpanProfiler* spans = topo_.spanProfiler();
-  if (spans != nullptr && latency_ > 0 && p.kind != PacketKind::Ack &&
+  // header, not a topology-wide constant). spans_ is this switch's own
+  // (domain-local under sharding) profiler.
+  if (spans_ != nullptr && latency_ > 0 && p.kind != PacketKind::Ack &&
       !isConnectionManagement(p.kind)) {
-    const sim::SimTime now = topo_.engine().now();
-    spans->emit(obs::Stage::Wire, p.src, p.srcVi, now, now + latency_,
-                p.wireBytes(ingressHeaderBytes));
+    const sim::SimTime now = engine_.now();
+    spans_->emit(obs::Stage::Wire, p.src, p.srcVi, now, now + latency_,
+                 p.wireBytes(ingressHeaderBytes));
   }
-  topo_.engine().post(latency_, [this, fromHost, p = std::move(p)]() mutable {
+  engine_.post(latency_, [this, fromHost, p = std::move(p)]() mutable {
     forward(std::move(p), fromHost);
   });
 }
@@ -103,7 +107,7 @@ std::uint32_t Switch::selectUplink(const Packet& p) const {
 
 void Switch::forward(Packet&& p, bool fromHost) {
   ++forwarded_;
-  topo_.countForward(tier_, fromHost);
+  if (fromHost) ++fromHostForwards_;
   std::uint32_t portIdx = 0;
   const std::int32_t rt =
       p.dst < route_.size() ? route_[p.dst] : std::int32_t{-1};
@@ -117,8 +121,7 @@ void Switch::forward(Packet&& p, bool fromHost) {
   }
   Port& port = ports_.at(portIdx);
   if (bufferFrames_ != 0) {
-    const std::uint32_t depth =
-        port.out->queuedFrames(topo_.engine().now());
+    const std::uint32_t depth = port.out->queuedFrames(engine_.now());
     if (depth >= bufferFrames_) {
       // Tail drop: the output buffer is full. The frame is gone; higher
       // layers see it exactly like wire loss (timeout + retransmit).
@@ -140,24 +143,77 @@ void Switch::forward(Packet&& p, bool fromHost) {
 
 Topology::Topology(sim::Engine& engine, const TopologySpec& spec,
                    Deliver deliver)
-    : engine_(engine), spec_(spec), deliver_(std::move(deliver)) {
+    : engine_(&engine), spec_(spec), deliver_(std::move(deliver)) {
   switch (spec_.kind) {
     case TopologyKind::Star: buildStar(); break;
     case TopologyKind::TwoLevelTree: buildTree(); break;
     case TopologyKind::FatTree: buildFatTree(); break;
   }
+  // Serial: everything runs on one engine; the builders' switch-level
+  // domain numbering is kept (it costs nothing) but the topology spans a
+  // single logical domain.
+  domainCount_ = 1;
 }
 
-void Topology::countForward(SwitchTier tier, bool fromHost) {
-  if (fromHost) ++hostForwards_;
-  if (tier == SwitchTier::Core) ++coreForwards_;
+Topology::Topology(sim::ShardedEngine& pdes, const TopologySpec& spec,
+                   Deliver deliver)
+    : pdes_(&pdes), spec_(spec), deliver_(std::move(deliver)) {
+  switch (spec_.kind) {
+    case TopologyKind::Star: buildStar(); break;
+    case TopologyKind::TwoLevelTree: buildTree(); break;
+    case TopologyKind::FatTree: buildFatTree(); break;
+  }
+  if (pdes.domainCount() != domainCount_) {
+    throw sim::SimError("Topology: spec needs " +
+                        std::to_string(domainCount_) +
+                        " PDES domains (one per switch) but the engine has " +
+                        std::to_string(pdes.domainCount()));
+  }
+}
+
+sim::Engine& Topology::engine() {
+  if (pdes_ != nullptr) {
+    throw sim::SimError(
+        "Topology::engine: topology is sharded across PDES domains; use "
+        "engineForDomain");
+  }
+  return *engine_;
+}
+
+sim::Engine& Topology::engineForDomain(std::uint32_t domain) {
+  if (pdes_ != nullptr) return pdes_->domainEngine(domain);
+  return *engine_;
+}
+
+std::uint32_t Topology::hostDomain(NodeId n) const {
+  if (pdes_ == nullptr) return 0;
+  checkIndex(n, spec_.nodes, "Topology::hostDomain");
+  switch (spec_.kind) {
+    case TopologyKind::Star: return 0;
+    case TopologyKind::TwoLevelTree: return n / spec_.nodesPerSwitch;
+    case TopologyKind::FatTree: return n / (spec_.fatTreeK / 2);
+  }
+  return 0;
+}
+
+void Topology::placeLink(Link* l, std::uint32_t srcDomain,
+                         std::uint32_t dstDomain) {
+  linkDomains_.emplace_back(l, srcDomain);
+  if (pdes_ != nullptr && srcDomain != dstDomain) {
+    sim::ShardedEngine* pdes = pdes_;
+    l->setRemoteDelivery(
+        [pdes, srcDomain, dstDomain](sim::SimTime at, sim::EventFn fn) {
+          pdes->sendAt(srcDomain, dstDomain, at, std::move(fn));
+        });
+  }
 }
 
 Switch* Topology::addSwitch(std::string name, SwitchTier tier,
-                            sim::Duration latency) {
+                            sim::Duration latency, std::uint32_t domain) {
   switches_.push_back(std::make_unique<Switch>(
-      *this, static_cast<std::uint32_t>(switches_.size()), std::move(name),
-      tier, latency, spec_.nodes, spec_.portBufferFrames));
+      *this, engineForDomain(domain), domain,
+      static_cast<std::uint32_t>(switches_.size()), std::move(name), tier,
+      latency, spec_.nodes, spec_.portBufferFrames));
   return switches_.back().get();
 }
 
@@ -169,13 +225,14 @@ void Topology::connectToSwitch(Link* l, Switch* sw, bool fromHost) {
 }
 
 Link* Topology::addFabricLink(std::string name, std::uint64_t seedSalt,
-                              Switch* to) {
+                              Switch* from, Switch* to) {
   LinkParams lp = spec_.fabricLink;
   lp.seed = spec_.seed ^ seedSalt;
-  fabricLinks_.push_back(
-      std::make_unique<Link>(engine_, std::move(name), lp));
+  fabricLinks_.push_back(std::make_unique<Link>(
+      engineForDomain(from->domain()), std::move(name), lp));
   Link* l = fabricLinks_.back().get();
   connectToSwitch(l, to, /*fromHost=*/false);
+  placeLink(l, from->domain(), to->domain());
   return l;
 }
 
@@ -186,51 +243,65 @@ void Topology::buildHostLinks(const std::function<Switch*(NodeId)>& edgeOf) {
   hostUp_.reserve(spec_.nodes);
   hostDown_.reserve(spec_.nodes);
   for (NodeId n = 0; n < spec_.nodes; ++n) {
+    // A host link pair lives entirely inside its edge switch's domain:
+    // the host's NIC, the uplink, the switch, and the downlink all run on
+    // the same engine, so host traffic only crosses domains on the
+    // inter-switch fabric links.
+    Switch* edge = edgeOf(n);
+    sim::Engine& eng = engineForDomain(edge->domain());
     LinkParams lp = spec_.hostLink;
     lp.seed = spec_.seed ^ (0x1000ULL + n);
-    auto up = std::make_unique<Link>(engine_, "up" + std::to_string(n), lp);
+    auto up = std::make_unique<Link>(eng, "up" + std::to_string(n), lp);
     lp.seed = spec_.seed ^ (0x2000ULL + n);
-    auto down =
-        std::make_unique<Link>(engine_, "down" + std::to_string(n), lp);
-    Switch* edge = edgeOf(n);
+    auto down = std::make_unique<Link>(eng, "down" + std::to_string(n), lp);
     connectToSwitch(up.get(), edge, /*fromHost=*/true);
     down->connect([this, n](Packet&& p) { deliver_(n, std::move(p)); });
     const std::uint32_t port = edge->addPort(down.get());
     edge->setHostRoute(n, port);
+    placeLink(up.get(), edge->domain(), edge->domain());
+    placeLink(down.get(), edge->domain(), edge->domain());
     hostUp_.push_back(std::move(up));
     hostDown_.push_back(std::move(down));
   }
 }
 
 void Topology::buildStar() {
-  Switch* sw = addSwitch("sw0", SwitchTier::Edge, spec_.edgeLatency);
+  domainCount_ = 1;
+  Switch* sw = addSwitch("sw0", SwitchTier::Edge, spec_.edgeLatency, 0);
   buildHostLinks([sw](NodeId) { return sw; });
 }
 
 void Topology::buildTree() {
   const std::uint32_t nps = spec_.nodesPerSwitch;
   const std::uint32_t leaves = (spec_.nodes + nps - 1) / nps;
+  // Domains: leaf l -> l, root -> leaves.
+  domainCount_ = leaves + 1;
+  const std::uint32_t rootDom = leaves;
   std::vector<Switch*> leafSw(leaves);
   for (std::uint32_t leaf = 0; leaf < leaves; ++leaf) {
     leafSw[leaf] = addSwitch("leaf" + std::to_string(leaf), SwitchTier::Edge,
-                             spec_.edgeLatency);
+                             spec_.edgeLatency, leaf);
   }
-  Switch* root = addSwitch("root", SwitchTier::Core, spec_.coreLatency);
+  Switch* root =
+      addSwitch("root", SwitchTier::Core, spec_.coreLatency, rootDom);
 
   buildHostLinks([&leafSw, nps](NodeId n) { return leafSw[n / nps]; });
 
   // Trunks: legacy names/salts ("trunkUp<leaf>" 0x3000, "trunkDown<leaf>"
-  // 0x4000), one shared pair per leaf.
+  // 0x4000), one shared pair per leaf. An up trunk serializes in the leaf
+  // domain and delivers into the root domain; a down trunk the reverse.
   for (std::uint32_t leaf = 0; leaf < leaves; ++leaf) {
     LinkParams tp = spec_.fabricLink;
     tp.seed = spec_.seed ^ (0x3000ULL + leaf);
     auto up = std::make_unique<Link>(
-        engine_, "trunkUp" + std::to_string(leaf), tp);
+        engineForDomain(leaf), "trunkUp" + std::to_string(leaf), tp);
     tp.seed = spec_.seed ^ (0x4000ULL + leaf);
     auto down = std::make_unique<Link>(
-        engine_, "trunkDown" + std::to_string(leaf), tp);
+        engineForDomain(rootDom), "trunkDown" + std::to_string(leaf), tp);
     connectToSwitch(up.get(), root, /*fromHost=*/false);
     connectToSwitch(down.get(), leafSw[leaf], /*fromHost=*/false);
+    placeLink(up.get(), leaf, rootDom);
+    placeLink(down.get(), rootDom, leaf);
 
     // Leaf: non-local hosts go up the (single-member ECMP) trunk.
     leafSw[leaf]->setEcmpUplinks({leafSw[leaf]->addPort(up.get())});
@@ -263,20 +334,23 @@ void Topology::buildFatTree() {
   const std::uint32_t numCores = half * half;
   const std::uint32_t podHosts = half * half;  // hosts per pod
 
+  // Domains: edge e -> e, aggr a -> numEdges + a, core c -> numEdges +
+  // numAggrs + c (one PDES domain per switch).
+  domainCount_ = numEdges + numAggrs + numCores;
   std::vector<Switch*> edges(numEdges);
   std::vector<Switch*> aggrs(numAggrs);
   std::vector<Switch*> cores(numCores);
   for (std::uint32_t e = 0; e < numEdges; ++e) {
     edges[e] = addSwitch("edge" + std::to_string(e), SwitchTier::Edge,
-                         spec_.edgeLatency);
+                         spec_.edgeLatency, e);
   }
   for (std::uint32_t a = 0; a < numAggrs; ++a) {
-    aggrs[a] = addSwitch("aggr" + std::to_string(a),
-                         SwitchTier::Aggregation, spec_.coreLatency);
+    aggrs[a] = addSwitch("aggr" + std::to_string(a), SwitchTier::Aggregation,
+                         spec_.coreLatency, numEdges + a);
   }
   for (std::uint32_t c = 0; c < numCores; ++c) {
     cores[c] = addSwitch("core" + std::to_string(c), SwitchTier::Core,
-                         spec_.coreLatency);
+                         spec_.coreLatency, numEdges + numAggrs + c);
   }
 
   // Host n sits under edge n/(k/2); only the first `nodes` hosts exist.
@@ -296,11 +370,11 @@ void Topology::buildFatTree() {
         const std::uint32_t a = p * half + j;
         Link* up = addFabricLink(
             "ft.e" + std::to_string(e) + ".up" + std::to_string(j), salt++,
-            aggrs[a]);
+            edges[e], aggrs[a]);
         edgeUp.push_back(edges[e]->addPort(up));
         Link* down = addFabricLink(
             "ft.a" + std::to_string(a) + ".down" + std::to_string(i), salt++,
-            edges[e]);
+            aggrs[a], edges[e]);
         const std::uint32_t aPort = aggrs[a]->addPort(down);
         // Aggregation routes this edge's hosts down to it.
         const NodeId first = e * half;
@@ -326,11 +400,11 @@ void Topology::buildFatTree() {
         const std::uint32_t c = j * half + m;
         Link* up = addFabricLink(
             "ft.a" + std::to_string(a) + ".up" + std::to_string(m), salt++,
-            cores[c]);
+            aggrs[a], cores[c]);
         aggrUp.push_back(aggrs[a]->addPort(up));
         Link* down = addFabricLink(
             "ft.c" + std::to_string(c) + ".down" + std::to_string(p), salt++,
-            aggrs[a]);
+            cores[c], aggrs[a]);
         const std::uint32_t cPort = cores[c]->addPort(down);
         // Core routes every host of pod p down through aggregation a.
         const NodeId first = p * podHosts;
@@ -376,11 +450,34 @@ Link& Topology::fabricLink(std::size_t i) {
 
 void Topology::setSpanProfiler(obs::SpanProfiler* spans) {
   spans_ = spans;
-  for (auto& l : hostUp_) l->setSpanProfiler(spans);
-  for (auto& l : hostDown_) l->setSpanProfiler(spans);
-  for (auto& l : trunkUp_) l->setSpanProfiler(spans);
-  for (auto& l : trunkDown_) l->setSpanProfiler(spans);
-  for (auto& l : fabricLinks_) l->setSpanProfiler(spans);
+  for (auto& [l, d] : linkDomains_) l->setSpanProfiler(spans);
+  for (auto& s : switches_) s->setSpanProfiler(spans);
+}
+
+void Topology::setDomainSpanProfilers(
+    const std::vector<obs::SpanProfiler*>& byDomain) {
+  if (byDomain.size() != domainCount_) {
+    throw sim::SimError("Topology::setDomainSpanProfilers: got " +
+                        std::to_string(byDomain.size()) + " profilers for " +
+                        std::to_string(domainCount_) + " domains");
+  }
+  spans_ = nullptr;
+  for (auto& [l, d] : linkDomains_) l->setSpanProfiler(byDomain[d]);
+  for (auto& s : switches_) s->setSpanProfiler(byDomain[s->domain()]);
+}
+
+std::uint64_t Topology::hostIngressForwards() const {
+  std::uint64_t n = 0;
+  for (const auto& s : switches_) n += s->hostIngressForwarded();
+  return n;
+}
+
+std::uint64_t Topology::coreForwards() const {
+  std::uint64_t n = 0;
+  for (const auto& s : switches_) {
+    if (s->tier() == SwitchTier::Core) n += s->packetsForwarded();
+  }
+  return n;
 }
 
 std::uint64_t Topology::framesDropped() const {

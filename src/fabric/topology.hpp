@@ -40,11 +40,16 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "fabric/link.hpp"
 #include "fabric/packet.hpp"
 #include "simcore/engine.hpp"
+
+namespace vibe::sim {
+class ShardedEngine;
+}
 
 namespace vibe::fabric {
 
@@ -92,7 +97,8 @@ class Switch {
     std::uint32_t maxDepth = 0;   // occupancy high watermark (frames)
   };
 
-  Switch(Topology& topo, std::uint32_t id, std::string name, SwitchTier tier,
+  Switch(Topology& topo, sim::Engine& engine, std::uint32_t domain,
+         std::uint32_t id, std::string name, SwitchTier tier,
          sim::Duration latency, std::uint32_t nodes,
          std::uint32_t bufferFrames);
 
@@ -116,6 +122,11 @@ class Switch {
   const std::string& name() const { return name_; }
   std::uint32_t id() const { return id_; }
   SwitchTier tier() const { return tier_; }
+  /// PDES domain this switch (and its forwarding events) belongs to.
+  std::uint32_t domain() const { return domain_; }
+  /// Span profiler for this switch's hop spans (per-domain under
+  /// sharding; one shared profiler otherwise). nullptr detaches.
+  void setSpanProfiler(obs::SpanProfiler* spans) { spans_ = spans; }
   std::uint32_t portCount() const {
     return static_cast<std::uint32_t>(ports_.size());
   }
@@ -123,6 +134,10 @@ class Switch {
   const Port& port(std::uint32_t i) const;
 
   std::uint64_t packetsForwarded() const { return forwarded_; }
+  /// Frames this switch forwarded that arrived from a host uplink (the
+  /// per-switch share of Topology::hostIngressForwards; keeping the
+  /// counter on the switch makes it single-writer under sharding).
+  std::uint64_t hostIngressForwarded() const { return fromHostForwards_; }
   /// Frames tail-dropped at this switch's finite output buffers.
   std::uint64_t bufferDrops() const { return drops_; }
   /// Frames that found >= 1 frame already queued at their output port
@@ -137,16 +152,20 @@ class Switch {
   std::uint32_t selectUplink(const Packet& p) const;
 
   Topology& topo_;
+  sim::Engine& engine_;  // the owning domain's engine
+  std::uint32_t domain_;
   std::uint32_t id_;
   std::string name_;
   SwitchTier tier_;
   sim::Duration latency_;
   std::uint32_t bufferFrames_;
+  obs::SpanProfiler* spans_ = nullptr;
   std::vector<Port> ports_;
   // route_[dst] = port, or -1 = use the ECMP uplink group.
   std::vector<std::int32_t> route_;
   std::vector<std::uint32_t> ecmp_;
   std::uint64_t forwarded_ = 0;
+  std::uint64_t fromHostForwards_ = 0;
   std::uint64_t drops_ = 0;
   std::uint64_t queuedTotal_ = 0;
   std::uint32_t maxDepth_ = 0;
@@ -161,10 +180,30 @@ class Topology {
 
   Topology(sim::Engine& engine, const TopologySpec& spec, Deliver deliver);
 
+  /// Sharded construction (conservative PDES): `pdes` must be a hosted-
+  /// mode ShardedEngine with one domain per switch of this spec (see
+  /// stackDomainCount). Every switch and link is built on its domain's
+  /// hosted engine — one domain per edge switch covering its hosts and
+  /// host links, one per aggregation/core switch — and every inter-switch
+  /// link whose endpoints straddle domains routes its delivery through
+  /// ShardedEngine::sendAt. The executed event schedule per domain is
+  /// byte-identical at any shard count.
+  Topology(sim::ShardedEngine& pdes, const TopologySpec& spec,
+           Deliver deliver);
+
   Topology(const Topology&) = delete;
   Topology& operator=(const Topology&) = delete;
 
-  sim::Engine& engine() { return engine_; }
+  /// The serial engine (serial construction only; throws under sharding —
+  /// there is no single engine, use engineForDomain).
+  sim::Engine& engine();
+  bool sharded() const { return pdes_ != nullptr; }
+  /// PDES domains this topology spans (1 when serial).
+  std::uint32_t domainCount() const { return domainCount_; }
+  /// Domain of host `n`'s edge switch (0 when serial or star).
+  std::uint32_t hostDomain(NodeId n) const;
+  /// The engine owning `domain` (the serial engine when not sharded).
+  sim::Engine& engineForDomain(std::uint32_t domain);
   const TopologySpec& spec() const { return spec_; }
 
   /// Sends a frame down its source host's uplink (no validation; the
@@ -175,6 +214,12 @@ class Topology {
   /// detaches.
   void setSpanProfiler(obs::SpanProfiler* spans);
   obs::SpanProfiler* spanProfiler() const { return spans_; }
+
+  /// Sharded alternative: one profiler per domain (indexed by domain id;
+  /// size must equal domainCount()). Each link and switch attaches its
+  /// owning domain's profiler, so every emit is domain-local and the
+  /// per-domain profilers can be merged deterministically after the run.
+  void setDomainSpanProfilers(const std::vector<obs::SpanProfiler*>& byDomain);
 
   // Link accessors. Every accessor below throws SimError naming the
   // accessor and the offending index on out-of-range arguments — the
@@ -209,26 +254,34 @@ class Topology {
   std::uint32_t maxQueueDepth() const;
 
   /// Packets forwarded by their first (host-ingress) switch — one per
-  /// packet that entered the fabric.
-  std::uint64_t hostIngressForwards() const { return hostForwards_; }
+  /// packet that entered the fabric. Summed over per-switch counters so
+  /// every counter stays single-writer under sharding.
+  std::uint64_t hostIngressForwards() const;
   /// Packets forwarded by a Core-tier switch (tree root / fat-tree core).
-  std::uint64_t coreForwards() const { return coreForwards_; }
+  std::uint64_t coreForwards() const;
 
  private:
   friend class Switch;
-  void countForward(SwitchTier tier, bool fromHost);
 
   void buildHostLinks(const std::function<Switch*(NodeId)>& edgeOf);
   void buildStar();
   void buildTree();
   void buildFatTree();
-  Switch* addSwitch(std::string name, SwitchTier tier, sim::Duration latency);
+  Switch* addSwitch(std::string name, SwitchTier tier, sim::Duration latency,
+                    std::uint32_t domain);
   /// Creates one directed inter-switch link (salted off the running
-  /// fabric-link index) and connects it to `to`'s ingress.
-  Link* addFabricLink(std::string name, std::uint64_t seedSalt, Switch* to);
+  /// fabric-link index) owned by `from`'s domain and connects it to
+  /// `to`'s ingress (via the cross-domain mailbox when they differ).
+  Link* addFabricLink(std::string name, std::uint64_t seedSalt, Switch* from,
+                      Switch* to);
   void connectToSwitch(Link* l, Switch* sw, bool fromHost);
+  /// Registers a newly built link's owning domain and, under sharding,
+  /// routes its delivery through sendAt when `dstDomain` differs.
+  void placeLink(Link* l, std::uint32_t srcDomain, std::uint32_t dstDomain);
 
-  sim::Engine& engine_;
+  sim::Engine* engine_ = nullptr;        // serial construction
+  sim::ShardedEngine* pdes_ = nullptr;   // sharded construction
+  std::uint32_t domainCount_ = 1;
   TopologySpec spec_;
   Deliver deliver_;
   std::vector<std::unique_ptr<Switch>> switches_;
@@ -237,9 +290,10 @@ class Topology {
   std::vector<std::unique_ptr<Link>> trunkUp_;    // TwoLevelTree only
   std::vector<std::unique_ptr<Link>> trunkDown_;  // TwoLevelTree only
   std::vector<std::unique_ptr<Link>> fabricLinks_;  // FatTree only
+  // (link, owner domain) in construction order, for per-domain span
+  // attachment; owner = the domain whose engine runs the link's events.
+  std::vector<std::pair<Link*, std::uint32_t>> linkDomains_;
   obs::SpanProfiler* spans_ = nullptr;
-  std::uint64_t hostForwards_ = 0;
-  std::uint64_t coreForwards_ = 0;
 };
 
 }  // namespace vibe::fabric

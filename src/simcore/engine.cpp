@@ -21,6 +21,15 @@ std::uint32_t Engine::allocSlot() {
 }
 
 EventId Engine::postAt(SimTime t, EventFn fn) {
+  if (windowed_ && !inWindow_) {
+    throw SimError(
+        "Engine::postAt: engine is parked between PDES windows; schedule "
+        "into a foreign domain via ShardedEngine::sendAt instead");
+  }
+  return postAtImpl(t, std::move(fn));
+}
+
+EventId Engine::postAtImpl(SimTime t, EventFn fn) {
   if (!fn) {
     throw SimError("Engine::postAt: null callable");
   }
@@ -37,6 +46,11 @@ EventId Engine::postAt(SimTime t, EventFn fn) {
 }
 
 bool Engine::cancel(EventId id) {
+  if (windowed_ && !inWindow_) {
+    throw SimError(
+        "Engine::cancel: engine is parked between PDES windows; "
+        "cross-domain timer cancel is forbidden under sharding");
+  }
   const std::uint32_t slotPlus1 = static_cast<std::uint32_t>(id);
   const std::uint32_t gen = static_cast<std::uint32_t>(id >> 32);
   if (slotPlus1 == 0 || slotPlus1 > slotCount_) return false;
@@ -123,6 +137,71 @@ bool Engine::runUntil(SimTime until) {
   }
   checkDeadlock();
   return true;
+}
+
+std::uint64_t Engine::runWindow(SimTime windowEnd) {
+  DriveGuard guard(*this);
+  WindowScope scope(*this);
+  std::uint64_t n = 0;
+  while (!heap_.empty()) {
+    const Handle top = heap_.front();
+    if (slotAt(top.slot).gen != top.gen) {  // stale handle at the top
+      std::pop_heap(heap_.begin(), heap_.end(), HandleAfter{});
+      heap_.pop_back();
+      --staleInHeap_;
+      continue;
+    }
+    if (top.time >= windowEnd) break;
+    std::pop_heap(heap_.begin(), heap_.end(), HandleAfter{});
+    heap_.pop_back();
+    Slot& s = slotAt(top.slot);
+    if (top.time != now_) {
+      now_ = top.time;
+      if (observer_ != nullptr) observer_->onTimeAdvance(now_);
+    }
+    ++executed_;
+    --live_;
+    EventFn fn = std::move(s.fn);
+    ++s.gen;
+    freeSlot(top.slot);
+    fn();
+    ++n;
+  }
+  return n;
+}
+
+SimTime Engine::nextEventTime() {
+  while (!heap_.empty()) {
+    const Handle top = heap_.front();
+    if (slotAt(top.slot).gen == top.gen) return top.time;
+    std::pop_heap(heap_.begin(), heap_.end(), HandleAfter{});
+    heap_.pop_back();
+    --staleInHeap_;
+  }
+  return kNoEventTime;
+}
+
+void Engine::advanceTo(SimTime t) {
+  if (t <= now_) return;
+  now_ = t;
+  if (observer_ != nullptr) observer_->onTimeAdvance(now_);
+}
+
+bool Engine::hasBlockedProcesses() const {
+  for (const Process* p : processes_) {
+    if (p->blocked()) return true;
+  }
+  return false;
+}
+
+std::string Engine::blockedProcessNames() const {
+  std::string out;
+  for (const Process* p : processes_) {
+    if (!p->blocked()) continue;
+    if (!out.empty()) out += ", ";
+    out += p->name();
+  }
+  return out;
 }
 
 void Engine::checkDeadlock() const {

@@ -19,6 +19,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -94,6 +95,52 @@ class Engine {
   /// drained completely. now() never moves backwards: a horizon earlier
   /// than the current time leaves the clock where it is.
   bool runUntil(SimTime until);
+
+  /// --- Windowed driving (conservative-PDES hosted mode) ---
+  ///
+  /// A ShardedEngine in hosted mode owns one Engine per domain and drives
+  /// them in lockstep lookahead windows: runWindow executes one window,
+  /// cross-domain arrivals merge between windows via postAtMerge, and
+  /// setWindowedMode brackets the whole run. While windowed mode is on and
+  /// no window is open on this engine, postAt/cancel throw — posting into
+  /// or cancelling on a parked foreign engine is exactly the cross-domain
+  /// mutation the PDES contract forbids (use ShardedEngine::sendAt).
+
+  /// Sentinel for nextEventTime(): no pending events.
+  static constexpr SimTime kNoEventTime = std::numeric_limits<SimTime>::max();
+
+  /// Executes every pending event with time strictly before `windowEnd`,
+  /// in (time, insertion seq) order. Unlike run()/runUntil() this performs
+  /// no deadlock check (the queue legitimately drains while other domains
+  /// still hold events) and never advances now() past the last executed
+  /// event. Returns the number of events executed.
+  std::uint64_t runWindow(SimTime windowEnd);
+
+  /// Time of the earliest pending event, or kNoEventTime when none. Prunes
+  /// stale (cancelled) handles off the top of the heap as it looks.
+  SimTime nextEventTime();
+
+  /// Advances now() to `t`, firing the time observer; no-op when t <=
+  /// now(). Hosted runUntil uses this to land the clock on the horizon.
+  void advanceTo(SimTime t);
+
+  /// Hosted-mode guard (see block comment above). Toggling it changes
+  /// nothing until postAt/cancel are called outside an open window.
+  void setWindowedMode(bool on) { windowed_ = on; }
+  bool windowedMode() const { return windowed_; }
+
+  /// postAt bypassing the windowed guard: the ShardedEngine outbox merge
+  /// runs between windows (single-threaded, at the barrier) and is the one
+  /// sanctioned writer into parked engines.
+  EventId postAtMerge(SimTime t, EventFn fn) {
+    return postAtImpl(t, std::move(fn));
+  }
+
+  /// True when any registered process is blocked on a signal. The hosted
+  /// run uses these for the global drain-time deadlock check; `Names`
+  /// joins the blocked names with ", " for the error message.
+  bool hasBlockedProcesses() const;
+  std::string blockedProcessNames() const;
 
   /// The process currently executing, or nullptr when the engine itself
   /// (an event callback) is running. VIPL uses this to charge host CPU
@@ -182,6 +229,15 @@ class Engine {
     DriveGuard(const DriveGuard&) = delete;
     DriveGuard& operator=(const DriveGuard&) = delete;
   };
+  // Marks a window open for the windowed-mode guard; exception-safe.
+  struct WindowScope {
+    explicit WindowScope(Engine& e) : engine(e) { engine.inWindow_ = true; }
+    ~WindowScope() { engine.inWindow_ = false; }
+    WindowScope(const WindowScope&) = delete;
+    WindowScope& operator=(const WindowScope&) = delete;
+    Engine& engine;
+  };
+  EventId postAtImpl(SimTime t, EventFn fn);
   void checkDeadlock() const;
   void registerProcess(Process* p) { processes_.push_back(p); }
   void unregisterProcess(Process* p);
@@ -200,6 +256,8 @@ class Engine {
 
   std::vector<Process*> processes_;
   Process* current_ = nullptr;
+  bool windowed_ = false;
+  bool inWindow_ = false;
 #ifndef NDEBUG
   std::atomic<bool> driving_{false};
 #endif

@@ -74,6 +74,20 @@ struct ShardedEngine::CrossMsg {
   EventFn fn;
 };
 
+namespace {
+
+/// Hosted-mode outbox entry: an absolute-time arrival bound for a foreign
+/// hosted engine. No (srcDomain, seq) key — a hosted engine orders ties by
+/// its own insertion sequence, which is why the merge must always run in
+/// domain order at the barrier (see deliverOutboxes).
+struct HostedMsg {
+  SimTime time;
+  std::uint32_t dstDomain;
+  EventFn fn;
+};
+
+}  // namespace
+
 /// Per-domain state. Cache-line aligned: during a parallel window each
 /// shard hammers only its own domains' counters and heaps.
 struct alignas(64) ShardedEngine::Domain {
@@ -86,6 +100,7 @@ struct alignas(64) ShardedEngine::Domain {
   // order is irrelevant to the key-ordered heaps, but keeping ownership
   // strictly per-domain keeps every write single-writer.
   std::vector<CrossMsg> outbox;
+  std::vector<HostedMsg> hostedOutbox;
   std::uint64_t nextSeq = 1;
   SimTime now = 0;
   std::uint64_t executed = 0;
@@ -125,6 +140,15 @@ ShardedEngine::ShardedEngine(const EngineConfig& cfg)
         "than one shard (no cross-shard latency means no safe window)");
   }
   domains_.resize(cfg.domains);
+  runnable_.resize(shards_);
+  dirtyByShard_.resize(shards_);
+  hosted_ = cfg.hostEngines;
+  if (hosted_) {
+    engines_.reserve(cfg.domains);
+    for (std::uint32_t d = 0; d < cfg.domains; ++d) {
+      engines_.push_back(std::make_unique<Engine>());
+    }
+  }
 }
 
 ShardedEngine::~ShardedEngine() = default;
@@ -135,7 +159,84 @@ SimTime ShardedEngine::now(std::uint32_t domain) const {
                    " out of range [0, " + std::to_string(domainCountU32_) +
                    ")");
   }
-  return domains_[domain].now;
+  return hosted_ ? engines_[domain]->now() : domains_[domain].now;
+}
+
+Engine& ShardedEngine::domainEngine(std::uint32_t domain) {
+  if (!hosted_) {
+    throw SimError(
+        "ShardedEngine::domainEngine: engine was not constructed with "
+        "EngineConfig::hostEngines");
+  }
+  if (domain >= domainCountU32_) {
+    throw SimError("ShardedEngine::domainEngine: domain " +
+                   std::to_string(domain) + " out of range [0, " +
+                   std::to_string(domainCountU32_) + ")");
+  }
+  return *engines_[domain];
+}
+
+void ShardedEngine::sendAt(std::uint32_t src, std::uint32_t dst, SimTime at,
+                           EventFn fn) {
+  if (!hosted_) {
+    throw SimError(
+        "ShardedEngine::sendAt: hosted mode only; synthetic models use "
+        "send()");
+  }
+  if (!fn) throw SimError("ShardedEngine::sendAt: null callable");
+  if (src >= domainCountU32_ || dst >= domainCountU32_) {
+    throw SimError("ShardedEngine::sendAt: domain out of range [0, " +
+                   std::to_string(domainCountU32_) + ")");
+  }
+  if (src == dst) {
+    engines_[src]->postAt(at, std::move(fn));
+    return;
+  }
+  Domain& from = domains_[src];
+  ++from.crossDomain;
+  if (shardOf(src) != shardOf(dst)) ++from.crossShard;
+  if (!running_) {
+    // Setup phase, single driving thread: schedule directly.
+    engines_[dst]->postAt(at, std::move(fn));
+    return;
+  }
+  if (at < windowEnd_) {
+    throw SimError(
+        "ShardedEngine::sendAt: cross-domain arrival at t=" +
+        std::to_string(at) + " ns lands inside the open window ending at " +
+        std::to_string(windowEnd_) +
+        " ns; the sender must pay the conservative lookahead");
+  }
+  // Always the outbox during a run — even same-shard — so the merge order
+  // (and with it the destination engine's insertion-sequence tie order)
+  // is a pure function of domain numbering, not of shard packing.
+  if (from.hostedOutbox.empty()) markOutboxDirty(src);
+  from.hostedOutbox.push_back(HostedMsg{at, dst, std::move(fn)});
+}
+
+void ShardedEngine::setBoundaryHook(Duration period,
+                                    std::function<void(SimTime)> flush) {
+  if (running_) {
+    throw SimError("ShardedEngine::setBoundaryHook: engine is running");
+  }
+  if (!hosted_) {
+    throw SimError("ShardedEngine::setBoundaryHook: hosted mode only");
+  }
+  if (flush && period <= 0) {
+    throw SimError("ShardedEngine::setBoundaryHook: period must be > 0");
+  }
+  boundaryPeriod_ = flush ? period : 0;
+  boundaryFlush_ = std::move(flush);
+}
+
+SimTime ShardedEngine::maxNow() const {
+  SimTime t = 0;
+  if (hosted_) {
+    for (const auto& e : engines_) t = std::max(t, e->now());
+  } else {
+    for (const Domain& dom : domains_) t = std::max(t, dom.now);
+  }
+  return t;
 }
 
 void ShardedEngine::checkContext(std::uint32_t domain,
@@ -158,6 +259,11 @@ void ShardedEngine::pushEvent(Domain& dom, SimTime t, std::uint32_t srcDomain,
 }
 
 void ShardedEngine::post(std::uint32_t domain, Duration delay, EventFn fn) {
+  if (hosted_) {
+    throw SimError(
+        "ShardedEngine::post: hosted mode schedules on domainEngine() "
+        "directly (sendAt() for cross-domain)");
+  }
   if (!fn) throw SimError("ShardedEngine::post: null callable");
   if (delay < 0) throw SimError("ShardedEngine::post: negative delay");
   if (domain >= domainCountU32_) {
@@ -173,6 +279,11 @@ void ShardedEngine::post(std::uint32_t domain, Duration delay, EventFn fn) {
 
 void ShardedEngine::send(std::uint32_t src, std::uint32_t dst, Duration delay,
                          EventFn fn) {
+  if (hosted_) {
+    throw SimError(
+        "ShardedEngine::send: hosted mode uses sendAt() with an absolute "
+        "arrival time");
+  }
   if (src == dst) {
     post(src, delay, std::move(fn));
     return;
@@ -199,6 +310,7 @@ void ShardedEngine::send(std::uint32_t src, std::uint32_t dst, Duration delay,
     if (running_) {
       // Parked until the window barrier: the destination heap belongs to
       // another shard mid-window.
+      if (from.outbox.empty()) markOutboxDirty(src);
       from.outbox.push_back(CrossMsg{t, seq, src, dst, std::move(fn)});
       return;
     }
@@ -207,6 +319,7 @@ void ShardedEngine::send(std::uint32_t src, std::uint32_t dst, Duration delay,
   // driving thread): deliver immediately. The heap's total key order
   // makes immediate and barrier-time insertion indistinguishable.
   pushEvent(domains_[dst], t, src, seq, std::move(fn));
+  pushRunnable(dst, t);
 }
 
 SimTime ShardedEngine::nextEventTime() const {
@@ -215,6 +328,53 @@ SimTime ShardedEngine::nextEventTime() const {
     if (!dom.heap.empty()) t = std::min(t, dom.heap.front().time);
   }
   return t;
+}
+
+SimTime ShardedEngine::hostedNextEventTime() {
+  SimTime t = kNoEvent;
+  for (const auto& e : engines_) t = std::min(t, e->nextEventTime());
+  return t;
+}
+
+SimTime ShardedEngine::clampToBoundary(SimTime t, SimTime windowEnd) const {
+  if (boundaryPeriod_ <= 0) return windowEnd;
+  // The smallest grid multiple strictly greater than t: the window may
+  // touch a sampling boundary only at its end, so the boundary flush at
+  // the next window start sees every event before it and none at/after.
+  const SimTime next =
+      satAdd((t / boundaryPeriod_) * boundaryPeriod_, boundaryPeriod_);
+  return std::min(windowEnd, next);
+}
+
+std::uint64_t ShardedEngine::execDomainWindow(std::uint32_t d,
+                                              SimTime windowEnd) {
+  if (!hosted_) return runDomainWindow(d, windowEnd);
+  Domain& dom = domains_[d];
+  const std::uint64_t n = engines_[d]->runWindow(windowEnd);
+  // Mirror the hosted engine's progress into the domain bookkeeping so
+  // profiling/introspection (shardProfiles, loadImbalance) keep working.
+  dom.executed += n;
+  dom.now = engines_[d]->now();
+  return n;
+}
+
+void ShardedEngine::setHostedWindowedMode(bool on) {
+  for (const auto& e : engines_) e->setWindowedMode(on);
+}
+
+void ShardedEngine::checkHostedDeadlock() const {
+  std::string stuck;
+  for (const auto& e : engines_) {
+    const std::string names = e->blockedProcessNames();
+    if (names.empty()) continue;
+    if (!stuck.empty()) stuck += ", ";
+    stuck += names;
+  }
+  if (!stuck.empty()) {
+    throw DeadlockError(
+        "simulation deadlock: event queues empty but processes blocked: " +
+        stuck);
+  }
 }
 
 std::uint64_t ShardedEngine::runDomainWindow(std::uint32_t d,
@@ -263,27 +423,136 @@ std::uint64_t ShardedEngine::runDomainWindow(std::uint32_t d,
   return dom.executed - executedBefore;
 }
 
+void ShardedEngine::markOutboxDirty(std::uint32_t src) {
+  dirtyByShard_[shardOf(src)].push_back(src);
+}
+
+/// Earliest pending event time of one domain. Called only by the owning
+/// shard (its runnable pass) or the single driving thread.
+SimTime ShardedEngine::domainNextTime(std::uint32_t d) {
+  if (hosted_) return engines_[d]->nextEventTime();
+  const Domain& dom = domains_[d];
+  return dom.heap.empty() ? kNoEvent : dom.heap.front().time;
+}
+
+void ShardedEngine::initRunnable() {
+  for (auto& h : runnable_) h.clear();
+  domKey_.assign(domainCountU32_, kNoEvent);
+  runnableActive_ = true;
+  for (std::uint32_t d = 0; d < domainCountU32_; ++d) {
+    const SimTime t = domainNextTime(d);
+    if (t != kNoEvent) pushRunnable(d, t);
+  }
+}
+
+/// File domain d under key t in its owner's heap. Only the owning worker
+/// (same-shard deliveries, post-run re-file) or the single-threaded
+/// merge step may call this for a given d.
+void ShardedEngine::pushRunnable(std::uint32_t d, SimTime t) {
+  if (!runnableActive_) return;
+  if (t >= domKey_[d]) return;  // an entry at or below t is already filed
+  domKey_[d] = t;
+  auto& h = runnable_[shardOf(d)];
+  h.emplace_back(t, d);
+  std::push_heap(h.begin(), h.end(), std::greater<>{});
+}
+
+SimTime ShardedEngine::runnableTop(unsigned shard) const {
+  const auto& h = runnable_[shard];
+  return h.empty() ? kNoEvent : h.front().first;
+}
+
+/// One shard's window, heap-driven: pop every owned domain filed below
+/// windowEnd, re-check its real next-event time (entries may be stale),
+/// run the live ones, and re-file. Mid-window arrivals land at or past
+/// windowEnd (the lookahead contract), so each domain runs its whole
+/// window on the first live pop.
+std::uint64_t ShardedEngine::execShardWindow(unsigned shard,
+                                             SimTime windowEnd) {
+  std::uint64_t executed = 0;
+  auto& h = runnable_[shard];
+  while (!h.empty() && h.front().first < windowEnd) {
+    std::pop_heap(h.begin(), h.end(), std::greater<>{});
+    const auto [t, d] = h.back();
+    h.pop_back();
+    if (t != domKey_[d]) continue;  // superseded duplicate
+    domKey_[d] = kNoEvent;
+    const SimTime actual = domainNextTime(d);
+    if (actual == kNoEvent) continue;
+    if (actual >= windowEnd) {  // stale-low (e.g. a cancelled timer)
+      pushRunnable(d, actual);
+      continue;
+    }
+    executed += execDomainWindow(d, windowEnd);
+    const SimTime after = domainNextTime(d);
+    if (after != kNoEvent) pushRunnable(d, after);
+  }
+  return executed;
+}
+
 void ShardedEngine::deliverOutboxes() {
-  for (Domain& src : domains_) {
+  // Gather the domains that actually parked messages (the sort restores
+  // the global domain order) instead of scanning every outbox — at
+  // thousands of mostly-idle domains per window the full scan is pure
+  // serial overhead.
+  dirtyScratch_.clear();
+  for (std::vector<std::uint32_t>& v : dirtyByShard_) {
+    dirtyScratch_.insert(dirtyScratch_.end(), v.begin(), v.end());
+    v.clear();
+  }
+  std::sort(dirtyScratch_.begin(), dirtyScratch_.end());
+  if (hosted_) {
+    // Drain in domain order, entries in send order: the destination
+    // engines' insertion sequences — their tie order — become a pure
+    // function of the simulation, independent of shard count.
+    for (std::uint32_t d : dirtyScratch_) {
+      Domain& src = domains_[d];
+      for (HostedMsg& m : src.hostedOutbox) {
+        engines_[m.dstDomain]->postAtMerge(m.time, std::move(m.fn));
+        pushRunnable(m.dstDomain, m.time);
+      }
+      src.hostedOutbox.clear();
+    }
+    return;
+  }
+  for (std::uint32_t d : dirtyScratch_) {
+    Domain& src = domains_[d];
     for (CrossMsg& m : src.outbox) {
       pushEvent(domains_[m.dstDomain], m.time, m.srcDomain, m.seq,
                 std::move(m.fn));
+      pushRunnable(m.dstDomain, m.time);
     }
     src.outbox.clear();
   }
 }
 
 bool ShardedEngine::runWindows(SimTime horizon) {
+  // The boundary-flush hook may post events between windows, behind the
+  // runnable heaps — fall back to full scans while one is installed.
+  const bool lazy = !(hosted_ && boundaryFlush_);
+  if (lazy) initRunnable();
   for (;;) {
-    const SimTime t = nextEventTime();
+    const SimTime t = lazy ? runnableTop(0)
+                           : (hosted_ ? hostedNextEventTime()
+                                      : nextEventTime());
     if (t == kNoEvent) return true;
     if (t > horizon) return false;
-    const SimTime windowEnd = std::min(
-        satAdd(t, lookahead_ > 0 ? lookahead_ : 1), satAdd(horizon, 1));
+    Duration eff = lookahead_ > 0 ? lookahead_ : 1;
+    // A single hosted domain has no cross-domain constraint: one window
+    // runs the whole horizon, degenerating to the serial engine.
+    if (hosted_ && domainCountU32_ == 1) eff = kMaxTime;
+    SimTime windowEnd = std::min(satAdd(t, eff), satAdd(horizon, 1));
+    windowEnd = clampToBoundary(t, windowEnd);
+    if (hosted_ && boundaryFlush_) boundaryFlush_(t);
+    windowEnd_ = windowEnd;  // sendAt's conservative check reads this
     const std::uint64_t w0 = profiling_ ? wallNowNs() : 0;
     std::uint64_t executed = 0;
-    for (std::uint32_t d = 0; d < domainCountU32_; ++d) {
-      executed += runDomainWindow(d, windowEnd);
+    if (lazy) {
+      executed = execShardWindow(0, windowEnd);
+    } else {
+      for (std::uint32_t d = 0; d < domainCountU32_; ++d) {
+        executed += execDomainWindow(d, windowEnd);
+      }
     }
     if (profiling_) {
       timing_[0].execNs += wallNowNs() - w0;
@@ -301,12 +570,26 @@ bool ShardedEngine::runWindowsParallel(SimTime horizon) {
   abort_.store(false, std::memory_order_relaxed);
   shardErrors_.assign(shards_, nullptr);
 
-  auto prepareWindow = [this]() {
+  // See runWindows: a boundary-flush hook posts behind the heaps.
+  const bool lazy = !(hosted_ && boundaryFlush_);
+  if (lazy) initRunnable();
+
+  auto prepareWindow = [this, lazy]() {
     if (abort_.load(std::memory_order_relaxed)) {
       done_ = true;
       return;
     }
-    const SimTime t = nextEventTime();
+    SimTime t;
+    if (lazy) {
+      // O(shards) reduce over the heap tops — replaces the serial
+      // O(domains) rescan that dominated thin windows.
+      t = kNoEvent;
+      for (unsigned s = 0; s < shards_; ++s) {
+        t = std::min(t, runnableTop(s));
+      }
+    } else {
+      t = hosted_ ? hostedNextEventTime() : nextEventTime();
+    }
     if (t == kNoEvent) {
       drained_ = true;
       done_ = true;
@@ -316,7 +599,13 @@ bool ShardedEngine::runWindowsParallel(SimTime horizon) {
       done_ = true;
       return;
     }
-    windowEnd_ = std::min(satAdd(t, lookahead_), satAdd(horizon_, 1));
+    SimTime windowEnd = std::min(satAdd(t, lookahead_), satAdd(horizon_, 1));
+    windowEnd = clampToBoundary(t, windowEnd);
+    // Boundary flush runs here, in the single-threaded completion step:
+    // every worker is parked at the barrier, so the hook may read any
+    // domain's state race-free.
+    if (hosted_ && boundaryFlush_) boundaryFlush_(t);
+    windowEnd_ = windowEnd;
   };
 
   prepareWindow();
@@ -327,20 +616,32 @@ bool ShardedEngine::runWindowsParallel(SimTime horizon) {
     // them to every worker.
     auto onWindowDone = [this, &prepareWindow]() noexcept {
       ++windows_;
-      deliverOutboxes();
-      prepareWindow();
+      try {
+        deliverOutboxes();
+        prepareWindow();
+      } catch (...) {
+        // Merge/hook failure (e.g. a throwing boundary flush): surface it
+        // like a shard-0 event failure and wind the pool down.
+        if (!shardErrors_[0]) shardErrors_[0] = std::current_exception();
+        abort_.store(true, std::memory_order_relaxed);
+        done_ = true;
+      }
     };
     std::barrier sync(static_cast<std::ptrdiff_t>(shards_),
                       std::move(onWindowDone));
-    auto worker = [this, &sync](unsigned shard) {
+    auto worker = [this, &sync, lazy](unsigned shard) {
       while (!done_) {
         if (!abort_.load(std::memory_order_relaxed)) {
           try {
             const std::uint64_t w0 = profiling_ ? wallNowNs() : 0;
             std::uint64_t executed = 0;
-            for (std::uint32_t d = shard; d < domainCountU32_;
-                 d += shards_) {
-              executed += runDomainWindow(d, windowEnd_);
+            if (lazy) {
+              executed = execShardWindow(shard, windowEnd_);
+            } else {
+              for (std::uint32_t d = shard; d < domainCountU32_;
+                   d += shards_) {
+                executed += execDomainWindow(d, windowEnd_);
+              }
             }
             if (profiling_) {
               timing_[shard].execNs += wallNowNs() - w0;
@@ -370,20 +671,35 @@ bool ShardedEngine::runWindowsParallel(SimTime horizon) {
   return drained_;
 }
 
+bool ShardedEngine::runDispatch(SimTime horizon) {
+  setHostedWindowedMode(true);
+  bool drained = false;
+  try {
+    drained =
+        shards_ <= 1 ? runWindows(horizon) : runWindowsParallel(horizon);
+  } catch (...) {
+    runnableActive_ = false;  // setup-phase sends bypass the heaps
+    setHostedWindowedMode(false);
+    throw;
+  }
+  runnableActive_ = false;
+  setHostedWindowedMode(false);
+  return drained;
+}
+
 void ShardedEngine::run() {
   if (running_) throw SimError("ShardedEngine::run entered recursively");
   running_ = true;
   try {
-    if (shards_ <= 1) {
-      runWindows(kMaxTime);
-    } else {
-      runWindowsParallel(kMaxTime);
-    }
+    runDispatch(kMaxTime);
   } catch (...) {
     running_ = false;
     throw;
   }
   running_ = false;
+  // Global drain-time deadlock check: every hosted queue and outbox is
+  // empty, so a blocked process can never be signalled again.
+  if (hosted_) checkHostedDeadlock();
 }
 
 bool ShardedEngine::runUntil(SimTime until) {
@@ -391,24 +707,37 @@ bool ShardedEngine::runUntil(SimTime until) {
   running_ = true;
   bool drained = false;
   try {
-    drained = shards_ <= 1 ? runWindows(until) : runWindowsParallel(until);
+    drained = runDispatch(until);
   } catch (...) {
     running_ = false;
     throw;
   }
   running_ = false;
   for (Domain& dom : domains_) dom.now = std::max(dom.now, until);
+  if (hosted_) {
+    for (const auto& e : engines_) e->advanceTo(until);
+    if (drained) checkHostedDeadlock();
+  }
   return drained;
 }
 
 std::uint64_t ShardedEngine::executedEvents() const {
   std::uint64_t n = 0;
+  if (hosted_) {
+    for (const auto& e : engines_) n += e->executedEvents();
+    return n;
+  }
   for (const Domain& dom : domains_) n += dom.executed;
   return n;
 }
 
 std::uint64_t ShardedEngine::pendingEvents() const {
   std::uint64_t n = 0;
+  if (hosted_) {
+    for (const auto& e : engines_) n += e->pendingEvents();
+    for (const Domain& dom : domains_) n += dom.hostedOutbox.size();
+    return n;
+  }
   for (const Domain& dom : domains_) {
     n += dom.heap.size() + dom.outbox.size();
   }

@@ -31,17 +31,40 @@
 //   inline on the calling thread: no pool, no barrier, no atomics — the
 //   exact serial path, mirroring the harness's VIBE_JOBS=1 contract.
 //
-// The engine is callback-only (no cooperative Process support) and has
-// no cancel: the models that need retransmission timers run on the
-// serial Engine. Use this substrate for domain-partitioned models that
-// must scale a *single* simulation across cores (VIBE_SIM_SHARDS),
-// orthogonal to the sweep harness that runs independent simulations in
-// parallel (VIBE_JOBS).
+// Two modes share the window machinery:
+//
+//   Synthetic (default)  the engine owns per-domain keyed heaps and the
+//                        callback-only post()/send() API — no cancel, no
+//                        processes. The traffic models built before the
+//                        stack port use this.
+//   Hosted               `EngineConfig::hostEngines`: every domain hosts
+//                        a full serial sim::Engine (cancellable timers,
+//                        cooperative Processes), driven window-by-window
+//                        via Engine::runWindow. Within a domain the full
+//                        serial feature set — including O(1) timer
+//                        cancel — is legal; *cross-domain* interaction is
+//                        restricted to sendAt(), and a parked foreign
+//                        engine rejects postAt/cancel outright (the
+//                        windowed-mode guard). This is what the VIA
+//                        NIC/VIPL/Cluster stack runs on.
+//
+// In hosted mode every cross-domain send goes through the per-domain
+// outbox even when source and destination share a shard: a hosted
+// engine's tie order is insertion order, so delivery must always happen
+// at the barrier, in domain order, for the executed schedule to be
+// byte-identical at any shard count.
+//
+// Use this substrate for domain-partitioned models that must scale a
+// *single* simulation across cores (VIBE_SIM_SHARDS), orthogonal to the
+// sweep harness that runs independent simulations in parallel
+// (VIBE_JOBS).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <exception>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "simcore/engine.hpp"
@@ -82,6 +105,10 @@ struct EngineConfig {
   /// Worker threads; 0 = shardCount() (VIBE_SIM_SHARDS / hardware).
   /// Clamped to `domains`. 1 runs inline with no threads.
   unsigned shards = 0;
+  /// Hosted mode: each domain owns a full serial sim::Engine reachable
+  /// via domainEngine(). post()/send() are disabled in favor of the
+  /// hosted engines' own API plus sendAt() for cross-domain delivery.
+  bool hostEngines = false;
 };
 
 class ShardedEngine {
@@ -121,8 +148,40 @@ class ShardedEngine {
   void send(std::uint32_t src, std::uint32_t dst, Duration delay,
             EventFn fn);
 
+  /// --- Hosted mode (EngineConfig::hostEngines) ---
+
+  bool hosted() const { return hosted_; }
+
+  /// The serial engine hosted by `domain`. Build the domain's simulation
+  /// state (NICs, processes, timers) directly on it; during run() it is
+  /// driven in lockstep windows. Hosted mode only.
+  Engine& domainEngine(std::uint32_t domain);
+
+  /// Cross-domain delivery for hosted mode: `fn` runs in `dst`'s engine
+  /// at absolute time `at`. During run() `at` must lie at or past the
+  /// open window's end (i.e. the caller must have paid the lookahead —
+  /// link serialization + propagation guarantees this for fabric
+  /// traffic); violations throw SimError. src == dst posts directly.
+  /// Setup-time calls (before run()) schedule directly too.
+  void sendAt(std::uint32_t src, std::uint32_t dst, SimTime at, EventFn fn);
+
+  /// Hosted-mode sampling support: clamps every window end to the next
+  /// multiple of `period` and invokes `flush(T)` at each window start T
+  /// from the single-threaded completion step — every event strictly
+  /// before T has executed, none at or after T has, so `flush` may read
+  /// any domain's state and sees exactly what a serial TimeObserver
+  /// would at boundaries <= T. Pass (0, nullptr) to clear.
+  void setBoundaryHook(Duration period, std::function<void(SimTime)> flush);
+
+  /// Max over domain clocks — the hosted equivalent of Engine::now()
+  /// after a run (the time of the last executed event, or the horizon).
+  SimTime maxNow() const;
+
   /// Runs windows until every domain queue and mailbox drains. Rethrows
-  /// the first (lowest-shard) exception raised by an event callback.
+  /// the first (lowest-shard) exception raised by an event callback. In
+  /// hosted mode, throws DeadlockError after the drain if any hosted
+  /// process is still blocked on a signal (the global analogue of the
+  /// serial engine's drain-time deadlock check).
   void run();
 
   /// Runs events with time <= `until` (absolute). Returns true if the
@@ -177,15 +236,31 @@ class ShardedEngine {
   };
 
   SimTime nextEventTime() const;
+  SimTime hostedNextEventTime();
   std::uint64_t runDomainWindow(std::uint32_t d, SimTime windowEnd);
+  std::uint64_t execDomainWindow(std::uint32_t d, SimTime windowEnd);
   void deliverOutboxes();
   void pushEvent(Domain& dom, SimTime t, std::uint32_t srcDomain,
                  std::uint64_t seq, EventFn fn);
   bool runWindows(SimTime horizon);          // serial (shards_ == 1)
   bool runWindowsParallel(SimTime horizon);  // thread pool + barrier
   void checkContext(std::uint32_t domain, const char* what) const;
+  SimTime clampToBoundary(SimTime t, SimTime windowEnd) const;
+  void setHostedWindowedMode(bool on);
+  void checkHostedDeadlock() const;
+  bool runDispatch(SimTime horizon);
+  SimTime domainNextTime(std::uint32_t d);
+  void markOutboxDirty(std::uint32_t src);
+  void initRunnable();
+  void pushRunnable(std::uint32_t d, SimTime t);
+  SimTime runnableTop(unsigned shard) const;
+  std::uint64_t execShardWindow(unsigned shard, SimTime windowEnd);
 
   std::vector<Domain> domains_;
+  std::vector<std::unique_ptr<Engine>> engines_;  // hosted mode only
+  bool hosted_ = false;
+  Duration boundaryPeriod_ = 0;
+  std::function<void(SimTime)> boundaryFlush_;
   std::uint32_t domainCountU32_ = 0;
   unsigned shards_ = 1;
   Duration lookahead_ = 0;
@@ -203,6 +278,29 @@ class ShardedEngine {
   bool done_ = false;
   std::atomic<bool> abort_{false};
   std::vector<std::exception_ptr> shardErrors_;
+
+  // Runnable-domain heaps: at thousands of mostly-idle domains, touching
+  // every domain every window — the completion step's O(domains) next-
+  // event scan plus each worker's O(domains/shards) execute pass — is
+  // the Amdahl floor of thin-window runs. Instead each shard keeps a
+  // lazy min-heap of (next event time, domain) over the domains it owns,
+  // so a window costs O(active domains · log). domKey_[d] is the key the
+  // owner's heap currently holds for d (kNoEvent when absent): pushes
+  // that don't beat it are skipped, pops that don't match it are stale
+  // duplicates. Keys may run stale-low (a superseded entry surfaces
+  // first); the pop re-checks the real next time and re-files, costing
+  // at worst an empty window round. Rebuilt at every run entry; disabled
+  // while a boundary hook is set (the hook may schedule new work behind
+  // the heaps' backs).
+  std::vector<std::vector<std::pair<SimTime, std::uint32_t>>> runnable_;
+  std::vector<SimTime> domKey_;
+  bool runnableActive_ = false;
+  // Outbox dirty lists, per owning shard: domains that parked >= 1
+  // cross-domain message this window. Single-writer (each shard appends
+  // only its own list, in ascending domain order); the merge gathers and
+  // sorts them so the drain order stays the full scan's domain order.
+  std::vector<std::vector<std::uint32_t>> dirtyByShard_;
+  std::vector<std::uint32_t> dirtyScratch_;
 
   bool running_ = false;
 };

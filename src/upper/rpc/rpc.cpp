@@ -80,7 +80,7 @@ void require(VipResult r, const char* what) {
 RpcServer::RpcServer(suite::NodeEnv& env, const RpcConfig& config)
     : env_(env), nic_(&env.nic), config_(config) {
   ptag_ = nic_->createPtag();
-  require(nic_->createCq(1024, cq_), "create server CQ");
+  require(nic_->createCq(config_.serverCqEntries, cq_), "create server CQ");
 }
 
 RpcServer::~RpcServer() = default;

@@ -27,6 +27,11 @@ constexpr std::uint32_t kStatusUnknownMethod = 1;
 struct RpcConfig {
   std::uint32_t maxMessageBytes = 32 * 1024;  // header + payload limit
   std::uint32_t recvRingDepth = 8;            // preposted recvs per client
+  /// Server completion-queue depth. Completions pile up while the server
+  /// is still inside acceptClients() (every connected client's first call
+  /// lands unreaped), so incasts beyond ~1k clients must size this past
+  /// the client count or the first pollCq() reports an overflow.
+  std::uint32_t serverCqEntries = 1024;
   std::uint64_t discriminator = 0x5250'4331;  // "RPC1"
   nic::Reliability reliability = nic::Reliability::ReliableDelivery;
   /// Recovery mode: each client connection rides a session::Session that

@@ -1,8 +1,10 @@
 #include "vibe/cluster.hpp"
 
+#include <algorithm>
 #include <string>
 #include <utility>
 
+#include "fabric/domain.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "obs/timeseries.hpp"
@@ -28,12 +30,27 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
     np.rootSwitchLatency = config_.profile.switchLatency;
   }
   np.switchBufferFrames = config_.switchBufferFrames;
-  net_ = std::make_unique<fabric::Network>(engine_, np);
+  if (config_.simShards > 0) {
+    // Hosted PDES: one domain per switch, windows bounded by the minimum
+    // inter-switch hop (header serialization + propagation). Every
+    // shard-count value runs the same per-domain schedules; simShards
+    // only chooses how many worker threads execute them.
+    const fabric::TopologySpec spec = fabric::Network::specFor(np);
+    sim::EngineConfig ec;
+    ec.domains = fabric::stackDomainCount(spec);
+    ec.lookahead = fabric::hopLookahead(spec);
+    ec.shards = config_.simShards;
+    ec.hostEngines = true;
+    pdes_ = std::make_unique<sim::ShardedEngine>(ec);
+    net_ = std::make_unique<fabric::Network>(*pdes_, np);
+  } else {
+    net_ = std::make_unique<fabric::Network>(engine_, np);
+  }
 
   providers_.reserve(config_.nodes);
   for (std::uint32_t n = 0; n < config_.nodes; ++n) {
     providers_.push_back(std::make_unique<vipl::Provider>(
-        engine_, *net_, n, config_.profile, ns_,
+        nodeEngine(n), *net_, n, config_.profile, ns_,
         "node" + std::to_string(n)));
   }
 
@@ -45,6 +62,35 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   if (config_.sampler != nullptr) {
     setSampler(config_.sampler, config_.samplePeriod);
   }
+}
+
+Cluster::~Cluster() = default;
+
+sim::Engine& Cluster::engine() {
+  if (pdes_ != nullptr) {
+    throw sim::SimError(
+        "Cluster::engine: sharded cluster has no single engine; use now(), "
+        "shardedEngine(), or nodeEngine()");
+  }
+  return engine_;
+}
+
+sim::ShardedEngine& Cluster::shardedEngine() {
+  if (pdes_ == nullptr) {
+    throw sim::SimError("Cluster::shardedEngine: cluster is not sharded "
+                        "(config.simShards == 0)");
+  }
+  return *pdes_;
+}
+
+sim::Engine& Cluster::nodeEngine(std::uint32_t i) {
+  if (pdes_ == nullptr) return engine_;
+  fabric::Topology& topo = net_->topology();
+  return topo.engineForDomain(topo.hostDomain(i));
+}
+
+sim::SimTime Cluster::now() const {
+  return pdes_ != nullptr ? pdes_->maxNow() : engine_.now();
 }
 
 void Cluster::setSampler(obs::TimeSeriesSampler* sampler,
@@ -63,6 +109,15 @@ void Cluster::setSampler(obs::TimeSeriesSampler* sampler,
   sampler_ = sampler;
   samplePeriod_ = period;
   sampler_->setPeriod(period);
+  if (pdes_ != nullptr) {
+    // Sharded runs have no engine observer to attach to; instead every
+    // window end is clamped to the sample grid and the sampler flushes
+    // from the single-threaded barrier step, where probes may safely
+    // read any domain's state (exactly what a serial TimeObserver sees).
+    pdes_->setBoundaryHook(period, [this](sim::SimTime t) {
+      sampler_->flushUntil(t);
+    });
+  }
   // Aggregate probes: sums over nodes, so the series count stays O(1)
   // whether the cluster has 2 nodes or 1024. Probes only read.
   sampler_->addProbe("nic/tx_backlog", [this](sim::SimTime) {
@@ -105,8 +160,44 @@ void Cluster::setSampler(obs::TimeSeriesSampler* sampler,
 
 void Cluster::setSpanProfiler(obs::SpanProfiler* spans) {
   spans_ = spans;
-  for (auto& p : providers_) p->setSpanProfiler(spans);
-  net_->setSpanProfiler(spans);
+  if (pdes_ == nullptr) {
+    for (auto& p : providers_) p->setSpanProfiler(spans);
+    net_->setSpanProfiler(spans);
+    return;
+  }
+  if (spans == nullptr) {
+    for (auto& p : providers_) p->setSpanProfiler(nullptr);
+    net_->setSpanProfiler(nullptr);
+    shadowSpans_.clear();
+    return;
+  }
+  // Per-domain shadows: each provider and switch emits into its own
+  // domain's profiler (single-writer during a window); run() folds them
+  // into the user profiler in domain order, which makes the merged
+  // histograms and event buffer shard-count independent.
+  fabric::Topology& topo = net_->topology();
+  const std::uint32_t doms = topo.domainCount();
+  shadowSpans_.clear();
+  shadowSpans_.reserve(doms);
+  std::vector<obs::SpanProfiler*> byDomain(doms);
+  for (std::uint32_t d = 0; d < doms; ++d) {
+    auto sp = std::make_unique<obs::SpanProfiler>();
+    sp->setKeepEvents(true);  // mergeFrom copies events if the user keeps
+    byDomain[d] = sp.get();
+    shadowSpans_.push_back(std::move(sp));
+  }
+  for (std::uint32_t n = 0; n < config_.nodes; ++n) {
+    providers_[n]->setSpanProfiler(byDomain[topo.hostDomain(n)]);
+  }
+  topo.setDomainSpanProfilers(byDomain);
+}
+
+void Cluster::mergeShadowSpans() {
+  if (spans_ == nullptr || shadowSpans_.empty()) return;
+  for (auto& sp : shadowSpans_) {
+    spans_->mergeFrom(*sp);
+    sp->clear();  // repeated run() calls merge only the new spans
+  }
 }
 
 void Cluster::publishStats() {
@@ -172,7 +263,54 @@ void Cluster::publishStats() {
 
 void Cluster::setTracer(sim::Tracer* tracer) {
   tracer_ = tracer;
-  for (auto& p : providers_) p->device().setTracer(tracer);
+  if (pdes_ == nullptr) {
+    for (auto& p : providers_) p->device().setTracer(tracer);
+    return;
+  }
+  if (tracer == nullptr) {
+    for (auto& p : providers_) p->device().setTracer(nullptr);
+    shadowTracers_.clear();
+    shadowTraceLogs_.clear();
+    return;
+  }
+  // Per-node shadows record everything (the user tracer's enablement is
+  // applied at replay, so late enable() calls still work) into per-node
+  // logs that stay single-writer inside the node's domain.
+  shadowTracers_.clear();
+  shadowTraceLogs_.assign(config_.nodes, {});
+  shadowTracers_.reserve(config_.nodes);
+  for (std::uint32_t n = 0; n < config_.nodes; ++n) {
+    auto shadow = std::make_unique<sim::Tracer>(/*capacity=*/1);
+    shadow->enableAll();
+    auto* log = &shadowTraceLogs_[n];
+    shadow->setSink([log](const sim::TraceRecord& r) { log->push_back(r); });
+    providers_[n]->device().setTracer(shadow.get());
+    shadowTracers_.push_back(std::move(shadow));
+  }
+}
+
+void Cluster::replayShadowTraces() {
+  if (tracer_ == nullptr || shadowTraceLogs_.empty()) return;
+  // Node-major concatenation + stable sort by time = (time, node, record
+  // index) order: each node's log is already time-ordered, so the merged
+  // interleaving depends only on the simulation, never the shard count.
+  std::vector<const sim::TraceRecord*> merged;
+  std::size_t total = 0;
+  for (const auto& log : shadowTraceLogs_) total += log.size();
+  merged.reserve(total);
+  for (const auto& log : shadowTraceLogs_) {
+    for (const sim::TraceRecord& r : log) merged.push_back(&r);
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const sim::TraceRecord* a, const sim::TraceRecord* b) {
+                     return a->time < b->time;
+                   });
+  for (const sim::TraceRecord* r : merged) {
+    if (tracer_->enabled(r->category)) {
+      tracer_->record(r->time, r->category, r->component, r->message);
+    }
+  }
+  for (auto& log : shadowTraceLogs_) log.clear();
 }
 
 void Cluster::run(std::vector<std::function<void(NodeEnv&)>> programs) {
@@ -184,15 +322,34 @@ void Cluster::run(std::vector<std::function<void(NodeEnv&)>> programs) {
   for (std::uint32_t i = 0; i < programs.size(); ++i) {
     if (!programs[i]) continue;
     procs.push_back(std::make_unique<sim::Process>(
-        engine_, "node" + std::to_string(i),
+        nodeEngine(i), "node" + std::to_string(i),
         [this, i, fn = std::move(programs[i])] {
-          NodeEnv env{i, *providers_[i], *engine_.currentProcess(), engine_};
+          sim::Engine& eng = nodeEngine(i);
+          NodeEnv env{i, *providers_[i], *eng.currentProcess(), eng};
           fn(env);
           // The program's stack frames (and any descriptors on them) are
           // dead once fn returns; abandon its pending work so completions
           // still in flight do not write through dangling pointers.
           providers_[i]->quiesce();
         }));
+  }
+  if (pdes_ != nullptr) {
+    try {
+      pdes_->run();
+    } catch (...) {
+      // Deadlock/error dumps still want the trace: replay whatever the
+      // shadows captured before rethrowing.
+      replayShadowTraces();
+      throw;
+    }
+    if (sampler_ != nullptr) {
+      // Tail boundaries past the last window (same contract as serial).
+      sampler_->flushUntil(pdes_->maxNow());
+    }
+    replayShadowTraces();
+    mergeShadowSpans();
+    publishStats();
+    return;
   }
   if (sampler_ != nullptr) sampler_->attach(engine_);
   try {

@@ -11,6 +11,7 @@
 #include "fabric/network.hpp"
 #include "nic/profile.hpp"
 #include "simcore/engine.hpp"
+#include "simcore/pdes.hpp"
 #include "simcore/process.hpp"
 #include "simcore/trace.hpp"
 #include "vipl/provider.hpp"
@@ -45,6 +46,16 @@ struct ClusterConfig {
   // Finite per-port switch output buffers, in frames (0 = unbounded).
   std::uint32_t switchBufferFrames = 0;
 
+  // Conservative-PDES sharding: 0 = the classic single serial engine.
+  // >= 1 builds the whole stack on a hosted ShardedEngine — one PDES
+  // domain per switch, each node's NIC + host program placed in its edge
+  // switch's domain, cross-domain frames paying the fabric hop lookahead
+  // — with this many worker shards (clamped to the domain count; 1 runs
+  // the identical window loop inline). Per-domain event schedules, and
+  // therefore every stat, digest, and table, are byte-identical at any
+  // value >= 1; benches resolve VIBE_SIM_SHARDS into this field.
+  std::uint32_t simShards = 0;
+
   // Observability attachments (all optional; null = zero-cost disabled).
   // Set before handing the config to a runner that builds its own Cluster
   // (e.g. runPingPong); the Cluster constructor wires them through the
@@ -74,11 +85,26 @@ struct NodeEnv {
 class Cluster {
  public:
   explicit Cluster(const ClusterConfig& config);
+  ~Cluster();  // out-of-line: shadow profilers are forward-declared here
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  sim::Engine& engine() { return engine_; }
+  /// The single serial engine (throws when sharded: there is no single
+  /// engine, use now()/shardedEngine()/nodeEngine()).
+  sim::Engine& engine();
+  /// True when the cluster runs on a hosted ShardedEngine (simShards >=
+  /// 1 in the config).
+  bool sharded() const { return pdes_ != nullptr; }
+  /// The hosted PDES engine (throws when serial).
+  sim::ShardedEngine& shardedEngine();
+  /// The engine node `i`'s NIC, programs, and timers run on: the serial
+  /// engine, or the node's domain engine under sharding.
+  sim::Engine& nodeEngine(std::uint32_t i);
+  /// Virtual time of the cluster: Engine::now() serially, the max over
+  /// domain clocks under sharding. Use instead of engine().now() in
+  /// mode-agnostic harness code.
+  sim::SimTime now() const;
   fabric::Network& network() { return *net_; }
   vipl::Provider& node(std::uint32_t i) { return *providers_.at(i); }
   std::uint32_t nodeCount() const { return config_.nodes; }
@@ -127,11 +153,26 @@ class Cluster {
   void run(std::vector<std::function<void(NodeEnv&)>> programs);
 
  private:
+  /// Replays the per-node shadow trace streams into the user tracer in
+  /// (time, node, record) order — an interleaving that is a function of
+  /// the simulation alone, so it is identical at any shard count.
+  void replayShadowTraces();
+  /// Folds the per-domain shadow span profilers into the user profiler
+  /// in domain order, then clears them for the next run.
+  void mergeShadowSpans();
+
   ClusterConfig config_;
   sim::Engine engine_;
+  std::unique_ptr<sim::ShardedEngine> pdes_;  // sharded mode only
   std::shared_ptr<vipl::NameService> ns_;
   std::unique_ptr<fabric::Network> net_;
   std::vector<std::unique_ptr<vipl::Provider>> providers_;
+  // Sharded observability shadows: every tracer/span emit must stay
+  // domain-local during a window, so devices write into per-node tracers
+  // and per-domain span profilers, merged deterministically after run().
+  std::vector<std::unique_ptr<sim::Tracer>> shadowTracers_;
+  std::vector<std::vector<sim::TraceRecord>> shadowTraceLogs_;
+  std::vector<std::unique_ptr<obs::SpanProfiler>> shadowSpans_;
   sim::Tracer* tracer_ = nullptr;
   obs::SpanProfiler* spans_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;

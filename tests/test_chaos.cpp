@@ -381,12 +381,21 @@ struct RunResult {
 };
 
 /// One chaos run: cluster + tracer + invariant checker + injector with the
-/// seed-generated plan, then the workload, then finalize.
-RunResult runOnce(std::uint64_t seed, WorkloadFn workload) {
+/// seed-generated plan, then the workload, then finalize. `simShards` 0
+/// runs the classic serial engine; >= 1 hosts the stack on the sharded
+/// PDES engine with the two nodes on separate leaf domains of a
+/// two-level tree, so every frame and every fault window crosses a
+/// domain boundary.
+RunResult runOnce(std::uint64_t seed, WorkloadFn workload,
+                  std::uint32_t simShards = 0) {
   static const char* kProfiles[] = {"mvia", "bvia", "clan"};
   ClusterConfig cfg;
   cfg.profile = nic::profileByName(kProfiles[seed % 3]);
   cfg.seed = seed;
+  if (simShards > 0) {
+    cfg.nodesPerSwitch = 1;  // leaf per node: 3 PDES domains
+    cfg.simShards = simShards;
+  }
   Cluster cluster(cfg);
 
   sim::Tracer tracer(512);  // digest and sink are ring-capacity independent
@@ -408,7 +417,7 @@ RunResult runOnce(std::uint64_t seed, WorkloadFn workload) {
 
   RunResult r;
   r.digest = tracer.digest();
-  r.endTime = cluster.engine().now();
+  r.endTime = cluster.now();
   r.reliableDeliveries = checker.reliableDeliveries();
   r.violations = checker.violations();
   r.planText = injector.plan().toString();
@@ -494,6 +503,41 @@ TEST(ChaosShardsAxis, DigestSweepIgnoresSimShards) {
       EXPECT_EQ(foldedDigest(shards, jobs), base)
           << "VIBE_SIM_SHARDS=" << (shards ? shards : "<unset>")
           << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST(ChaosShardedCluster, SweepIsShardCountInvariantAndReplays) {
+  // The other half of the axis: here the chaos stack itself runs on the
+  // hosted ShardedEngine (runOnce simShards >= 1 puts each node on its
+  // own leaf-switch domain). The per-domain schedules are a function of
+  // the simulation alone, so digest, end time, delivery count, and the
+  // invariant wall must not move with the worker shard count — and every
+  // seed must still replay byte-for-byte.
+  const int seeds = std::min(seedCount(), 6);
+  const WorkloadFn workloads[] = {pingPong, streaming};
+  const char* names[] = {"pingpong", "streaming"};
+  for (std::size_t w = 0; w < std::size(workloads); ++w) {
+    for (int s = 0; s < seeds; ++s) {
+      const std::uint64_t seed = 4000 + static_cast<std::uint64_t>(s) * 7919;
+      SCOPED_TRACE("workload=" + std::string(names[w]) +
+                   " seed=" + std::to_string(seed));
+      const RunResult base = runOnce(seed, workloads[w], /*simShards=*/1);
+      EXPECT_TRUE(base.violations.empty())
+          << "invariant violations:\n"
+          << ::testing::PrintToString(base.violations) << "\nplan:\n"
+          << base.planText;
+      EXPECT_GT(base.reliableDeliveries, 0u);
+      for (std::uint32_t shards : {2u, 7u}) {
+        const RunResult got = runOnce(seed, workloads[w], shards);
+        EXPECT_EQ(got.digest, base.digest)
+            << "sharded chaos digest moved at shards=" << shards
+            << "; plan:\n" << base.planText;
+        EXPECT_EQ(got.endTime, base.endTime) << "shards=" << shards;
+        EXPECT_EQ(got.reliableDeliveries, base.reliableDeliveries);
+        EXPECT_TRUE(got.violations.empty())
+            << ::testing::PrintToString(got.violations);
+      }
     }
   }
 }
@@ -705,7 +749,7 @@ TEST(ChaosFaults, EmptyPlanIsByteIdenticalToNoInjector) {
     if (withInjector) injector.arm(cluster);
     pingPong(cluster, 5);
     return std::pair<std::uint64_t, sim::SimTime>(tracer.digest(),
-                                                  cluster.engine().now());
+                                                  cluster.now());
   };
   const auto bare = run(false);
   const auto armedEmpty = run(true);

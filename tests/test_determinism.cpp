@@ -57,11 +57,19 @@ struct RunOutcome {
 /// A lossy ping-pong whose retransmission pattern depends on every PRNG
 /// draw: any divergence between two runs of the same seed shows up in the
 /// digest, and different seeds drop different frames.
-RunOutcome lossyPingPong(const std::string& profile, std::uint64_t seed) {
+/// `simShards` 0 = the classic serial engine; >= 1 hosts the whole stack
+/// on the sharded PDES engine, each node on its own leaf-switch domain
+/// of a two-level tree so every frame crosses a domain boundary.
+RunOutcome lossyPingPong(const std::string& profile, std::uint64_t seed,
+                         std::uint32_t simShards = 0) {
   ClusterConfig cfg;
   cfg.profile = nic::profileByName(profile);
   cfg.seed = seed;
   cfg.lossRate = 0.08;
+  if (simShards > 0) {
+    cfg.nodesPerSwitch = 1;  // leaf per node: 3 PDES domains
+    cfg.simShards = simShards;
+  }
   Cluster cluster(cfg);
 
   sim::Tracer tracer;
@@ -135,7 +143,7 @@ RunOutcome lossyPingPong(const std::string& profile, std::uint64_t seed) {
 
   RunOutcome out;
   out.digest = tracer.digest();
-  out.endTime = cluster.engine().now();
+  out.endTime = cluster.now();
   out.retransmits = cluster.node(0).device().stats().retransmits +
                     cluster.node(1).device().stats().retransmits;
   return out;
@@ -254,6 +262,51 @@ TEST(ShardsAxis, PdesSweepDigestInvariantAcrossShardsTimesJobs) {
           << " jobs=" << jobs;
     }
   }
+}
+
+// --- the VIA stack hosted on the sharded engine ---------------------------
+
+// The full reliability machinery (8% loss keeps the RTO timers firing)
+// on a sharded Cluster: digest, end time, and retransmit count must not
+// move with the worker shard count, and every shard count must replay a
+// seed byte-for-byte. This is the in-sweep face of the deeper wall in
+// test_pdes_stack.
+TEST_P(DeterminismTest, ShardedStackDigestInvariantAcrossShardCounts) {
+  const std::string profile = GetParam();
+  const RunOutcome base = lossyPingPong(profile, 2024, /*simShards=*/1);
+  EXPECT_GT(base.retransmits, 0u);
+  const std::uint32_t counts[] = {1, 2, 7, harness::jobCount()};
+  for (std::uint32_t shards : counts) {
+    const RunOutcome got = lossyPingPong(profile, 2024, shards);
+    EXPECT_EQ(got.digest, base.digest) << "shards=" << shards;
+    EXPECT_EQ(got.endTime, base.endTime) << "shards=" << shards;
+    EXPECT_EQ(got.retransmits, base.retransmits) << "shards=" << shards;
+  }
+}
+
+// Sharded-Cluster seed sweep through the jobs harness: concurrent
+// sharded simulations (each spinning its own worker pool) still fold
+// the same sweep digest at any jobs count.
+TEST(ShardedClusterAxis, SeedSweepComposesDigestIndependentOfJobs) {
+  auto sweepDigest = [&](std::uint32_t simShards, unsigned jobs) {
+    harness::SweepOptions opts;
+    opts.jobs = jobs;
+    const auto outs = harness::runSweep(
+        6,
+        [&](harness::PointEnv& env) {
+          return lossyPingPong("clan", 6000 + env.index * 17, simShards);
+        },
+        opts);
+    std::uint64_t acc = sim::Tracer::kDigestSeed;
+    for (const RunOutcome& o : outs) {
+      acc = sim::Tracer::combineDigest(acc, o.digest);
+    }
+    return acc;
+  };
+  const std::uint64_t base = sweepDigest(1, 1);
+  EXPECT_EQ(base, sweepDigest(2, 1));
+  EXPECT_EQ(base, sweepDigest(2, 4));
+  EXPECT_EQ(base, sweepDigest(harness::jobCount(), 2));
 }
 
 }  // namespace

@@ -15,6 +15,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <cstdlib>
 #include <string>
 #include <vector>
@@ -367,44 +368,52 @@ TEST(ShardedEngineSafety, EventExceptionPropagatesAndAborts) {
 // --- runUntil windows -----------------------------------------------------
 
 TEST(ShardedEngineRunUntil, HorizonPartitionsTheRun) {
+  // Events record into per-domain vectors: with shards > 1, same-window
+  // events in different domains execute concurrently, so a shared sink
+  // would be a data race in the test itself.
+  using FiredBy = std::array<std::vector<SimTime>, 3>;
+  auto gather = [](const FiredBy& firedBy) {
+    std::vector<SimTime> all;
+    for (const auto& v : firedBy) all.insert(all.end(), v.begin(), v.end());
+    std::sort(all.begin(), all.end());
+    return all;
+  };
   for (unsigned shards : {1u, 3u}) {
-    auto build = [shards](ShardedEngine& eng, std::vector<SimTime>& fired) {
+    auto build = [](ShardedEngine& eng, FiredBy& firedBy) {
       struct Ctx {
         ShardedEngine* eng;
-        std::vector<SimTime>* fired;
+        FiredBy* firedBy;
       };
-      auto* ctx = new Ctx{&eng, &fired};
+      auto* ctx = new Ctx{&eng, &firedBy};
       for (std::uint32_t d = 0; d < 3; ++d) {
         for (Duration t : {100, 250, 400, 900}) {
           eng.post(d, t, [ctx, d] {
-            ctx->fired->push_back(ctx->eng->now(d));
+            (*ctx->firedBy)[d].push_back(ctx->eng->now(d));
           });
         }
       }
       return ctx;
     };
     ShardedEngine eng({.domains = 3, .lookahead = 20, .shards = shards});
-    std::vector<SimTime> fired;
-    auto* ctx = build(eng, fired);
+    FiredBy firedBy;
+    auto* ctx = build(eng, firedBy);
     EXPECT_FALSE(eng.runUntil(250));
+    std::vector<SimTime> fired = gather(firedBy);
     EXPECT_EQ(fired.size(), 6u);  // t=100 and t=250 in all three domains
     for (SimTime t : fired) EXPECT_LE(t, 250);
     for (std::uint32_t d = 0; d < 3; ++d) EXPECT_GE(eng.now(d), 250);
     EXPECT_TRUE(eng.runUntil(10'000));
+    fired = gather(firedBy);
     EXPECT_EQ(fired.size(), 12u);
     EXPECT_EQ(eng.pendingEvents(), 0u);
     delete ctx;
 
     // An uninterrupted run executes the identical multiset of times.
     ShardedEngine whole({.domains = 3, .lookahead = 20, .shards = shards});
-    std::vector<SimTime> wholeFired;
-    auto* wctx = build(whole, wholeFired);
+    FiredBy wholeFiredBy;
+    auto* wctx = build(whole, wholeFiredBy);
     whole.run();
-    std::vector<SimTime> a = fired;
-    std::vector<SimTime> b = wholeFired;
-    std::sort(a.begin(), a.end());
-    std::sort(b.begin(), b.end());
-    EXPECT_EQ(a, b);
+    EXPECT_EQ(fired, gather(wholeFiredBy));
     delete wctx;
   }
 }

@@ -576,7 +576,7 @@ RunResult runOnce(std::uint64_t seed, WorkloadFn workload) {
 
   RunResult r;
   r.digest = tracer.digest();
-  r.endTime = cluster.engine().now();
+  r.endTime = cluster.now();
   r.deliveries = checker.sessionDeliveries();
   r.recoveries = checker.sessionRecoveries();
   r.violations = checker.violations();

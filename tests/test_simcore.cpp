@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "simcore/engine.hpp"
+#include "simcore/pdes.hpp"
 #include "simcore/process.hpp"
 #include "simcore/prng.hpp"
 #include "simcore/resource.hpp"
@@ -460,6 +461,166 @@ TEST(PrngTest, UniformInRangeAndBelowIsUnbiased) {
   }
   EXPECT_NEAR(acc.mean(), 0.5, 0.02);
   for (int i = 0; i < 1000; ++i) ASSERT_LT(g.below(7), 7u);
+}
+
+// --- timer / window properties the sharded stack port relies on -----------
+
+TEST(TimerApiTest, CancelAfterFireReturnsFalse) {
+  Engine e;
+  int fired = 0;
+  const EventId id = e.post(10, [&] { ++fired; });
+  e.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(e.cancel(id));  // already fired: a stale handle is a no-op
+  EXPECT_FALSE(e.cancel(id));  // and stays one
+}
+
+TEST(TimerApiTest, CancelledIdIsNeverConfusedWithReusedSlot) {
+  // The RTO path cancels and re-arms constantly; a recycled pool slot
+  // must not let an old handle kill the new timer.
+  Engine e;
+  int fired = 0;
+  const EventId a = e.post(10, [&] { fired += 1; });
+  ASSERT_TRUE(e.cancel(a));
+  const EventId b = e.post(10, [&] { fired += 100; });
+  EXPECT_FALSE(e.cancel(a));  // stale generation: no effect on b
+  e.run();
+  EXPECT_EQ(fired, 100);
+  (void)b;
+}
+
+TEST(TimerApiTest, StaleExpiryAfterCancelIsANoOp) {
+  // Cancel between post and expiry: the heap entry left behind must be
+  // skipped, not fired, and must not stall time for later events.
+  Engine e;
+  int fired = 0;
+  const EventId a = e.post(10, [&] { ++fired; });
+  e.post(20, [&] { fired += 10; });
+  ASSERT_TRUE(e.cancel(a));
+  e.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(e.now(), 20);
+}
+
+TEST(TimerApiTest, NextEventTimePrunesCancelledTop) {
+  Engine e;
+  const EventId a = e.post(5, [] {});
+  e.post(9, [] {});
+  EXPECT_EQ(e.nextEventTime(), 5);
+  ASSERT_TRUE(e.cancel(a));
+  EXPECT_EQ(e.nextEventTime(), 9);
+  e.run();
+  EXPECT_EQ(e.nextEventTime(), Engine::kNoEventTime);
+}
+
+TEST(WindowedModeTest, PostAndCancelOnParkedEngineThrow) {
+  // The PDES contract: between windows a domain engine is parked, and
+  // mutating it from outside (a cross-domain timer cancel, a direct
+  // post) is exactly the data race the sharded port must never make.
+  Engine e;
+  const EventId id = e.post(50, [] {});
+  e.setWindowedMode(true);
+  EXPECT_THROW(e.post(10, [] {}), SimError);
+  EXPECT_THROW(e.postAt(10, [] {}), SimError);
+  EXPECT_THROW(e.cancel(id), SimError);
+  e.setWindowedMode(false);
+  EXPECT_TRUE(e.cancel(id));  // legal again outside windowed mode
+}
+
+TEST(WindowedModeTest, InWindowPostAndCancelAreLegal) {
+  // Inside runWindow the domain owns itself: same-domain timer
+  // programming (the NIC RTO pattern) must work unchanged.
+  Engine e;
+  int fired = 0;
+  EventId rto = 0;
+  e.post(10, [&] {
+    rto = e.post(5, [&] { fired += 100; });  // arm
+  });
+  e.post(12, [&] {
+    EXPECT_TRUE(e.cancel(rto));  // ack arrived: cancel in-window
+    ++fired;
+  });
+  e.setWindowedMode(true);
+  e.runWindow(100);
+  e.setWindowedMode(false);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(WindowedModeTest, RunWindowExecutesHalfOpenInterval) {
+  Engine e;
+  std::vector<int> order;
+  e.post(10, [&] { order.push_back(10); });
+  e.post(20, [&] { order.push_back(20); });
+  e.post(30, [&] { order.push_back(30); });
+  e.setWindowedMode(true);
+  EXPECT_EQ(e.runWindow(20), 1u);  // [0, 20): only t=10
+  EXPECT_EQ(e.now(), 10);          // the clock rests on the last event
+  EXPECT_EQ(e.runWindow(31), 2u);  // [20, 31): t=20 and t=30
+  e.setWindowedMode(false);
+  EXPECT_EQ(order, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(WindowedModeTest, MergePostBypassesGuardAndKeepsOrder) {
+  // postAtMerge is the barrier-time merge hook: it must work on a parked
+  // engine, and two merged arrivals at one timestamp must fire in merge
+  // (domain) order.
+  Engine e;
+  std::vector<int> order;
+  e.setWindowedMode(true);
+  e.postAtMerge(10, [&] { order.push_back(1); });
+  e.postAtMerge(10, [&] { order.push_back(2); });
+  e.runWindow(11);
+  e.setWindowedMode(false);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(HostedPdesTest, CrossDomainSendBelowWindowEndThrows) {
+  // A hosted domain that tries to deliver inside the open window has
+  // violated the lookahead contract; the engine must refuse rather than
+  // silently produce a shard-count-dependent schedule.
+  EngineConfig cfg;
+  cfg.domains = 2;
+  cfg.lookahead = 10;
+  cfg.shards = 1;
+  cfg.hostEngines = true;
+  ShardedEngine pdes(cfg);
+  pdes.domainEngine(0).postAt(0, [&] {
+    EXPECT_THROW(pdes.sendAt(0, 1, 3, [] {}), SimError);
+  });
+  pdes.run();
+}
+
+TEST(HostedPdesTest, PerDomainOrderingIsMergeDeterministic) {
+  // Two domains cross-feed each other at identical timestamps: arrivals
+  // must interleave with local events in (time, merge-order) order, and
+  // the whole schedule must not depend on the worker shard count.
+  auto runOnce = [](std::uint32_t shards) {
+    EngineConfig cfg;
+    cfg.domains = 2;
+    cfg.lookahead = 10;
+    cfg.shards = shards;
+    cfg.hostEngines = true;
+    ShardedEngine pdes(cfg);
+    std::vector<std::vector<int>> log(2);
+    for (std::uint32_t d = 0; d < 2; ++d) {
+      Engine& e = pdes.domainEngine(d);
+      const std::uint32_t peer = 1 - d;
+      e.postAt(0, [&pdes, &log, d, peer] {
+        // Lands at t=20 in the peer, tying with its local event there.
+        pdes.sendAt(d, peer, 20, [&log, peer, d] {
+          log[peer].push_back(100 + static_cast<int>(d));
+        });
+      });
+      e.postAt(20, [&log, d] { log[d].push_back(static_cast<int>(d)); });
+    }
+    pdes.run();
+    return log;
+  };
+  const auto base = runOnce(1);
+  ASSERT_EQ(base[0].size(), 2u);
+  ASSERT_EQ(base[1].size(), 2u);
+  EXPECT_EQ(runOnce(2), base);
+  EXPECT_EQ(runOnce(5), base);
 }
 
 }  // namespace
